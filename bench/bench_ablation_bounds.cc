@@ -1,0 +1,65 @@
+// Ablation of KARL's two bound constructions (not a paper table; see
+// DESIGN.md): how much of the speedup comes from the chord upper bound
+// versus the optimal-tangent lower bound, per query type. Each variant
+// replaces the disabled side with the SOTA constant bound.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using karl::core::BoundKind;
+
+double Measure(const karl::bench::Workload& w,
+               const karl::core::QuerySpec& spec, BoundKind bounds) {
+  karl::EngineOptions options = karl::bench::DefaultOptions(w);
+  options.bounds = bounds;
+  return karl::bench::MeasureEngineThroughput(w, spec, options);
+}
+
+void RunRow(const char* label, const karl::bench::Workload& w,
+            const karl::core::QuerySpec& spec) {
+  const double sota = Measure(w, spec, BoundKind::kSota);
+  const double chord = Measure(w, spec, BoundKind::kKarlChordOnly);
+  const double tangent = Measure(w, spec, BoundKind::kKarlTangentOnly);
+  const double full = Measure(w, spec, BoundKind::kKarl);
+  karl::bench::PrintTableRow(
+      {label, w.dataset, karl::bench::FormatQps(sota),
+       karl::bench::FormatQps(chord), karl::bench::FormatQps(tangent),
+       karl::bench::FormatQps(full)});
+}
+
+}  // namespace
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Ablation: KARL bound components, Gaussian kernel, kd-tree "
+              "leaf capacity 80 (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+  karl::bench::PrintTableHeader({"type", "dataset", "SOTA", "chord-only",
+                                 "tangent-only", "KARL-full"});
+
+  for (const char* name : {"miniboone", "home", "susy"}) {
+    const karl::bench::Workload w = karl::bench::MakeTypeIWorkload(name, nq);
+
+    karl::core::QuerySpec tau_spec;
+    tau_spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    tau_spec.tau = w.tau;
+    RunRow("I-tau", w, tau_spec);
+
+    karl::core::QuerySpec eps_spec;
+    eps_spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+    eps_spec.eps = 0.2;
+    RunRow("I-eps", w, eps_spec);
+  }
+  for (const char* name : {"nsl-kdd", "covtype"}) {
+    const karl::bench::Workload w = karl::bench::MakeTypeIIWorkload(name, nq);
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+    RunRow("II-tau", w, spec);
+  }
+  return 0;
+}

@@ -1,0 +1,299 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/evaluator.h"
+#include "data/normalize.h"
+#include "ml/kde.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace karl::bench {
+
+namespace {
+
+// FNV-1a of the dataset name: deterministic per-workload RNG seeds.
+uint64_t NameSeed(const std::string& name, uint64_t salt) {
+  uint64_t seed = 0xcbf29ce484222325ULL ^ salt;
+  for (const char ch : name) {
+    seed = (seed ^ static_cast<uint64_t>(ch)) * 0x100000001b3ULL;
+  }
+  return seed;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+// Generates the dataset (scaled), samples queries from it, and fills the
+// workload skeleton.
+Workload MakeBase(const std::string& name, size_t num_queries) {
+  auto spec_result = data::FindDataset(name);
+  if (!spec_result.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+    std::abort();
+  }
+  data::DatasetSpec spec = spec_result.value();
+  spec.n = std::max<size_t>(
+      1000, static_cast<size_t>(static_cast<double>(spec.n) * BenchScale()));
+
+  Workload w;
+  w.dataset = name;
+  w.points = data::MakeUciLike(spec);
+  w.weighting_type = spec.weighting_type;
+
+  // Queries: sampled from the dataset, as in §V-A2.
+  util::Rng rng(NameSeed(name, 0x51u));
+  const auto rows = rng.SampleWithoutReplacement(
+      w.points.rows(), std::min(num_queries, w.points.rows()));
+  w.queries = w.points.SelectRows(rows);
+  return w;
+}
+
+// Computes μ and σ of F over a probe subset of the queries by exact scan
+// and sets τ = μ (the paper's default threshold).
+void FillThresholdStats(Workload* w, size_t probe_count) {
+  const size_t probes = std::min(probe_count, w->queries.rows());
+  std::vector<double> values;
+  values.reserve(probes);
+  for (size_t i = 0; i < probes; ++i) {
+    values.push_back(core::ExactAggregate(w->points, w->weights, w->kernel,
+                                          w->queries.Row(i)));
+  }
+  w->mu = util::Mean(values);
+  w->sigma = util::StdDev(values);
+  w->tau = w->mu;
+}
+
+}  // namespace
+
+double BenchScale() {
+  static const double kScale = EnvDouble("KARL_BENCH_SCALE", 1.0);
+  return kScale;
+}
+
+size_t BenchQueries() {
+  static const size_t kQueries = static_cast<size_t>(
+      std::max(1.0, EnvDouble("KARL_BENCH_QUERIES", 150.0)));
+  return kQueries;
+}
+
+Workload MakeTypeIWorkload(const std::string& name, size_t num_queries) {
+  Workload w = MakeBase(name, num_queries);
+  w.weighting_type = 1;
+  w.weights.assign(w.points.rows(), 1.0 / static_cast<double>(w.points.rows()));
+  w.kernel = core::KernelParams::Gaussian(
+      ml::BandwidthToGamma(ml::ScottBandwidth(w.points)));
+  FillThresholdStats(&w, 100);
+  return w;
+}
+
+Workload MakeTypeIIWorkload(const std::string& name, size_t num_queries) {
+  Workload w = MakeBase(name, num_queries);
+  w.weighting_type = 2;
+  // 1-class-SVM-like coefficients: most α at the box bound, a free tail —
+  // the shape LIBSVM training produces. Normalised to Σα = 1.
+  util::Rng rng(NameSeed(name, 2));
+  w.weights.resize(w.points.rows());
+  double total = 0.0;
+  for (auto& alpha : w.weights) {
+    alpha = rng.Uniform() < 0.7 ? 1.0 : rng.Uniform(0.05, 1.0);
+    total += alpha;
+  }
+  for (auto& alpha : w.weights) alpha /= total;
+  w.kernel = core::KernelParams::Gaussian(
+      1.0 / static_cast<double>(w.points.cols()));  // LIBSVM default 1/d.
+  FillThresholdStats(&w, 100);
+  return w;
+}
+
+Workload MakeTypeIIIWorkload(const std::string& name, size_t num_queries) {
+  Workload w = MakeBase(name, num_queries);
+  w.weighting_type = 3;
+  // 2-class coefficients α_i y_i: sign follows which side of a random
+  // hyperplane the support vector falls on (opposing classes cluster on
+  // opposite sides of the boundary), magnitude as in Type II.
+  util::Rng rng(NameSeed(name, 3));
+  const size_t d = w.points.cols();
+  std::vector<double> normal(d);
+  for (auto& v : normal) v = rng.Gaussian();
+  double offset = 0.0;
+  for (size_t j = 0; j < d; ++j) offset += normal[j] * 0.5;
+
+  w.weights.resize(w.points.rows());
+  for (size_t i = 0; i < w.points.rows(); ++i) {
+    const double side = util::Dot(w.points.Row(i), normal) - offset;
+    const double alpha =
+        rng.Uniform() < 0.7 ? 1.0 : rng.Uniform(0.05, 1.0);
+    w.weights[i] = side >= 0.0 ? alpha : -alpha;
+  }
+  w.kernel = core::KernelParams::Gaussian(1.0 / static_cast<double>(d));
+  FillThresholdStats(&w, 100);
+  return w;
+}
+
+Workload MakePolynomialWorkload(const std::string& name, int weighting_type,
+                                size_t num_queries) {
+  Workload w = weighting_type == 2 ? MakeTypeIIWorkload(name, num_queries)
+                                   : MakeTypeIIIWorkload(name, num_queries);
+  // §V-F: polynomial kernel, degree 3, data normalised to [−1,1]^d.
+  data::NormalizationParams params =
+      data::FitMinMax(w.points, -1.0, 1.0);
+  data::ApplyNormalization(params, &w.points);
+  data::ApplyNormalization(params, &w.queries);
+  w.kernel = core::KernelParams::Polynomial(
+      1.0 / static_cast<double>(w.points.cols()), 0.0, 3);
+  FillThresholdStats(&w, 100);
+  return w;
+}
+
+EngineOptions DefaultOptions(const Workload& w) {
+  EngineOptions options;
+  options.kernel = w.kernel;
+  options.bounds = core::BoundKind::kKarl;
+  options.index_kind = index::IndexKind::kKdTree;
+  options.leaf_capacity = 80;
+  return options;
+}
+
+double MeasureScanThroughput(const Workload& w, const core::QuerySpec& spec) {
+  util::Stopwatch timer;
+  volatile double sink = 0.0;
+  for (size_t i = 0; i < w.queries.rows(); ++i) {
+    const double f = core::ExactAggregate(w.points, w.weights, w.kernel,
+                                          w.queries.Row(i));
+    sink = spec.kind == core::QuerySpec::Kind::kThreshold
+               ? (f > spec.tau ? 1.0 : 0.0)
+               : f;
+  }
+  (void)sink;
+  return static_cast<double>(w.queries.rows()) /
+         std::max(timer.ElapsedSeconds(), 1e-9);
+}
+
+double MeasureLibsvmThroughput(const Workload& w,
+                               const core::QuerySpec& spec) {
+  // LibSVM's predictor: CSR-stored support vectors, sparse dot products,
+  // then a threshold comparison. On dense data this tracks SCAN, as in
+  // Table VII; on sparse data it runs ahead of it.
+  const data::SparseMatrix sparse = data::SparseMatrix::FromDense(w.points);
+  util::Stopwatch timer;
+  volatile double sink = 0.0;
+  for (size_t i = 0; i < w.queries.rows(); ++i) {
+    const double f = core::ExactAggregateSparse(sparse, w.weights, w.kernel,
+                                                w.queries.Row(i));
+    sink = f > spec.tau ? 1.0 : -1.0;
+  }
+  (void)sink;
+  return static_cast<double>(w.queries.rows()) /
+         std::max(timer.ElapsedSeconds(), 1e-9);
+}
+
+double MeasureEngineThroughput(const Workload& w, const core::QuerySpec& spec,
+                               const EngineOptions& options) {
+  auto engine = Engine::Build(w.points, w.weights, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  return core::MeasureThroughput(engine.value(), w.queries, spec);
+}
+
+double MeasureBestOverGrid(const Workload& w, const core::QuerySpec& spec,
+                           core::BoundKind bounds) {
+  double best = 0.0;
+  for (const auto& config : core::DefaultTuningGrid()) {
+    EngineOptions options = DefaultOptions(w);
+    options.bounds = bounds;
+    options.index_kind = config.kind;
+    options.leaf_capacity = config.leaf_capacity;
+    best = std::max(best, MeasureEngineThroughput(w, spec, options));
+  }
+  return best;
+}
+
+double MeasureKarlAuto(const Workload& w, const core::QuerySpec& spec) {
+  // Tune on a sample of the query set (paper: 1000 sampled vectors; here
+  // bounded by the workload's query count).
+  const size_t sample = std::max<size_t>(1, w.queries.rows() / 4);
+  util::Rng rng(99);
+  const auto rows = rng.SampleWithoutReplacement(w.queries.rows(), sample);
+  const data::Matrix sample_queries = w.queries.SelectRows(rows);
+
+  auto tuned = core::OfflineTune(w.points, w.weights, DefaultOptions(w),
+                                 sample_queries, spec,
+                                 core::DefaultTuningGrid());
+  if (!tuned.ok()) {
+    std::fprintf(stderr, "offline tuning failed: %s\n",
+                 tuned.status().ToString().c_str());
+    std::abort();
+  }
+  EngineOptions options = DefaultOptions(w);
+  options.index_kind = tuned.value().best.kind;
+  options.leaf_capacity = tuned.value().best.leaf_capacity;
+  return MeasureEngineThroughput(w, spec, options);
+}
+
+core::IndexConfig TuneConfigOnce(const Workload& w,
+                                 const core::QuerySpec& spec,
+                                 core::BoundKind bounds) {
+  const size_t sample = std::max<size_t>(1, w.queries.rows() / 4);
+  util::Rng rng(98);
+  const auto rows = rng.SampleWithoutReplacement(w.queries.rows(), sample);
+  const data::Matrix sample_queries = w.queries.SelectRows(rows);
+
+  EngineOptions base = DefaultOptions(w);
+  base.bounds = bounds;
+  auto tuned = core::OfflineTune(w.points, w.weights, base, sample_queries,
+                                 spec, core::DefaultTuningGrid());
+  if (!tuned.ok()) {
+    std::fprintf(stderr, "offline tuning failed: %s\n",
+                 tuned.status().ToString().c_str());
+    std::abort();
+  }
+  return tuned.value().best;
+}
+
+double MeasureWithConfig(const Workload& w, const core::QuerySpec& spec,
+                         core::BoundKind bounds,
+                         const core::IndexConfig& config) {
+  EngineOptions options = DefaultOptions(w);
+  options.bounds = bounds;
+  options.index_kind = config.kind;
+  options.leaf_capacity = config.leaf_capacity;
+  return MeasureEngineThroughput(w, spec, options);
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  for (const auto& col : columns) std::printf("%14s", col.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%14s", "------");
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) std::printf("%14s", cell.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatQps(double qps) {
+  char buffer[32];
+  if (qps >= 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", qps);
+  } else if (qps >= 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", qps);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", qps);
+  }
+  return buffer;
+}
+
+}  // namespace karl::bench

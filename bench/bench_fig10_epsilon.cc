@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 10: query throughput for type I-ε while varying
+// the relative error ε in {0.05, 0.1, 0.15, 0.2, 0.25, 0.3} on
+// miniboone, home and susy. Methods: SCAN, SOTA_best (= Scikit_best, the
+// Gray–Moore KDE), KARL_auto.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Fig. 10: type I-eps throughput (q/s) vs relative error "
+              "(scale %.2f)\n\n",
+              karl::bench::BenchScale());
+
+  for (const char* name : {"miniboone", "home", "susy"}) {
+    const karl::bench::Workload w = karl::bench::MakeTypeIWorkload(name, nq);
+    std::printf("dataset %s:\n", name);
+    karl::bench::PrintTableHeader(
+        {"eps", "SCAN", "SOTA_best", "KARL_auto"});
+
+    // Tune once at ε = 0.2 and reuse the configs across the sweep.
+    karl::core::QuerySpec tune_spec;
+    tune_spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+    tune_spec.eps = 0.2;
+    const auto sota_cfg = karl::bench::TuneConfigOnce(
+        w, tune_spec, karl::core::BoundKind::kSota);
+    const auto karl_cfg = karl::bench::TuneConfigOnce(
+        w, tune_spec, karl::core::BoundKind::kKarl);
+
+    for (const double eps : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+      karl::core::QuerySpec spec;
+      spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+      spec.eps = eps;
+      const double scan = karl::bench::MeasureScanThroughput(w, spec);
+      const double sota = karl::bench::MeasureWithConfig(
+          w, spec, karl::core::BoundKind::kSota, sota_cfg);
+      const double karl_auto = karl::bench::MeasureWithConfig(
+          w, spec, karl::core::BoundKind::kKarl, karl_cfg);
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.2f", eps);
+      karl::bench::PrintTableRow({label, karl::bench::FormatQps(scan),
+                                  karl::bench::FormatQps(sota),
+                                  karl::bench::FormatQps(karl_auto)});
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

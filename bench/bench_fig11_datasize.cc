@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 11: throughput on the susy dataset while varying
+// its size via sampling, for (a) type I-τ with τ = μ and (b) type I-ε
+// with ε = 0.2. Methods: SCAN, SOTA_best, KARL_auto.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/rng.h"
+
+namespace {
+
+karl::bench::Workload Subsample(const karl::bench::Workload& base,
+                                double fraction) {
+  karl::bench::Workload w = base;
+  karl::util::Rng rng(1234);
+  const size_t keep = static_cast<size_t>(
+      static_cast<double>(base.points.rows()) * fraction);
+  const auto rows = rng.SampleWithoutReplacement(base.points.rows(), keep);
+  w.points = base.points.SelectRows(rows);
+  w.weights.assign(keep, 1.0 / static_cast<double>(keep));
+  // Recompute τ on the shrunk dataset: μ scales with weight normalisation.
+  std::vector<double> values;
+  const size_t probes = std::min<size_t>(100, w.queries.rows());
+  for (size_t i = 0; i < probes; ++i) {
+    values.push_back(karl::core::ExactAggregate(w.points, w.weights, w.kernel,
+                                                w.queries.Row(i)));
+  }
+  double mu = 0.0;
+  for (const double v : values) mu += v;
+  w.mu = mu / static_cast<double>(values.size());
+  w.tau = w.mu;
+  return w;
+}
+
+void RunSweep(const karl::bench::Workload& base, bool threshold_mode) {
+  karl::bench::PrintTableHeader({"size", "SCAN", "SOTA_best", "KARL_auto"});
+
+  // Tune once on the full-size workload, reuse across the size sweep.
+  karl::core::QuerySpec tune_spec;
+  if (threshold_mode) {
+    tune_spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    tune_spec.tau = base.tau;
+  } else {
+    tune_spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+    tune_spec.eps = 0.2;
+  }
+  const auto sota_cfg = karl::bench::TuneConfigOnce(
+      base, tune_spec, karl::core::BoundKind::kSota);
+  const auto karl_cfg = karl::bench::TuneConfigOnce(
+      base, tune_spec, karl::core::BoundKind::kKarl);
+
+  for (const double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const karl::bench::Workload w = Subsample(base, fraction);
+    karl::core::QuerySpec spec;
+    if (threshold_mode) {
+      spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+      spec.tau = w.tau;
+    } else {
+      spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+      spec.eps = 0.2;
+    }
+    const double scan = karl::bench::MeasureScanThroughput(w, spec);
+    const double sota = karl::bench::MeasureWithConfig(
+        w, spec, karl::core::BoundKind::kSota, sota_cfg);
+    const double karl_auto = karl::bench::MeasureWithConfig(
+        w, spec, karl::core::BoundKind::kKarl, karl_cfg);
+    karl::bench::PrintTableRow(
+        {std::to_string(w.points.rows()), karl::bench::FormatQps(scan),
+         karl::bench::FormatQps(sota), karl::bench::FormatQps(karl_auto)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 11: throughput (q/s) on susy vs dataset size (scale "
+              "%.2f)\n\n",
+              karl::bench::BenchScale());
+  const karl::bench::Workload base =
+      karl::bench::MakeTypeIWorkload("susy", karl::bench::BenchQueries());
+
+  std::printf("(a) type I-tau, tau = mu:\n");
+  RunSweep(base, /*threshold_mode=*/true);
+
+  std::printf("(b) type I-eps, eps = 0.2:\n");
+  RunSweep(base, /*threshold_mode=*/false);
+  return 0;
+}

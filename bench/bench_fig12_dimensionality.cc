@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 12: throughput for query type I-τ (τ = μ) on the
+// mnist dataset while varying the dimensionality via PCA reduction
+// (d in {32, 64, 128, 256, 512, 784}). Methods: SCAN, SOTA_best,
+// KARL_auto.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/pca.h"
+#include "ml/kde.h"
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Fig. 12: type I-tau throughput (q/s) on mnist vs PCA "
+              "dimensionality (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+
+  const karl::bench::Workload base =
+      karl::bench::MakeTypeIWorkload("mnist", nq);
+  std::printf("fitting PCA on %zu x %zu ...\n", base.points.rows(),
+              base.points.cols());
+  auto pca = karl::data::PcaModel::Fit(base.points).ValueOrDie();
+
+  karl::bench::PrintTableHeader(
+      {"dim", "SCAN", "SOTA_best", "KARL_auto"});
+  for (const size_t dim : {32u, 64u, 128u, 256u, 512u, 784u}) {
+    if (dim > base.points.cols()) continue;
+    karl::bench::Workload w = base;
+    w.points = pca.Project(base.points, dim).ValueOrDie();
+    w.queries = pca.Project(base.queries, dim).ValueOrDie();
+    // Re-derive the bandwidth in the reduced space (as [15] does when
+    // reducing with PCA) and re-estimate τ = μ.
+    w.kernel = karl::core::KernelParams::Gaussian(
+        karl::ml::BandwidthToGamma(karl::ml::ScottBandwidth(w.points)));
+    std::vector<double> values;
+    for (size_t i = 0; i < std::min<size_t>(60, w.queries.rows()); ++i) {
+      values.push_back(karl::core::ExactAggregate(
+          w.points, w.weights, w.kernel, w.queries.Row(i)));
+    }
+    double mu = 0.0;
+    for (const double v : values) mu += v;
+    w.mu = w.tau = mu / static_cast<double>(values.size());
+
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+
+    const double scan = karl::bench::MeasureScanThroughput(w, spec);
+    const double sota = karl::bench::MeasureWithConfig(
+        w, spec, karl::core::BoundKind::kSota,
+        karl::bench::TuneConfigOnce(w, spec, karl::core::BoundKind::kSota));
+    const double karl_auto = karl::bench::MeasureWithConfig(
+        w, spec, karl::core::BoundKind::kKarl,
+        karl::bench::TuneConfigOnce(w, spec, karl::core::BoundKind::kKarl));
+    karl::bench::PrintTableRow(
+        {std::to_string(dim), karl::bench::FormatQps(scan),
+         karl::bench::FormatQps(sota), karl::bench::FormatQps(karl_auto)});
+  }
+  return 0;
+}

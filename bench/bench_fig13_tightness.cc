@@ -1,0 +1,142 @@
+// Reproduces paper Fig. 13: average tightness of the bound functions,
+//
+//   Error = (1/L)·Σ_l | Σ_{R ∈ level l} bound(q, R) − F_P(q) | / F_P(q)
+//
+// for the lower and upper bounds of SOTA and KARL over a kd-tree with
+// leaf capacity 80 (the paper's setting), on the Type-I, II and III
+// datasets. Lower is tighter.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "index/kd_tree.h"
+
+namespace {
+
+using karl::bench::Workload;
+using karl::core::BoundKind;
+
+struct TightnessResult {
+  double error_lb = 0.0;
+  double error_ub = 0.0;
+};
+
+// Average level-wise relative bound error over the workload's queries.
+// Type III splits into two positive trees, mirroring the engine.
+TightnessResult MeasureTightness(const Workload& w, BoundKind kind) {
+  // Split by weight sign.
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < w.weights.size(); ++i) {
+    (w.weights[i] >= 0.0 ? pos : neg).push_back(i);
+  }
+  std::vector<double> pw, nw;
+  for (const size_t i : pos) pw.push_back(w.weights[i]);
+  for (const size_t i : neg) nw.push_back(-w.weights[i]);
+  const karl::data::Matrix pp = w.points.SelectRows(pos);
+  auto ptree = karl::index::KdTree::Build(pp, pw, 80).ValueOrDie();
+  std::unique_ptr<karl::index::KdTree> ntree;
+  karl::data::Matrix np;
+  if (!neg.empty()) {
+    np = w.points.SelectRows(neg);
+    ntree = karl::index::KdTree::Build(np, nw, 80).ValueOrDie();
+  }
+
+  auto bounds = karl::core::MakeBoundFunction(w.kernel, kind).ValueOrDie();
+
+  // Per level l: frontier = nodes at depth l plus leaves at depth < l.
+  const auto level_bounds = [&](const karl::index::TreeIndex& tree,
+                                const karl::core::QueryContext& ctx,
+                                size_t level, double* lb, double* ub) {
+    double lb_sum = 0.0, ub_sum = 0.0;
+    for (size_t id = 0; id < tree.num_nodes(); ++id) {
+      const auto& nd = tree.node(id);
+      const bool frontier_member =
+          nd.depth == level || (nd.is_leaf() && nd.depth < level);
+      if (!frontier_member) continue;
+      double node_lb = 0.0, node_ub = 0.0;
+      bounds->NodeBounds(tree, static_cast<karl::index::NodeId>(id), ctx,
+                         &node_lb, &node_ub);
+      lb_sum += node_lb;
+      ub_sum += node_ub;
+    }
+    *lb = lb_sum;
+    *ub = ub_sum;
+  };
+
+  TightnessResult result;
+  size_t samples = 0;
+  const size_t query_count = std::min<size_t>(40, w.queries.rows());
+  const size_t levels =
+      std::max<size_t>(ptree->max_depth(),
+                       ntree != nullptr ? ntree->max_depth() : 0);
+
+  for (size_t qi = 0; qi < query_count; ++qi) {
+    const auto q = w.queries.Row(qi);
+    const karl::core::QueryContext ctx = karl::core::QueryContext::Make(q);
+    const double exact = karl::core::ExactAggregate(w.points, w.weights,
+                                                    w.kernel, q);
+    if (std::abs(exact) < 1e-12) continue;
+
+    for (size_t level = 1; level <= levels; ++level) {
+      double plb = 0.0, pub = 0.0;
+      level_bounds(*ptree, ctx,
+                   std::min(level, ptree->max_depth()), &plb, &pub);
+      double lb = plb, ub = pub;
+      if (ntree != nullptr) {
+        double nlb = 0.0, nub = 0.0;
+        level_bounds(*ntree, ctx,
+                     std::min(level, ntree->max_depth()), &nlb, &nub);
+        lb = plb - nub;
+        ub = pub - nlb;
+      }
+      result.error_lb += std::abs(lb - exact) / std::abs(exact);
+      result.error_ub += std::abs(ub - exact) / std::abs(exact);
+      ++samples;
+    }
+  }
+  if (samples > 0) {
+    result.error_lb /= static_cast<double>(samples);
+    result.error_ub /= static_cast<double>(samples);
+  }
+  return result;
+}
+
+void RunRow(const char* type_label, const Workload& w) {
+  const TightnessResult sota = MeasureTightness(w, BoundKind::kSota);
+  const TightnessResult karl_r = MeasureTightness(w, BoundKind::kKarl);
+  const auto fmt = [](double v) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3e", v);
+    return std::string(buffer);
+  };
+  karl::bench::PrintTableRow({type_label, w.dataset, fmt(sota.error_lb),
+                              fmt(karl_r.error_lb), fmt(sota.error_ub),
+                              fmt(karl_r.error_ub)});
+}
+
+}  // namespace
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Fig. 13: average bound tightness (lower = tighter), kd-tree "
+              "leaf capacity 80 (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+  karl::bench::PrintTableHeader({"type", "dataset", "ErrLB_SOTA",
+                                 "ErrLB_KARL", "ErrUB_SOTA", "ErrUB_KARL"});
+
+  for (const char* name : {"miniboone", "home", "susy"}) {
+    RunRow("I", karl::bench::MakeTypeIWorkload(name, nq));
+  }
+  for (const char* name : {"nsl-kdd", "kdd99", "covtype"}) {
+    RunRow("II", karl::bench::MakeTypeIIWorkload(name, nq));
+  }
+  for (const char* name : {"ijcnn1", "a9a", "covtype-b"}) {
+    RunRow("III", karl::bench::MakeTypeIIIWorkload(name, nq));
+  }
+  return 0;
+}

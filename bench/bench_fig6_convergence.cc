@@ -1,0 +1,93 @@
+// Reproduces paper Fig. 6: lower/upper bound values of SOTA and KARL
+// versus refinement iteration for a type I-τ query on the home dataset,
+// with the iteration at which each method terminates.
+//
+// Prints the two (lb, ub) series side by side plus the stopping
+// iterations — the paper's plot as a table.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/evaluator.h"
+
+namespace {
+
+struct Series {
+  std::vector<double> lb, ub;
+  size_t stop_iteration = 0;
+};
+
+Series TraceQuery(const karl::bench::Workload& w,
+                  karl::core::BoundKind bounds,
+                  std::span<const double> q, double tau) {
+  karl::EngineOptions options = karl::bench::DefaultOptions(w);
+  options.bounds = bounds;
+  auto engine = karl::Engine::Build(w.points, w.weights, options).ValueOrDie();
+
+  Series series;
+  karl::core::TraceFn trace = [&](size_t, double lb, double ub) {
+    series.lb.push_back(lb);
+    series.ub.push_back(ub);
+  };
+
+  // Stopping iteration: run the real TKAQ with the trace attached.
+  engine.evaluator().QueryThreshold(q, tau, nullptr, &trace);
+  series.stop_iteration = series.lb.empty() ? 0 : series.lb.size() - 1;
+
+  // Then extend the series to full convergence for the plot.
+  Series full;
+  karl::core::TraceFn full_trace = [&](size_t, double lb, double ub) {
+    full.lb.push_back(lb);
+    full.ub.push_back(ub);
+  };
+  double lb = 0.0, ub = 0.0;
+  engine.evaluator().RefineToConvergence(q, 1u << 22, &lb, &ub, &full_trace);
+  full.stop_iteration = series.stop_iteration;
+  return full;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 6: bound values vs iteration, type I-tau query, home "
+              "dataset (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+  const karl::bench::Workload w =
+      karl::bench::MakeTypeIWorkload("home", karl::bench::BenchQueries());
+  const auto qspan = w.queries.Row(0);
+  const std::vector<double> q(qspan.begin(), qspan.end());
+
+  const Series sota = TraceQuery(w, karl::core::BoundKind::kSota, q, w.tau);
+  const Series karl_series =
+      TraceQuery(w, karl::core::BoundKind::kKarl, q, w.tau);
+
+  std::printf("threshold tau = %.6g\n", w.tau);
+  std::printf("KARL stops at iteration %zu; SOTA stops at iteration %zu "
+              "(%.1fx fewer iterations)\n\n",
+              karl_series.stop_iteration, sota.stop_iteration,
+              sota.stop_iteration /
+                  std::max<double>(1.0, karl_series.stop_iteration));
+
+  karl::bench::PrintTableHeader(
+      {"iteration", "LB_SOTA", "UB_SOTA", "LB_KARL", "UB_KARL"});
+  const size_t total =
+      std::max(sota.lb.size(), karl_series.lb.size());
+  // ~24 sample rows across the full convergence horizon.
+  const size_t step = std::max<size_t>(1, total / 24);
+  for (size_t i = 0; i < total; i += step) {
+    const auto cell = [](const std::vector<double>& v, size_t i) {
+      // Series that already converged hold their final value.
+      if (v.empty()) return std::string("-");
+      const double value = i < v.size() ? v[i] : v.back();
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.5g", value);
+      return std::string(buffer);
+    };
+    karl::bench::PrintTableRow({std::to_string(i), cell(sota.lb, i),
+                                cell(sota.ub, i), cell(karl_series.lb, i),
+                                cell(karl_series.ub, i)});
+  }
+  return 0;
+}

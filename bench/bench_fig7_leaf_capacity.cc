@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 7: KARL's throughput for query type I-τ while
+// varying the leaf capacity (10..640) on the kd-tree and the ball-tree,
+// for the home and susy datasets. Shows why automatic tuning matters:
+// best/worst gaps of several x, with the optimum differing per dataset.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Fig. 7: KARL throughput (q/s) for type I-tau vs leaf "
+              "capacity (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+
+  for (const char* name : {"home", "susy"}) {
+    const karl::bench::Workload w =
+        karl::bench::MakeTypeIWorkload(name, nq);
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+
+    std::printf("dataset %s (n=%zu, d=%zu):\n", name, w.points.rows(),
+                w.points.cols());
+    karl::bench::PrintTableHeader(
+        {"leaf cap", "KARL_kd", "KARL_ball"});
+    double best = 0.0, worst = 1e300;
+    for (const size_t cap : {10, 20, 40, 80, 160, 320, 640}) {
+      karl::EngineOptions kd = karl::bench::DefaultOptions(w);
+      kd.leaf_capacity = cap;
+      kd.index_kind = karl::index::IndexKind::kKdTree;
+      const double kd_qps = karl::bench::MeasureEngineThroughput(w, spec, kd);
+
+      karl::EngineOptions ball = kd;
+      ball.index_kind = karl::index::IndexKind::kBallTree;
+      const double ball_qps =
+          karl::bench::MeasureEngineThroughput(w, spec, ball);
+
+      best = std::max({best, kd_qps, ball_qps});
+      worst = std::min({worst, kd_qps, ball_qps});
+      karl::bench::PrintTableRow({std::to_string(cap),
+                                  karl::bench::FormatQps(kd_qps),
+                                  karl::bench::FormatQps(ball_qps)});
+    }
+    std::printf("best/worst gap: %.1fx\n\n", best / worst);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 9: query throughput for type I-τ while varying
+// the threshold τ from μ−2σ to μ+4σ on miniboone, home and susy
+// (negative thresholds are skipped, as the paper does for miniboone).
+// Methods: SCAN, SOTA_best, KARL_auto.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Fig. 9: type I-tau throughput (q/s) vs threshold (scale "
+              "%.2f)\n\n",
+              karl::bench::BenchScale());
+
+  const std::vector<std::pair<std::string, double>> offsets = {
+      {"mu-2s", -2.0}, {"mu-1s", -1.0}, {"mu", 0.0},   {"mu+1s", 1.0},
+      {"mu+2s", 2.0},  {"mu+3s", 3.0},  {"mu+4s", 4.0}};
+
+  for (const char* name : {"miniboone", "home", "susy"}) {
+    const karl::bench::Workload w = karl::bench::MakeTypeIWorkload(name, nq);
+    std::printf("dataset %s (mu=%.4g, sigma=%.4g):\n", name, w.mu, w.sigma);
+    karl::bench::PrintTableHeader(
+        {"tau", "SCAN", "SOTA_best", "KARL_auto"});
+
+    // Tune once at τ = μ and reuse the configs across the sweep.
+    karl::core::QuerySpec tune_spec;
+    tune_spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    tune_spec.tau = w.mu;
+    const auto sota_cfg = karl::bench::TuneConfigOnce(
+        w, tune_spec, karl::core::BoundKind::kSota);
+    const auto karl_cfg = karl::bench::TuneConfigOnce(
+        w, tune_spec, karl::core::BoundKind::kKarl);
+
+    for (const auto& [label, k] : offsets) {
+      const double tau = w.mu + k * w.sigma;
+      if (tau <= 0.0) {
+        karl::bench::PrintTableRow({label, "skip", "skip", "skip"});
+        continue;  // Paper skips negative thresholds (μ−σ, μ−2σ on miniboone).
+      }
+      karl::core::QuerySpec spec;
+      spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+      spec.tau = tau;
+      const double scan = karl::bench::MeasureScanThroughput(w, spec);
+      const double sota = karl::bench::MeasureWithConfig(
+          w, spec, karl::core::BoundKind::kSota, sota_cfg);
+      const double karl_auto = karl::bench::MeasureWithConfig(
+          w, spec, karl::core::BoundKind::kKarl, karl_cfg);
+      karl::bench::PrintTableRow({label, karl::bench::FormatQps(scan),
+                                  karl::bench::FormatQps(sota),
+                                  karl::bench::FormatQps(karl_auto)});
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+// google-benchmark micro-benchmarks for the library's hot primitives:
+// kernel evaluation, node-bound computation (SOTA vs KARL), tree
+// construction, and single queries. Not a paper table — these guard
+// against performance regressions in the building blocks.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/karl.h"
+#include "data/synthetic.h"
+#include "index/ball_tree.h"
+#include "index/kd_tree.h"
+#include "util/rng.h"
+
+namespace {
+
+using karl::core::BoundKind;
+using karl::core::KernelParams;
+
+karl::data::Matrix MakePoints(size_t n, size_t d) {
+  karl::util::Rng rng(5);
+  return karl::data::SampleClustered(n, d, 4, 0.06, rng);
+}
+
+void BM_KernelValueGaussian(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(2, d);
+  const auto kernel = KernelParams::Gaussian(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        karl::core::KernelValue(kernel, pts.Row(0), pts.Row(1)));
+  }
+}
+BENCHMARK(BM_KernelValueGaussian)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_KernelValuePolynomial(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(2, d);
+  const auto kernel = KernelParams::Polynomial(0.1, 0.0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        karl::core::KernelValue(kernel, pts.Row(0), pts.Row(1)));
+  }
+}
+BENCHMARK(BM_KernelValuePolynomial)->Arg(10)->Arg(50);
+
+template <BoundKind kKind>
+void BM_GaussianNodeBounds(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(4096, d);
+  const std::vector<double> weights(pts.rows(), 1.0);
+  auto tree = karl::index::KdTree::Build(pts, weights, 64).ValueOrDie();
+  const auto kernel = KernelParams::Gaussian(4.0);
+  auto bounds = karl::core::MakeBoundFunction(kernel, kKind).ValueOrDie();
+  const std::vector<double> q(d, 0.5);
+  const auto ctx = karl::core::QueryContext::Make(q);
+  double lb = 0.0, ub = 0.0;
+  for (auto _ : state) {
+    bounds->NodeBounds(*tree, tree->root(), ctx, &lb, &ub);
+    benchmark::DoNotOptimize(lb);
+    benchmark::DoNotOptimize(ub);
+  }
+}
+BENCHMARK(BM_GaussianNodeBounds<BoundKind::kSota>)->Arg(10)->Arg(50);
+BENCHMARK(BM_GaussianNodeBounds<BoundKind::kKarl>)->Arg(10)->Arg(50);
+
+template <BoundKind kKind>
+void BM_SigmoidNodeBounds(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(4096, d);
+  const std::vector<double> weights(pts.rows(), 1.0);
+  auto tree = karl::index::KdTree::Build(pts, weights, 64).ValueOrDie();
+  const auto kernel = KernelParams::Sigmoid(0.5, -0.2);
+  auto bounds = karl::core::MakeBoundFunction(kernel, kKind).ValueOrDie();
+  const std::vector<double> q(d, 0.5);
+  const auto ctx = karl::core::QueryContext::Make(q);
+  double lb = 0.0, ub = 0.0;
+  for (auto _ : state) {
+    bounds->NodeBounds(*tree, tree->root(), ctx, &lb, &ub);
+    benchmark::DoNotOptimize(lb);
+  }
+}
+BENCHMARK(BM_SigmoidNodeBounds<BoundKind::kSota>)->Arg(20);
+BENCHMARK(BM_SigmoidNodeBounds<BoundKind::kKarl>)->Arg(20);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 18);
+  const std::vector<double> weights(pts.rows(), 1.0);
+  for (auto _ : state) {
+    auto tree = karl::index::KdTree::Build(pts, weights, 80).ValueOrDie();
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_BallTreeBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 18);
+  const std::vector<double> weights(pts.rows(), 1.0);
+  for (auto _ : state) {
+    auto tree = karl::index::BallTree::Build(pts, weights, 80).ValueOrDie();
+    benchmark::DoNotOptimize(tree->num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BallTreeBuild)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+template <BoundKind kKind>
+void BM_TkaqQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 18);
+  karl::EngineOptions options;
+  options.kernel = KernelParams::Gaussian(8.0);
+  options.bounds = kKind;
+  auto engine = karl::Engine::BuildUniform(pts, 1.0, options).ValueOrDie();
+  const std::vector<double> q(18, 0.5);
+  const double tau = engine.Exact(q) * 1.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Tkaq(q, tau));
+  }
+}
+BENCHMARK(BM_TkaqQuery<BoundKind::kSota>)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TkaqQuery<BoundKind::kKarl>)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_ExactScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 18);
+  const std::vector<double> weights(pts.rows(), 1.0);
+  const auto kernel = KernelParams::Gaussian(8.0);
+  const std::vector<double> q(18, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        karl::core::ExactAggregate(pts, weights, kernel, q));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExactScan)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

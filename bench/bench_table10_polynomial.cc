@@ -1,0 +1,44 @@
+// Reproduces paper Table X: query throughput with the polynomial kernel
+// (degree 3, LIBSVM default), data normalised to [−1,1]^d, for query
+// types II-τ and III-τ. Methods: baseline (scan), SOTA_best, KARL_auto.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+void RunRow(const char* type_label, const karl::bench::Workload& w) {
+  karl::core::QuerySpec spec;
+  spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+  spec.tau = w.tau;
+
+  const double baseline = karl::bench::MeasureScanThroughput(w, spec);
+  const double sota = karl::bench::MeasureBestOverGrid(
+      w, spec, karl::core::BoundKind::kSota);
+  const double karl_auto = karl::bench::MeasureKarlAuto(w, spec);
+  karl::bench::PrintTableRow(
+      {type_label, w.dataset, karl::bench::FormatQps(baseline),
+       karl::bench::FormatQps(sota), karl::bench::FormatQps(karl_auto),
+       karl::bench::FormatQps(karl_auto / std::max(sota, 1e-9)) + "x"});
+}
+
+}  // namespace
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Table X: polynomial kernel (degree 3) throughput (q/s), "
+              "data in [-1,1]^d (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+  karl::bench::PrintTableHeader({"type", "dataset", "baseline", "SOTA_best",
+                                 "KARL_auto", "KARL/SOTA"});
+
+  for (const char* name : {"nsl-kdd", "kdd99", "covtype"}) {
+    RunRow("II-tau", karl::bench::MakePolynomialWorkload(name, 2, nq));
+  }
+  for (const char* name : {"ijcnn1", "a9a", "covtype-b"}) {
+    RunRow("III-tau", karl::bench::MakePolynomialWorkload(name, 3, nq));
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces paper Table VIII: query throughput of KARL_worst, KARL_auto
+// and KARL_best — showing the offline tuner (sampled queries, §III-C)
+// recommends a configuration close to the true optimum.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/rng.h"
+
+namespace {
+
+using karl::bench::Workload;
+
+void RunRow(const char* type_label, const Workload& w,
+            const karl::core::QuerySpec& spec) {
+  // Measure every grid configuration on the FULL query set to get the
+  // true best and worst.
+  double best = 0.0, worst = 1e300;
+  std::vector<std::pair<karl::core::IndexConfig, double>> measured;
+  for (const auto& config : karl::core::DefaultTuningGrid()) {
+    karl::EngineOptions options = karl::bench::DefaultOptions(w);
+    options.index_kind = config.kind;
+    options.leaf_capacity = config.leaf_capacity;
+    const double qps =
+        karl::bench::MeasureEngineThroughput(w, spec, options);
+    best = std::max(best, qps);
+    worst = std::min(worst, qps);
+  }
+
+  // KARL_auto: tune on a sample, then measure the recommendation on the
+  // full set.
+  const double auto_qps = karl::bench::MeasureKarlAuto(w, spec);
+
+  karl::bench::PrintTableRow(
+      {type_label, w.dataset, karl::bench::FormatQps(worst),
+       karl::bench::FormatQps(auto_qps), karl::bench::FormatQps(best),
+       karl::bench::FormatQps(100.0 * auto_qps / best) + "%"});
+}
+
+}  // namespace
+
+int main() {
+  const size_t nq = karl::bench::BenchQueries();
+  std::printf("Table VIII: KARL_worst / KARL_auto / KARL_best throughput "
+              "(q/s), offline tuning on sampled queries (scale %.2f)\n\n",
+              karl::bench::BenchScale());
+  karl::bench::PrintTableHeader({"type", "dataset", "KARL_worst",
+                                 "KARL_auto", "KARL_best", "auto/best"});
+
+  for (const char* name : {"miniboone", "home", "susy"}) {
+    const Workload w = karl::bench::MakeTypeIWorkload(name, nq);
+    karl::core::QuerySpec eps_spec;
+    eps_spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+    eps_spec.eps = 0.2;
+    RunRow("I-eps", w, eps_spec);
+
+    karl::core::QuerySpec tau_spec;
+    tau_spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    tau_spec.tau = w.tau;
+    RunRow("I-tau", w, tau_spec);
+  }
+  for (const char* name : {"nsl-kdd", "kdd99", "covtype"}) {
+    const Workload w = karl::bench::MakeTypeIIWorkload(name, nq);
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+    RunRow("II-tau", w, spec);
+  }
+  for (const char* name : {"ijcnn1", "a9a", "covtype-b"}) {
+    const Workload w = karl::bench::MakeTypeIIIWorkload(name, nq);
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+    RunRow("III-tau", w, spec);
+  }
+  return 0;
+}

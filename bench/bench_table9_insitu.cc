@@ -1,0 +1,98 @@
+// Reproduces paper Table IX: in-situ (online learning) end-to-end
+// throughput, where index construction and tuning time count. Methods:
+// baseline (no index, sequential scan), SOTA_insitu (online-tuned kd-tree
+// with SOTA bounds), KARL_insitu (same with KARL bounds).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using karl::bench::Workload;
+
+double BaselineEndToEnd(const Workload& w, const karl::core::QuerySpec& spec) {
+  karl::util::Stopwatch timer;
+  volatile double sink = 0.0;
+  for (size_t i = 0; i < w.queries.rows(); ++i) {
+    const double f = karl::core::ExactAggregate(w.points, w.weights, w.kernel,
+                                                w.queries.Row(i));
+    sink = spec.kind == karl::core::QuerySpec::Kind::kThreshold
+               ? (f > spec.tau ? 1.0 : 0.0)
+               : f;
+  }
+  (void)sink;
+  return static_cast<double>(w.queries.rows()) /
+         std::max(timer.ElapsedSeconds(), 1e-9);
+}
+
+double InsituEndToEnd(const Workload& w, const karl::core::QuerySpec& spec,
+                      karl::core::BoundKind bounds) {
+  karl::EngineOptions base = karl::bench::DefaultOptions(w);
+  base.bounds = bounds;
+  auto result = karl::core::InsituRun(w.points, w.weights, base, w.queries,
+                                      spec, /*sample_fraction=*/0.05);
+  if (!result.ok()) {
+    std::fprintf(stderr, "in-situ run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result.value().end_to_end_throughput;
+}
+
+void RunRow(const char* type_label, const Workload& w,
+            const karl::core::QuerySpec& spec) {
+  const double baseline = BaselineEndToEnd(w, spec);
+  const double sota = InsituEndToEnd(w, spec, karl::core::BoundKind::kSota);
+  const double karl_insitu =
+      InsituEndToEnd(w, spec, karl::core::BoundKind::kKarl);
+  karl::bench::PrintTableRow(
+      {type_label, w.dataset, karl::bench::FormatQps(baseline),
+       karl::bench::FormatQps(sota), karl::bench::FormatQps(karl_insitu),
+       karl::bench::FormatQps(karl_insitu / std::max(baseline, 1e-9)) + "x"});
+}
+
+}  // namespace
+
+int main() {
+  // In-situ amortises the build over the query batch; the paper runs 10k
+  // queries. Use a batch several times the usual bench query count.
+  const size_t nq = karl::bench::BenchQueries() * 8;
+  std::printf("Table IX: in-situ end-to-end throughput (q/s), index build "
+              "+ tuning + queries all on the clock, %zu queries "
+              "(scale %.2f)\n\n",
+              nq, karl::bench::BenchScale());
+  karl::bench::PrintTableHeader({"type", "dataset", "baseline",
+                                 "SOTA_insitu", "KARL_insitu",
+                                 "KARL/base"});
+
+  for (const char* name : {"miniboone", "home", "susy"}) {
+    const Workload w = karl::bench::MakeTypeIWorkload(name, nq);
+    karl::core::QuerySpec eps_spec;
+    eps_spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+    eps_spec.eps = 0.2;
+    RunRow("I-eps", w, eps_spec);
+
+    karl::core::QuerySpec tau_spec;
+    tau_spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    tau_spec.tau = w.tau;
+    RunRow("I-tau", w, tau_spec);
+  }
+  for (const char* name : {"nsl-kdd", "kdd99", "covtype"}) {
+    const Workload w = karl::bench::MakeTypeIIWorkload(name, nq);
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+    RunRow("II-tau", w, spec);
+  }
+  for (const char* name : {"ijcnn1", "a9a", "covtype-b"}) {
+    const Workload w = karl::bench::MakeTypeIIIWorkload(name, nq);
+    karl::core::QuerySpec spec;
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+    RunRow("III-tau", w, spec);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Kernel regression + multi-class classification — the paper's §VII
+// future-work directions, built on KARL engines.
+//
+// Part 1: Nadaraya–Watson regression of a nonlinear response surface,
+// comparing KARL-accelerated predictions against exact scans.
+// Part 2: one-vs-one multi-class kernel SVM whose pairwise votes run as
+// TKAQs.
+//
+//   $ ./kernel_regression_forecast
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ml/multiclass.h"
+#include "ml/regression.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+int main() {
+  karl::util::Rng rng(41);
+
+  // ---- Part 1: kernel regression --------------------------------------
+  // Response surface: energy demand as a nonlinear function of two
+  // normalised drivers (temperature, hour-of-day).
+  const size_t n = 20000;
+  karl::data::Matrix drivers = karl::data::SampleUniform(n, 2, 0.0, 1.0, rng);
+  std::vector<double> demand(n);
+  for (size_t i = 0; i < n; ++i) {
+    demand[i] = 50.0 + 30.0 * std::sin(2.0 * M_PI * drivers(i, 1)) +
+                20.0 * (drivers(i, 0) - 0.5) * (drivers(i, 0) - 0.5) +
+                rng.Gaussian(0.0, 1.0);
+  }
+
+  karl::EngineOptions options;
+  options.leaf_capacity = 80;
+  auto reg = karl::ml::KernelRegression::Fit(drivers, demand, options,
+                                             /*gamma=*/400.0);
+  if (!reg.ok()) {
+    std::fprintf(stderr, "regression fit failed: %s\n",
+                 reg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("kernel regression fitted on %zu observations (gamma=%.0f)\n",
+              n, reg.value().gamma());
+
+  // Predict along an hour-of-day sweep at fixed temperature.
+  std::printf("\n  hour   truth   KARL-predicted\n");
+  double worst = 0.0;
+  for (int hour = 0; hour < 8; ++hour) {
+    const double x1 = (hour + 0.5) / 8.0;
+    const std::vector<double> q{0.3, x1};
+    const double truth =
+        50.0 + 30.0 * std::sin(2.0 * M_PI * x1) + 20.0 * 0.04;
+    const double predicted = reg.value().Predict(q, 0.05);
+    worst = std::max(worst, std::abs(predicted - truth));
+    std::printf("  %4.2f  %6.2f   %6.2f\n", x1, truth, predicted);
+  }
+  std::printf("max |error| vs noiseless truth: %.2f\n", worst);
+
+  // Speed: approximate vs exact prediction.
+  karl::util::Stopwatch fast_timer;
+  volatile double sink = 0.0;
+  const int kProbes = 400;
+  for (int i = 0; i < kProbes; ++i) {
+    const std::vector<double> q{rng.Uniform(), rng.Uniform()};
+    sink = reg.value().Predict(q, 0.05);
+  }
+  const double fast = fast_timer.ElapsedSeconds();
+  karl::util::Stopwatch exact_timer;
+  for (int i = 0; i < kProbes; ++i) {
+    const std::vector<double> q{rng.Uniform(), rng.Uniform()};
+    sink = reg.value().PredictExact(q);
+  }
+  const double exact = exact_timer.ElapsedSeconds();
+  (void)sink;
+  std::printf("prediction throughput: %.0f/s approximate vs %.0f/s exact "
+              "(%.1fx)\n",
+              kProbes / fast, kProbes / exact, exact / fast);
+
+  // ---- Part 2: multi-class SVM ----------------------------------------
+  // Three operating regimes (classes) in a 4-d feature space.
+  karl::data::LabeledDataset regimes;
+  regimes.points = karl::data::Matrix(0, 4);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 120; ++i) {
+      std::vector<double> p(4);
+      for (auto& v : p) v = rng.Gaussian(0.2 + 0.3 * c, 0.06);
+      regimes.points.AppendRow(p);
+      regimes.labels.push_back(c);
+    }
+  }
+  auto svm = karl::ml::MulticlassSvm::Train(
+      regimes, karl::core::KernelParams::Gaussian(4.0),
+      karl::ml::TwoClassSvmParams{});
+  if (!svm.ok()) {
+    std::fprintf(stderr, "multiclass training failed: %s\n",
+                 svm.status().ToString().c_str());
+    return 1;
+  }
+  karl::ml::MulticlassSvm classifier = std::move(svm).ValueOrDie();
+  std::printf("\nmulticlass SVM: %zu pairwise models, train accuracy "
+              "%.1f%%\n",
+              classifier.models().size(),
+              100.0 * classifier.Accuracy(regimes.points, regimes.labels));
+
+  if (auto st = classifier.BuildEngines(options); !st.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  size_t mismatches = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    mismatches += classifier.PredictFast(q) != classifier.PredictScan(q);
+  }
+  std::printf("TKAQ-vote predictions vs scan predictions: %zu/200 "
+              "mismatches\n",
+              mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

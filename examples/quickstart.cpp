@@ -1,0 +1,60 @@
+// Quickstart: build a KARL engine over a small weighted point set and run
+// the three query flavours (exact, TKAQ, eKAQ).
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "core/karl.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+int main() {
+  // 1. Some clustered data in [0,1]^4 (stand in your own matrix here).
+  karl::util::Rng rng(7);
+  const karl::data::Matrix points =
+      karl::data::SampleClustered(/*n=*/20000, /*d=*/4, /*k=*/3,
+                                  /*cluster_stddev=*/0.05, rng);
+
+  // 2. Build the engine: Gaussian kernel, KARL bounds, kd-tree index.
+  karl::EngineOptions options;
+  options.kernel = karl::core::KernelParams::Gaussian(/*gamma=*/8.0);
+  options.bounds = karl::core::BoundKind::kKarl;
+  options.index_kind = karl::index::IndexKind::kKdTree;
+  options.leaf_capacity = 80;
+
+  auto built = karl::Engine::BuildUniform(points, /*common_weight=*/1.0,
+                                          options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const karl::Engine& engine = built.value();
+  std::printf("engine built: %zu points, %s weighting, %.1f MiB index\n",
+              points.rows(),
+              std::string(WeightingTypeToString(engine.weighting_type()))
+                  .c_str(),
+              engine.MemoryUsageBytes() / (1024.0 * 1024.0));
+
+  // 3. Query it.
+  const std::vector<double> q{0.45, 0.5, 0.55, 0.5};
+
+  const double exact = engine.Exact(q);
+  std::printf("exact   F_P(q)            = %.6f\n", exact);
+
+  karl::core::EvalStats stats;
+  const double approx = engine.Ekaq(q, /*eps=*/0.1, &stats);
+  std::printf("eKAQ    F (eps=0.1)       = %.6f  (%zu iterations, %zu "
+              "kernel evals vs %zu for a scan)\n",
+              approx, stats.iterations, stats.kernel_evals, points.rows());
+
+  const double tau = exact * 1.5;
+  stats = {};
+  const bool above = engine.Tkaq(q, tau, &stats);
+  std::printf("TKAQ    F > %.4f ?       = %s  (%zu iterations)\n", tau,
+              above ? "yes" : "no", stats.iterations);
+
+  return 0;
+}

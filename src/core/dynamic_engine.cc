@@ -1,0 +1,153 @@
+#include "core/dynamic_engine.h"
+
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "util/math_util.h"
+
+namespace karl::core {
+
+util::Result<DynamicEngine> DynamicEngine::Create(size_t dimensions,
+                                                  const Options& options) {
+  if (dimensions == 0) {
+    return util::Status::InvalidArgument("dimensionality must be positive");
+  }
+  if (options.rebuild_fraction <= 0.0 || options.rebuild_fraction > 1.0) {
+    return util::Status::InvalidArgument(
+        "rebuild_fraction must be in (0, 1]");
+  }
+  KARL_RETURN_NOT_OK(options.engine.kernel.Validate());
+  DynamicEngine engine;
+  engine.options_ = options;
+  engine.dimensions_ = dimensions;
+  return engine;
+}
+
+util::Result<PointId> DynamicEngine::Insert(std::span<const double> point,
+                                            double weight) {
+  if (point.size() != dimensions_) {
+    return util::Status::InvalidArgument(
+        "point dimensionality " + std::to_string(point.size()) +
+        " does not match engine dimensionality " +
+        std::to_string(dimensions_));
+  }
+  if (weight == 0.0) {
+    return util::Status::InvalidArgument("weight must be non-zero");
+  }
+  const PointId id = next_id_++;
+  StoredPoint stored;
+  stored.values.assign(point.begin(), point.end());
+  stored.weight = weight;
+  stored.alive = true;
+  stored.indexed = false;
+  points_.emplace(id, std::move(stored));
+  buffer_ids_.push_back(id);
+  ++live_count_;
+  MaybeRebuild();
+  return id;
+}
+
+util::Status DynamicEngine::Remove(PointId id) {
+  auto it = points_.find(id);
+  if (it == points_.end() || !it->second.alive) {
+    return util::Status::NotFound("no live point with id " +
+                                  std::to_string(id));
+  }
+  it->second.alive = false;
+  --live_count_;
+  if (it->second.indexed) {
+    tombstones_.push_back(id);
+  } else {
+    // Drop from the pending buffer; O(|buffer|) but buffers are small by
+    // construction.
+    for (size_t i = 0; i < buffer_ids_.size(); ++i) {
+      if (buffer_ids_[i] == id) {
+        buffer_ids_[i] = buffer_ids_.back();
+        buffer_ids_.pop_back();
+        break;
+      }
+    }
+    points_.erase(it);
+  }
+  MaybeRebuild();
+  return util::Status::OK();
+}
+
+double DynamicEngine::DeltaAggregate(std::span<const double> q) const {
+  util::KahanAccumulator acc;
+  const auto& kernel = options_.engine.kernel;
+  for (const PointId id : buffer_ids_) {
+    const StoredPoint& p = points_.at(id);
+    acc.Add(p.weight * KernelValue(kernel, q, p.values));
+  }
+  for (const PointId id : tombstones_) {
+    const StoredPoint& p = points_.at(id);
+    acc.Add(-p.weight * KernelValue(kernel, q, p.values));
+  }
+  return acc.Total();
+}
+
+bool DynamicEngine::Tkaq(std::span<const double> q, double tau) const {
+  // F = F_indexed + delta, computed exactly for the delta; the indexed
+  // part answers the shifted threshold.
+  const double delta = DeltaAggregate(q);
+  if (snapshot_ == nullptr) return delta > tau;
+  return snapshot_->Tkaq(q, tau - delta);
+}
+
+double DynamicEngine::Ekaq(std::span<const double> q, double eps) const {
+  const double delta = DeltaAggregate(q);
+  if (snapshot_ == nullptr) return delta;
+  return snapshot_->Ekaq(q, eps) + delta;
+}
+
+double DynamicEngine::Exact(std::span<const double> q) const {
+  const double delta = DeltaAggregate(q);
+  if (snapshot_ == nullptr) return delta;
+  return snapshot_->Exact(q) + delta;
+}
+
+void DynamicEngine::MaybeRebuild() {
+  const size_t delta = delta_size();
+  if (snapshot_ == nullptr) {
+    if (live_count_ >= options_.min_index_size) Rebuild();
+    return;
+  }
+  if (static_cast<double>(delta) >
+      options_.rebuild_fraction * static_cast<double>(snapshot_size_)) {
+    Rebuild();
+  }
+}
+
+void DynamicEngine::Rebuild() {
+  if (live_count_ < options_.min_index_size) return;
+
+  data::Matrix points(0, dimensions_);
+  std::vector<double> weights;
+  std::vector<PointId> live_ids;
+  weights.reserve(live_count_);
+  live_ids.reserve(live_count_);
+  for (const auto& [id, stored] : points_) {
+    if (!stored.alive) continue;
+    points.AppendRow(stored.values);
+    weights.push_back(stored.weight);
+    live_ids.push_back(id);
+  }
+
+  auto engine = Engine::Build(points, weights, options_.engine);
+  // Build fails only when no live weight is positive (Engine requires a
+  // non-empty positive side); keep the current snapshot + delta state in
+  // that case — queries remain correct, just unaccelerated.
+  if (!engine.ok()) return;
+
+  // Commit: flip index flags, drop fully-dead entries, reset the delta.
+  for (const PointId id : live_ids) points_.at(id).indexed = true;
+  for (const PointId id : tombstones_) points_.erase(id);
+  tombstones_.clear();
+  buffer_ids_.clear();
+  snapshot_ = std::make_unique<Engine>(std::move(engine).ValueOrDie());
+  snapshot_size_ = weights.size();
+  ++rebuild_count_;
+}
+
+}  // namespace karl::core

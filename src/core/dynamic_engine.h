@@ -1,0 +1,111 @@
+// Mutable kernel-aggregation engine for online kernel learning (paper §I,
+// research issue 4: "the model would be updated frequently").
+//
+// Inserts land in an unindexed delta buffer that queries scan exactly;
+// removals of indexed points become tombstones whose contribution is
+// subtracted exactly. When the delta state outgrows a configurable
+// fraction of the indexed snapshot, the index is rebuilt over the live
+// points. Every query is therefore answered against the *current*
+// multiset, with the indexed bulk pruned by KARL bounds and only the
+// recent churn paid for linearly.
+
+#ifndef KARL_CORE_DYNAMIC_ENGINE_H_
+#define KARL_CORE_DYNAMIC_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/karl.h"
+#include "util/status.h"
+
+namespace karl::core {
+
+/// Stable identifier of an inserted point.
+using PointId = uint64_t;
+
+/// Mutable engine over a weighted point multiset.
+class DynamicEngine {
+ public:
+  struct Options {
+    EngineOptions engine;
+    /// Rebuild when (buffered inserts + tombstones) exceeds this fraction
+    /// of the indexed snapshot size. In (0, 1]; default 0.25.
+    double rebuild_fraction = 0.25;
+    /// Snapshot size below which no index is kept (pure scanning).
+    size_t min_index_size = 256;
+  };
+
+  /// Creates an engine of dimensionality `dimensions`, optionally seeded
+  /// with an initial batch. Weights may be any sign but not zero.
+  static util::Result<DynamicEngine> Create(size_t dimensions,
+                                            const Options& options);
+
+  DynamicEngine(DynamicEngine&&) = default;
+  DynamicEngine& operator=(DynamicEngine&&) = default;
+
+  /// Inserts a point; returns its stable id. Fails on dimension mismatch
+  /// or zero weight.
+  util::Result<PointId> Insert(std::span<const double> point, double weight);
+
+  /// Removes a previously inserted point. Fails if the id is unknown or
+  /// already removed.
+  util::Status Remove(PointId id);
+
+  /// TKAQ over the current multiset: F(q) > tau?
+  bool Tkaq(std::span<const double> q, double tau) const;
+
+  /// εKAQ over the current multiset. The delta buffer and tombstones are
+  /// aggregated exactly, so the relative-error guarantee applies to the
+  /// indexed portion (the exact delta adds no error of its own).
+  double Ekaq(std::span<const double> q, double eps) const;
+
+  /// Exact F(q) over the current multiset.
+  double Exact(std::span<const double> q) const;
+
+  /// Number of live points.
+  size_t size() const { return live_count_; }
+
+  /// Points currently answered by linear scanning (buffer + tombstones).
+  size_t delta_size() const {
+    return buffer_ids_.size() + tombstones_.size();
+  }
+
+  /// Total index rebuilds performed so far.
+  size_t rebuild_count() const { return rebuild_count_; }
+
+ private:
+  DynamicEngine() = default;
+
+  struct StoredPoint {
+    std::vector<double> values;
+    double weight = 0.0;
+    bool alive = false;
+    bool indexed = false;  // Lives in the current snapshot engine.
+  };
+
+  // Exact aggregate of the un-indexed delta: + buffered inserts,
+  // − tombstoned snapshot points.
+  double DeltaAggregate(std::span<const double> q) const;
+
+  // Rebuilds the snapshot engine over all live points if the delta has
+  // outgrown the configured fraction.
+  void MaybeRebuild();
+  void Rebuild();
+
+  Options options_;
+  size_t dimensions_ = 0;
+  std::unordered_map<PointId, StoredPoint> points_;
+  PointId next_id_ = 0;
+  size_t live_count_ = 0;
+
+  std::unique_ptr<Engine> snapshot_;  // Null when below min_index_size.
+  size_t snapshot_size_ = 0;
+  std::vector<PointId> buffer_ids_;      // Live, not yet indexed.
+  std::vector<PointId> tombstones_;      // Removed but still indexed.
+  size_t rebuild_count_ = 0;
+};
+
+}  // namespace karl::core
+
+#endif  // KARL_CORE_DYNAMIC_ENGINE_H_

@@ -1,0 +1,150 @@
+#include "core/engine_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace karl::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'A', 'R', 'L'};
+constexpr uint32_t kFormatVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+bool ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+util::Status WriteEngineModel(std::ostream& out, const EngineModel& model) {
+  if (model.weights.size() != model.points.rows()) {
+    return util::Status::InvalidArgument(
+        "weight count does not match point count");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kFormatVersion);
+
+  // Options.
+  WriteU32(out, static_cast<uint32_t>(model.options.kernel.type));
+  WriteF64(out, model.options.kernel.gamma);
+  WriteF64(out, model.options.kernel.beta);
+  WriteU32(out, static_cast<uint32_t>(model.options.kernel.degree));
+  WriteU32(out, static_cast<uint32_t>(model.options.bounds));
+  WriteU32(out, static_cast<uint32_t>(model.options.index_kind));
+  WriteU64(out, model.options.leaf_capacity);
+
+  // Data.
+  WriteU64(out, model.points.rows());
+  WriteU64(out, model.points.cols());
+  const auto& values = model.points.values();
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(model.weights.data()),
+            static_cast<std::streamsize>(model.weights.size() *
+                                         sizeof(double)));
+  if (!out) return util::Status::IOError("engine model write failed");
+  return util::Status::OK();
+}
+
+util::Result<EngineModel> ReadEngineModel(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("not a KARL engine model file");
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version) || version != kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported engine model format version");
+  }
+
+  EngineModel model;
+  uint32_t kernel_type = 0, degree = 0, bounds = 0, index_kind = 0;
+  uint64_t leaf_capacity = 0;
+  if (!ReadU32(in, &kernel_type) || !ReadF64(in, &model.options.kernel.gamma) ||
+      !ReadF64(in, &model.options.kernel.beta) || !ReadU32(in, &degree) ||
+      !ReadU32(in, &bounds) || !ReadU32(in, &index_kind) ||
+      !ReadU64(in, &leaf_capacity)) {
+    return util::Status::InvalidArgument("truncated engine model header");
+  }
+  if (kernel_type > static_cast<uint32_t>(KernelType::kSigmoid) ||
+      bounds > static_cast<uint32_t>(BoundKind::kKarlTangentOnly) ||
+      index_kind > static_cast<uint32_t>(index::IndexKind::kBallTree)) {
+    return util::Status::InvalidArgument("corrupt engine model header");
+  }
+  model.options.kernel.type = static_cast<KernelType>(kernel_type);
+  model.options.kernel.degree = static_cast<int>(degree);
+  model.options.bounds = static_cast<BoundKind>(bounds);
+  model.options.index_kind = static_cast<index::IndexKind>(index_kind);
+  model.options.leaf_capacity = leaf_capacity;
+
+  uint64_t rows = 0, cols = 0;
+  if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+    return util::Status::InvalidArgument("truncated engine model header");
+  }
+  // Sanity cap: refuse absurd allocations from corrupt headers.
+  if (cols == 0 || rows > (1ull << 40) / std::max<uint64_t>(1, cols)) {
+    return util::Status::InvalidArgument("corrupt engine model dimensions");
+  }
+
+  std::vector<double> values(rows * cols);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  model.weights.resize(rows);
+  in.read(reinterpret_cast<char*>(model.weights.data()),
+          static_cast<std::streamsize>(rows * sizeof(double)));
+  if (!in.good()) {
+    return util::Status::InvalidArgument("truncated engine model data");
+  }
+  model.points = data::Matrix(rows, cols, std::move(values));
+  return model;
+}
+
+util::Status SaveEngineModel(const std::string& path,
+                             const EngineModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return util::Status::IOError("cannot open " + path + " for writing: " +
+                                 std::strerror(errno));
+  }
+  return WriteEngineModel(out, model);
+}
+
+util::Result<EngineModel> LoadEngineModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  return ReadEngineModel(in);
+}
+
+util::Result<Engine> LoadEngine(const std::string& path) {
+  auto model = LoadEngineModel(path);
+  if (!model.ok()) return model.status();
+  return Engine::Build(model.value().points, model.value().weights,
+                       model.value().options);
+}
+
+}  // namespace karl::core

@@ -1,0 +1,44 @@
+// Engine persistence: save a built engine's model (kernel, index
+// configuration, points, weights) to a compact binary file and restore
+// it later. Index construction is deterministic, so the restored engine
+// answers queries identically to the saved one.
+
+#ifndef KARL_CORE_ENGINE_IO_H_
+#define KARL_CORE_ENGINE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/karl.h"
+#include "util/status.h"
+
+namespace karl::core {
+
+/// The model an engine is built from; SaveEngineModel/LoadEngineModel
+/// round-trip this exactly.
+struct EngineModel {
+  data::Matrix points;
+  std::vector<double> weights;
+  EngineOptions options;
+};
+
+/// Serializes a model to a binary stream.
+util::Status WriteEngineModel(std::ostream& out, const EngineModel& model);
+
+/// Parses a model from a binary stream. Rejects corrupt or truncated
+/// input and unknown format versions.
+util::Result<EngineModel> ReadEngineModel(std::istream& in);
+
+/// Saves a model to disk.
+util::Status SaveEngineModel(const std::string& path,
+                             const EngineModel& model);
+
+/// Loads a model from disk.
+util::Result<EngineModel> LoadEngineModel(const std::string& path);
+
+/// Loads a model and builds the engine in one step.
+util::Result<Engine> LoadEngine(const std::string& path);
+
+}  // namespace karl::core
+
+#endif  // KARL_CORE_ENGINE_IO_H_

@@ -1,0 +1,239 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace karl::core {
+
+namespace {
+
+// One frontier entry: an index node of one side (+1 / −1) with its signed
+// contribution bounds to F_P(q).
+struct Entry {
+  double gap = 0.0;  // ub − lb; the refinement priority.
+  double lb = 0.0;   // Signed contribution lower bound.
+  double ub = 0.0;   // Signed contribution upper bound.
+  index::NodeId node = index::kInvalidNode;
+  int8_t side = +1;  // +1: plus tree, −1: minus tree.
+};
+
+struct EntryLess {
+  bool operator()(const Entry& a, const Entry& b) const {
+    return a.gap < b.gap;  // Largest gap on top.
+  }
+};
+
+using Frontier = std::priority_queue<Entry, std::vector<Entry>, EntryLess>;
+
+}  // namespace
+
+util::Result<Evaluator> Evaluator::Create(const index::TreeIndex* plus_tree,
+                                          const index::TreeIndex* minus_tree,
+                                          const KernelParams& kernel,
+                                          const Options& options) {
+  if (plus_tree == nullptr) {
+    return util::Status::InvalidArgument("plus tree is required");
+  }
+  auto bound_fn = MakeBoundFunction(kernel, options.bounds);
+  if (!bound_fn.ok()) return bound_fn.status();
+
+  Evaluator ev;
+  ev.plus_tree_ = plus_tree;
+  ev.minus_tree_ = minus_tree;
+  ev.kernel_ = kernel;
+  ev.options_ = options;
+  ev.bound_fn_ = std::move(bound_fn).ValueOrDie();
+  return ev;
+}
+
+double Evaluator::LeafAggregate(const index::TreeIndex& tree, uint32_t begin,
+                                uint32_t end,
+                                std::span<const double> q) const {
+  const auto& points = tree.points();
+  const auto weights = tree.weights();
+  util::KahanAccumulator acc;
+  for (uint32_t i = begin; i < end; ++i) {
+    acc.Add(weights[i] * KernelValue(kernel_, q, points.Row(i)));
+  }
+  return acc.Total();
+}
+
+void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
+                       double* out_lb, double* out_ub, EvalStats* stats,
+                       const TraceFn* trace) const {
+  const QueryContext ctx = QueryContext::Make(q);
+  Frontier frontier;
+  double lb = 0.0;
+  double ub = 0.0;
+  size_t iterations = 0;
+
+  // Treats a node as a leaf when it has no children or sits at the level
+  // cap (the in-situ tuner's T_i simulation).
+  const auto is_effective_leaf = [&](const index::TreeIndex& tree,
+                                     index::NodeId id) {
+    const auto& nd = tree.node(id);
+    if (nd.is_leaf()) return true;
+    return options_.max_level >= 0 &&
+           nd.depth >= static_cast<uint16_t>(options_.max_level);
+  };
+
+  // Bounds one node (signed) and either folds the exact leaf value into
+  // [lb, ub] or pushes a frontier entry.
+  const auto admit = [&](const index::TreeIndex& tree, int8_t side,
+                         index::NodeId id) {
+    if (is_effective_leaf(tree, id)) {
+      const auto& nd = tree.node(id);
+      const double exact =
+          static_cast<double>(side) * LeafAggregate(tree, nd.begin, nd.end, q);
+      if (stats != nullptr) stats->kernel_evals += nd.count();
+      lb += exact;
+      ub += exact;
+      return;
+    }
+    double node_lb = 0.0, node_ub = 0.0;
+    bound_fn_->NodeBounds(tree, id, ctx, &node_lb, &node_ub);
+    Entry e;
+    e.node = id;
+    e.side = side;
+    if (side > 0) {
+      e.lb = node_lb;
+      e.ub = node_ub;
+    } else {
+      // P⁻ node: Σ w_i K ∈ [node_lb, node_ub] contributes its negation.
+      e.lb = -node_ub;
+      e.ub = -node_lb;
+    }
+    e.gap = e.ub - e.lb;
+    lb += e.lb;
+    ub += e.ub;
+    frontier.push(e);
+  };
+
+  admit(*plus_tree_, +1, plus_tree_->root());
+  if (minus_tree_ != nullptr) admit(*minus_tree_, -1, minus_tree_->root());
+  if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
+
+  while (!frontier.empty() && !stop(lb, ub)) {
+    const Entry top = frontier.top();
+    frontier.pop();
+    ++iterations;
+    lb -= top.lb;
+    ub -= top.ub;
+
+    const index::TreeIndex& tree =
+        top.side > 0 ? *plus_tree_ : *minus_tree_;
+    const auto& nd = tree.node(top.node);
+    assert(!nd.is_leaf());
+    if (stats != nullptr) ++stats->nodes_expanded;
+    admit(tree, top.side, nd.left);
+    admit(tree, top.side, nd.right);
+
+    if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
+  }
+
+  if (stats != nullptr) stats->iterations += iterations;
+  // Drained frontier means [lb, ub] collapsed to the exact value (modulo
+  // floating-point accumulation); guard against a tiny inversion.
+  if (frontier.empty() && lb > ub) lb = ub = 0.5 * (lb + ub);
+  *out_lb = lb;
+  *out_ub = ub;
+}
+
+bool Evaluator::QueryThreshold(std::span<const double> q, double tau,
+                               EvalStats* stats, const TraceFn* trace) const {
+  double lb = 0.0, ub = 0.0;
+  const StopFn stop = [tau](double l, double u) { return l > tau || u <= tau; };
+  Refine(q, stop, &lb, &ub, stats, trace);
+  if (lb > tau) return true;
+  if (ub <= tau) return false;
+  // Frontier drained without a decision: lb ≈ ub ≈ exact value.
+  return 0.5 * (lb + ub) > tau;
+}
+
+double Evaluator::QueryApproximate(std::span<const double> q, double eps,
+                                   EvalStats* stats,
+                                   const TraceFn* trace) const {
+  assert(eps > 0.0);
+  double lb = 0.0, ub = 0.0;
+  // Terminate when ub <= (1+ε)·lb (paper §II-B); returning lb then
+  // guarantees (1−ε)F <= lb <= (1+ε)F given lb <= F <= ub. The mirrored
+  // clause covers negative aggregates (possible for polynomial/sigmoid
+  // kernels even under positive weights). The final clause
+  // short-circuits only when F is provably (numerically) zero — any
+  // looser absolute cutoff would break the relative guarantee for tiny
+  // densities.
+  const StopFn stop = [eps](double l, double u) {
+    if (l >= 0.0 && u <= (1.0 + eps) * l) return true;
+    if (u <= 0.0 && l >= (1.0 + eps) * u) return true;
+    return u <= 1e-300 && l >= -1e-300;
+  };
+  Refine(q, stop, &lb, &ub, stats, trace);
+  if (lb >= 0.0 && ub <= (1.0 + eps) * lb) return lb;
+  if (ub <= 0.0 && lb >= (1.0 + eps) * ub) return ub;
+  return 0.5 * (lb + ub);
+}
+
+double Evaluator::QueryExact(std::span<const double> q,
+                             EvalStats* stats) const {
+  double total = LeafAggregate(*plus_tree_, 0,
+                               static_cast<uint32_t>(plus_tree_->points().rows()), q);
+  if (stats != nullptr) stats->kernel_evals += plus_tree_->points().rows();
+  if (minus_tree_ != nullptr) {
+    total -= LeafAggregate(
+        *minus_tree_, 0, static_cast<uint32_t>(minus_tree_->points().rows()),
+        q);
+    if (stats != nullptr) stats->kernel_evals += minus_tree_->points().rows();
+  }
+  return total;
+}
+
+void Evaluator::RefineToConvergence(std::span<const double> q,
+                                    size_t max_iterations, double* lb,
+                                    double* ub, const TraceFn* trace) const {
+  size_t seen = 0;
+  const StopFn stop = [&seen, max_iterations](double, double) {
+    return seen++ >= max_iterations;
+  };
+  Refine(q, stop, lb, ub, nullptr, trace);
+}
+
+double ExactAggregate(const data::Matrix& points,
+                      std::span<const double> weights,
+                      const KernelParams& kernel, std::span<const double> q) {
+  assert(weights.size() == points.rows());
+  util::KahanAccumulator acc;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    acc.Add(weights[i] * KernelValue(kernel, q, points.Row(i)));
+  }
+  return acc.Total();
+}
+
+double ExactAggregateSparse(const data::SparseMatrix& points,
+                            std::span<const double> weights,
+                            const KernelParams& kernel,
+                            std::span<const double> q) {
+  assert(weights.size() == points.rows());
+  const double q_sqnorm = util::SquaredNorm(q);
+  util::KahanAccumulator acc;
+  const double dist_scale = DistanceArgScale(kernel);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double ip = points.DotDense(i, q);
+    double value;
+    if (IsInnerProductKernel(kernel.type)) {
+      value = KernelProfile(kernel, kernel.gamma * ip + kernel.beta);
+    } else {
+      const double sq_dist =
+          std::max(0.0, q_sqnorm - 2.0 * ip + points.RowSquaredNorm(i));
+      value = KernelProfile(kernel, dist_scale * sq_dist);
+    }
+    acc.Add(weights[i] * value);
+  }
+  return acc.Total();
+}
+
+}  // namespace karl::core

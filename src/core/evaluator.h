@@ -1,0 +1,131 @@
+// Best-first bound-refinement engine for kernel aggregation queries
+// (paper §II-B Table V; shared by SOTA and KARL, which differ only in the
+// plugged-in BoundFunction).
+//
+// The evaluator maintains global [lb, ub] on F_P(q) as the sum of
+// per-entry bounds over a frontier of index nodes, kept in a priority
+// queue ordered by bound gap. Each iteration pops the widest entry and
+// replaces it with its children's bounds (or the exact leaf aggregate),
+// monotonically tightening [lb, ub] until the query's termination
+// condition holds.
+//
+// Type III weighting is handled by evaluating two positive-weight trees
+// (P⁺ and P⁻, split by the caller) in one interleaved refinement: a P⁻
+// node with positive-space bounds [l, u] contributes [−u, −l] to F.
+
+#ifndef KARL_CORE_EVALUATOR_H_
+#define KARL_CORE_EVALUATOR_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/bounds.h"
+#include "core/kernel.h"
+#include "data/sparse_matrix.h"
+#include "index/tree_index.h"
+#include "util/status.h"
+
+namespace karl::core {
+
+/// Per-query work counters.
+struct EvalStats {
+  size_t iterations = 0;      ///< Priority-queue pops.
+  size_t nodes_expanded = 0;  ///< Internal nodes whose children were bounded.
+  size_t kernel_evals = 0;    ///< Exact kernel evaluations at leaves.
+};
+
+/// Observes every refinement iteration: (iteration, lb, ub). Used by the
+/// Fig. 6 convergence study.
+using TraceFn = std::function<void(size_t iteration, double lb, double ub)>;
+
+/// Kernel aggregation query evaluator over one or two trees.
+class Evaluator {
+ public:
+  struct Options {
+    BoundKind bounds = BoundKind::kKarl;
+    /// Treat nodes at this depth as leaves (compute their range exactly);
+    /// < 0 means no cap. Level 0 caps at the root, i.e. a full scan.
+    /// Used by the in-situ tuner to simulate the top-i-levels tree T_i.
+    int max_level = -1;
+  };
+
+  /// Creates an evaluator. `plus_tree` is required and must carry positive
+  /// weights; `minus_tree` is optional (Type III) and carries |w_i| of the
+  /// negative-weight points. Both pointers must outlive the evaluator.
+  static util::Result<Evaluator> Create(const index::TreeIndex* plus_tree,
+                                        const index::TreeIndex* minus_tree,
+                                        const KernelParams& kernel,
+                                        const Options& options);
+
+  Evaluator(Evaluator&&) = default;
+  Evaluator& operator=(Evaluator&&) = default;
+
+  /// TKAQ (Problem 1): returns whether F_P(q) > tau.
+  ///
+  /// Like the original KARL/SOTA algorithms, the global bounds are
+  /// maintained incrementally, so decisions carry an absolute noise
+  /// floor of roughly machine-epsilon times the root bound magnitude;
+  /// margins |F_P(q) − tau| below that floor may be misreported.
+  bool QueryThreshold(std::span<const double> q, double tau,
+                      EvalStats* stats = nullptr,
+                      const TraceFn* trace = nullptr) const;
+
+  /// eKAQ (Problem 2): returns F̂ with relative error at most eps
+  /// (requires eps > 0 and F_P(q) >= 0, i.e. Type I/II weighting).
+  double QueryApproximate(std::span<const double> q, double eps,
+                          EvalStats* stats = nullptr,
+                          const TraceFn* trace = nullptr) const;
+
+  /// Exact F_P(q) via full scan of both trees (the SCAN baseline).
+  double QueryExact(std::span<const double> q,
+                    EvalStats* stats = nullptr) const;
+
+  /// Refines bounds to completion or `max_iterations`, reporting the final
+  /// [lb, ub]; exposed for bound-convergence studies.
+  void RefineToConvergence(std::span<const double> q, size_t max_iterations,
+                           double* lb, double* ub,
+                           const TraceFn* trace = nullptr) const;
+
+  /// The options this evaluator was created with.
+  const Options& options() const { return options_; }
+
+ private:
+  Evaluator() = default;
+
+  // Termination decision callback: examines (lb, ub), returns true to stop.
+  using StopFn = std::function<bool(double lb, double ub)>;
+
+  // Runs the refinement loop; outputs the final bounds.
+  void Refine(std::span<const double> q, const StopFn& stop, double* lb,
+              double* ub, EvalStats* stats, const TraceFn* trace) const;
+
+  // Exact aggregate of the permuted range [begin, end) of `tree`.
+  double LeafAggregate(const index::TreeIndex& tree, uint32_t begin,
+                       uint32_t end, std::span<const double> q) const;
+
+  const index::TreeIndex* plus_tree_ = nullptr;
+  const index::TreeIndex* minus_tree_ = nullptr;  // May be null.
+  KernelParams kernel_;
+  Options options_;
+  std::unique_ptr<BoundFunction> bound_fn_;
+};
+
+/// Exact F_P(q) = Σ w_i K(q, p_i) by sequential scan over raw data
+/// (weights signed). The reference implementation everything is tested
+/// against, and the SCAN baseline of the experiments.
+double ExactAggregate(const data::Matrix& points,
+                      std::span<const double> weights,
+                      const KernelParams& kernel, std::span<const double> q);
+
+/// Exact F_P(q) over CSR-stored points via sparse dot products — the
+/// LIBSVM evaluation code path (dist² = ‖q‖² − 2·q·p + ‖p‖² with cached
+/// row norms).
+double ExactAggregateSparse(const data::SparseMatrix& points,
+                            std::span<const double> weights,
+                            const KernelParams& kernel,
+                            std::span<const double> q);
+
+}  // namespace karl::core
+
+#endif  // KARL_CORE_EVALUATOR_H_

@@ -1,0 +1,133 @@
+#include "core/karl.h"
+
+#include <cmath>
+#include <vector>
+
+#include "index/ball_tree.h"
+#include "index/kd_tree.h"
+
+namespace karl {
+
+namespace {
+
+// Builds the configured index kind over (points, weights).
+util::Result<std::unique_ptr<index::TreeIndex>> BuildIndex(
+    const data::Matrix& points, std::span<const double> weights,
+    const EngineOptions& options) {
+  if (options.index_kind == index::IndexKind::kKdTree) {
+    auto tree = index::KdTree::Build(points, weights, options.leaf_capacity);
+    if (!tree.ok()) return tree.status();
+    return std::unique_ptr<index::TreeIndex>(std::move(tree).ValueOrDie());
+  }
+  auto tree = index::BallTree::Build(points, weights, options.leaf_capacity);
+  if (!tree.ok()) return tree.status();
+  return std::unique_ptr<index::TreeIndex>(std::move(tree).ValueOrDie());
+}
+
+}  // namespace
+
+std::string_view WeightingTypeToString(WeightingType type) {
+  switch (type) {
+    case WeightingType::kTypeI:
+      return "I";
+    case WeightingType::kTypeII:
+      return "II";
+    case WeightingType::kTypeIII:
+      return "III";
+  }
+  return "?";
+}
+
+WeightingType ClassifyWeights(std::span<const double> weights) {
+  bool all_equal = true;
+  bool all_positive = true;
+  const double first = weights.empty() ? 0.0 : weights.front();
+  for (const double w : weights) {
+    if (w != first) all_equal = false;
+    if (w <= 0.0) all_positive = false;
+  }
+  if (all_positive && all_equal) return WeightingType::kTypeI;
+  if (all_positive) return WeightingType::kTypeII;
+  return WeightingType::kTypeIII;
+}
+
+util::Result<Engine> Engine::Build(const data::Matrix& points,
+                                   std::span<const double> weights,
+                                   const EngineOptions& options) {
+  if (points.empty()) {
+    return util::Status::InvalidArgument("cannot build engine on empty data");
+  }
+  if (weights.size() != points.rows()) {
+    return util::Status::InvalidArgument(
+        "weight count does not match point count");
+  }
+  KARL_RETURN_NOT_OK(options.kernel.Validate());
+
+  // Split into positive and negative sides (§IV-A2); the minus tree
+  // stores |w_i| so both trees carry positive weights.
+  std::vector<size_t> pos_rows, neg_rows;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      pos_rows.push_back(i);
+    } else if (weights[i] < 0.0) {
+      neg_rows.push_back(i);
+    }
+  }
+  if (pos_rows.empty()) {
+    return util::Status::InvalidArgument(
+        "engine requires at least one positive-weight point");
+  }
+
+  Engine engine;
+  engine.options_ = options;
+  engine.weighting_type_ = ClassifyWeights(weights);
+
+  data::Matrix pos_points = points.SelectRows(pos_rows);
+  std::vector<double> pos_weights;
+  pos_weights.reserve(pos_rows.size());
+  for (const size_t i : pos_rows) pos_weights.push_back(weights[i]);
+  auto plus = BuildIndex(pos_points, pos_weights, options);
+  if (!plus.ok()) return plus.status();
+  engine.plus_tree_ = std::move(plus).ValueOrDie();
+
+  if (!neg_rows.empty()) {
+    data::Matrix neg_points = points.SelectRows(neg_rows);
+    std::vector<double> neg_weights;
+    neg_weights.reserve(neg_rows.size());
+    for (const size_t i : neg_rows) neg_weights.push_back(-weights[i]);
+    auto minus = BuildIndex(neg_points, neg_weights, options);
+    if (!minus.ok()) return minus.status();
+    engine.minus_tree_ = std::move(minus).ValueOrDie();
+  }
+
+  core::Evaluator::Options eval_options;
+  eval_options.bounds = options.bounds;
+  eval_options.max_level = options.max_level;
+  auto evaluator =
+      core::Evaluator::Create(engine.plus_tree_.get(),
+                              engine.minus_tree_.get(), options.kernel,
+                              eval_options);
+  if (!evaluator.ok()) return evaluator.status();
+  engine.evaluator_ = std::make_unique<core::Evaluator>(
+      std::move(evaluator).ValueOrDie());
+  return engine;
+}
+
+util::Result<Engine> Engine::BuildUniform(const data::Matrix& points,
+                                          double common_weight,
+                                          const EngineOptions& options) {
+  if (common_weight <= 0.0) {
+    return util::Status::InvalidArgument(
+        "Type I weighting requires a positive common weight");
+  }
+  const std::vector<double> weights(points.rows(), common_weight);
+  return Build(points, weights, options);
+}
+
+size_t Engine::MemoryUsageBytes() const {
+  size_t bytes = plus_tree_->MemoryUsageBytes();
+  if (minus_tree_ != nullptr) bytes += minus_tree_->MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace karl

@@ -1,0 +1,116 @@
+#include "core/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace karl::core {
+
+std::string_view KernelTypeToString(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kLaplacian:
+      return "laplacian";
+    case KernelType::kCauchy:
+      return "cauchy";
+    case KernelType::kPolynomial:
+      return "polynomial";
+    case KernelType::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+util::Status KernelParams::Validate() const {
+  if (!(gamma > 0.0)) {
+    return util::Status::InvalidArgument("kernel gamma must be positive");
+  }
+  if (type == KernelType::kPolynomial && degree < 1) {
+    return util::Status::InvalidArgument(
+        "polynomial kernel degree must be >= 1");
+  }
+  return util::Status::OK();
+}
+
+double IntPow(double x, int e) {
+  assert(e >= 0);
+  double result = 1.0;
+  double base = x;
+  while (e > 0) {
+    if (e & 1) result *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return result;
+}
+
+double KernelValue(const KernelParams& params, std::span<const double> q,
+                   std::span<const double> p) {
+  switch (params.type) {
+    case KernelType::kGaussian:
+      return std::exp(-params.gamma * util::SquaredDistance(q, p));
+    case KernelType::kLaplacian:
+      return std::exp(-params.gamma * std::sqrt(util::SquaredDistance(q, p)));
+    case KernelType::kCauchy:
+      return 1.0 / (1.0 + params.gamma * util::SquaredDistance(q, p));
+    case KernelType::kPolynomial:
+      return IntPow(params.gamma * util::Dot(q, p) + params.beta,
+                    params.degree);
+    case KernelType::kSigmoid:
+      return std::tanh(params.gamma * util::Dot(q, p) + params.beta);
+  }
+  return 0.0;
+}
+
+double KernelProfile(const KernelParams& params, double x) {
+  switch (params.type) {
+    case KernelType::kGaussian:
+      return std::exp(-x);
+    case KernelType::kLaplacian:
+      return std::exp(-std::sqrt(std::max(0.0, x)));
+    case KernelType::kCauchy:
+      return 1.0 / (1.0 + x);
+    case KernelType::kPolynomial:
+      return IntPow(x, params.degree);
+    case KernelType::kSigmoid:
+      return std::tanh(x);
+  }
+  return 0.0;
+}
+
+double KernelProfileDerivative(const KernelParams& params, double x) {
+  switch (params.type) {
+    case KernelType::kGaussian:
+      return -std::exp(-x);
+    case KernelType::kLaplacian: {
+      // d/dx e^{−√x} = −e^{−√x} / (2√x); singular at x = 0.
+      const double root = std::sqrt(std::max(x, 1e-300));
+      return -std::exp(-root) / (2.0 * root);
+    }
+    case KernelType::kCauchy: {
+      const double denom = 1.0 + x;
+      return -1.0 / (denom * denom);
+    }
+    case KernelType::kPolynomial:
+      return params.degree * IntPow(x, params.degree - 1);
+    case KernelType::kSigmoid: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+  }
+  return 0.0;
+}
+
+bool IsInnerProductKernel(KernelType type) {
+  return type == KernelType::kPolynomial || type == KernelType::kSigmoid;
+}
+
+double DistanceArgScale(const KernelParams& params) {
+  // Laplacian: K = e^{−γ·dist} = e^{−√(γ²·dist²)}, so x = γ²·dist².
+  return params.type == KernelType::kLaplacian ? params.gamma * params.gamma
+                                               : params.gamma;
+}
+
+}  // namespace karl::core

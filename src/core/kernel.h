@@ -1,0 +1,100 @@
+// Kernel functions (paper §II): Gaussian, polynomial, sigmoid.
+//
+// The Gaussian kernel is a function of the squared distance
+// x = γ·dist(q,p)²; the polynomial and sigmoid kernels are functions of
+// the shifted inner product x = γ·(q·p) + β. KARL's bounds operate on
+// these scalar "kernel profiles" (see bounds.h), so the profile functions
+// are exposed here too.
+
+#ifndef KARL_CORE_KERNEL_H_
+#define KARL_CORE_KERNEL_H_
+
+#include <span>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace karl::core {
+
+/// Supported kernel families.
+///
+/// Gaussian, Laplacian and Cauchy are *distance kernels*: convex
+/// decreasing functions of the (scaled) squared distance, so the full
+/// KARL chord/tangent machinery applies to all three. Polynomial and
+/// sigmoid are *inner-product kernels* (§IV-B).
+enum class KernelType {
+  kGaussian,    ///< K(q,p) = exp(−γ·dist(q,p)²)
+  kLaplacian,   ///< K(q,p) = exp(−γ·dist(q,p))
+  kCauchy,      ///< K(q,p) = 1 / (1 + γ·dist(q,p)²)
+  kPolynomial,  ///< K(q,p) = (γ·q·p + β)^degree
+  kSigmoid,     ///< K(q,p) = tanh(γ·q·p + β)
+};
+
+/// Human-readable kernel family name.
+std::string_view KernelTypeToString(KernelType type);
+
+/// Kernel family plus its scalar parameters.
+struct KernelParams {
+  KernelType type = KernelType::kGaussian;
+  double gamma = 1.0;  ///< Smoothing / scale parameter (> 0).
+  double beta = 0.0;   ///< Shift (polynomial, sigmoid only).
+  int degree = 3;      ///< Polynomial degree (>= 1; polynomial only).
+
+  /// Gaussian kernel with the given γ.
+  static KernelParams Gaussian(double gamma) {
+    return {KernelType::kGaussian, gamma, 0.0, 0};
+  }
+  /// Laplacian kernel exp(−γ·dist).
+  static KernelParams Laplacian(double gamma) {
+    return {KernelType::kLaplacian, gamma, 0.0, 0};
+  }
+  /// Cauchy kernel 1/(1 + γ·dist²).
+  static KernelParams Cauchy(double gamma) {
+    return {KernelType::kCauchy, gamma, 0.0, 0};
+  }
+  /// Polynomial kernel (γ·q·p + β)^degree.
+  static KernelParams Polynomial(double gamma, double beta, int degree) {
+    return {KernelType::kPolynomial, gamma, beta, degree};
+  }
+  /// Sigmoid kernel tanh(γ·q·p + β).
+  static KernelParams Sigmoid(double gamma, double beta) {
+    return {KernelType::kSigmoid, gamma, beta, 0};
+  }
+
+  /// Validates parameter ranges (γ > 0; degree >= 1 for polynomial).
+  util::Status Validate() const;
+};
+
+/// Evaluates K(q, p) for the given kernel.
+double KernelValue(const KernelParams& params, std::span<const double> q,
+                   std::span<const double> p);
+
+/// The kernel profile f(x) such that K(q,p) = f(x) with
+///   x = DistanceArgScale(params)·dist²   (distance kernels), or
+///   x = γ·q·p + β                        (inner-product kernels).
+/// Profiles: Gaussian e^{−x}, Laplacian e^{−√x} (with x = γ²·dist²),
+/// Cauchy 1/(1+x), polynomial x^deg, sigmoid tanh(x). All distance
+/// profiles are convex decreasing on x ≥ 0, which is what makes the
+/// chord/tangent bounds applicable. Exposed because the bound
+/// constructions work on f directly.
+double KernelProfile(const KernelParams& params, double x);
+
+/// First derivative f'(x) of the kernel profile. The Laplacian profile
+/// has an integrable singularity at x = 0 (vertical tangent); callers
+/// must not request the derivative at exactly 0 for it.
+double KernelProfileDerivative(const KernelParams& params, double x);
+
+/// True iff the profile is a function of the inner product (polynomial /
+/// sigmoid); false for distance kernels.
+bool IsInnerProductKernel(KernelType type);
+
+/// The multiplier s such that the profile argument is x = s·dist² for a
+/// distance kernel (γ for Gaussian/Cauchy, γ² for Laplacian).
+double DistanceArgScale(const KernelParams& params);
+
+/// Integer power x^e by binary exponentiation (e >= 0).
+double IntPow(double x, int e);
+
+}  // namespace karl::core
+
+#endif  // KARL_CORE_KERNEL_H_

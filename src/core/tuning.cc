@@ -1,0 +1,173 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace karl::core {
+
+double MeasureThroughput(const Engine& engine, const data::Matrix& queries,
+                         const QuerySpec& spec) {
+  if (queries.rows() == 0) return 0.0;
+  util::Stopwatch timer;
+  // volatile sink defeats dead-query elimination.
+  volatile double sink = 0.0;
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    const auto q = queries.Row(i);
+    if (spec.kind == QuerySpec::Kind::kThreshold) {
+      sink = engine.Tkaq(q, spec.tau) ? 1.0 : 0.0;
+    } else {
+      sink = engine.Ekaq(q, spec.eps);
+    }
+  }
+  (void)sink;
+  const double elapsed = timer.ElapsedSeconds();
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(queries.rows()) / elapsed;
+}
+
+std::vector<IndexConfig> DefaultTuningGrid() {
+  std::vector<IndexConfig> grid;
+  for (const auto kind :
+       {index::IndexKind::kKdTree, index::IndexKind::kBallTree}) {
+    for (const size_t cap : {10, 20, 40, 80, 160, 320, 640}) {
+      grid.push_back({kind, cap});
+    }
+  }
+  return grid;
+}
+
+util::Result<OfflineTuneResult> OfflineTune(
+    const data::Matrix& points, std::span<const double> weights,
+    const EngineOptions& base, const data::Matrix& sample_queries,
+    const QuerySpec& spec, const std::vector<IndexConfig>& grid) {
+  if (grid.empty()) {
+    return util::Status::InvalidArgument("tuning grid must not be empty");
+  }
+  OfflineTuneResult result;
+  double best = -1.0;
+  for (const IndexConfig& config : grid) {
+    EngineOptions options = base;
+    options.index_kind = config.kind;
+    options.leaf_capacity = config.leaf_capacity;
+    auto engine = Engine::Build(points, weights, options);
+    if (!engine.ok()) return engine.status();
+    const double qps =
+        MeasureThroughput(engine.value(), sample_queries, spec);
+    result.candidates.push_back({config, qps});
+    if (qps > best) {
+      best = qps;
+      result.best = config;
+    }
+  }
+  return result;
+}
+
+util::Result<InsituResult> InsituRun(const data::Matrix& points,
+                                     std::span<const double> weights,
+                                     const EngineOptions& base,
+                                     const data::Matrix& queries,
+                                     const QuerySpec& spec,
+                                     double sample_fraction) {
+  if (sample_fraction <= 0.0 || sample_fraction >= 1.0) {
+    return util::Status::InvalidArgument(
+        "sample_fraction must be in (0, 1)");
+  }
+  InsituResult result;
+  util::Stopwatch total_timer;
+
+  // Phase 1: build one deep kd-tree (the paper's recommendation — lowest
+  // construction cost). Leaf capacity 4 keeps node count bounded while
+  // still exposing ~log2(n) candidate levels.
+  util::Stopwatch build_timer;
+  EngineOptions options = base;
+  options.index_kind = index::IndexKind::kKdTree;
+  options.leaf_capacity = 4;
+  auto engine = Engine::Build(points, weights, options);
+  if (!engine.ok()) return engine.status();
+  result.build_seconds = build_timer.ElapsedSeconds();
+
+  const size_t max_depth = engine.value().plus_tree().max_depth();
+
+  // Phase 2: tuning on a query sample. Candidate levels are every second
+  // level plus the full depth; the sample is partitioned across them.
+  util::Stopwatch tune_timer;
+  std::vector<int> levels;
+  for (size_t level = 2; level < max_depth; level += 2) {
+    levels.push_back(static_cast<int>(level));
+  }
+  levels.push_back(static_cast<int>(max_depth));
+
+  const size_t sample_total = std::max<size_t>(
+      levels.size(),
+      static_cast<size_t>(std::llround(sample_fraction *
+                                       static_cast<double>(queries.rows()))));
+  const size_t per_level = std::max<size_t>(1, sample_total / levels.size());
+
+  // The level cap lives in the evaluator options; rebuild just the
+  // evaluator (cheap) per candidate by re-creating it over the same trees.
+  double best_qps = -1.0;
+  size_t cursor = 0;
+  for (const int level : levels) {
+    core::Evaluator::Options eval_options;
+    eval_options.bounds = base.bounds;
+    eval_options.max_level = level;
+    auto capped = core::Evaluator::Create(&engine.value().plus_tree(),
+                                          engine.value().minus_tree(),
+                                          base.kernel, eval_options);
+    if (!capped.ok()) return capped.status();
+
+    const size_t begin = cursor;
+    const size_t end = std::min(queries.rows(), begin + per_level);
+    cursor = end;
+    if (begin >= end) break;
+
+    util::Stopwatch timer;
+    volatile double sink = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const auto q = queries.Row(i);
+      if (spec.kind == QuerySpec::Kind::kThreshold) {
+        sink = capped.value().QueryThreshold(q, spec.tau) ? 1.0 : 0.0;
+      } else {
+        sink = capped.value().QueryApproximate(q, spec.eps);
+      }
+    }
+    (void)sink;
+    const double elapsed = std::max(timer.ElapsedSeconds(), 1e-9);
+    const double qps = static_cast<double>(end - begin) / elapsed;
+    if (qps > best_qps) {
+      best_qps = qps;
+      result.best_level = level;
+    }
+  }
+  result.tuning_seconds = tune_timer.ElapsedSeconds();
+
+  // Phase 3: run the remaining queries at the chosen level.
+  util::Stopwatch query_timer;
+  core::Evaluator::Options eval_options;
+  eval_options.bounds = base.bounds;
+  eval_options.max_level = result.best_level;
+  auto chosen = core::Evaluator::Create(&engine.value().plus_tree(),
+                                        engine.value().minus_tree(),
+                                        base.kernel, eval_options);
+  if (!chosen.ok()) return chosen.status();
+  volatile double sink = 0.0;
+  for (size_t i = cursor; i < queries.rows(); ++i) {
+    const auto q = queries.Row(i);
+    if (spec.kind == QuerySpec::Kind::kThreshold) {
+      sink = chosen.value().QueryThreshold(q, spec.tau) ? 1.0 : 0.0;
+    } else {
+      sink = chosen.value().QueryApproximate(q, spec.eps);
+    }
+  }
+  (void)sink;
+  result.query_seconds = query_timer.ElapsedSeconds();
+
+  const double total = std::max(total_timer.ElapsedSeconds(), 1e-9);
+  result.end_to_end_throughput =
+      static_cast<double>(queries.rows()) / total;
+  return result;
+}
+
+}  // namespace karl::core

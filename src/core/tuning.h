@@ -1,0 +1,91 @@
+// Automatic index tuning (paper §III-C).
+//
+// Offline: given ample time, build every candidate (index kind × leaf
+// capacity) and measure throughput on a small query sample; recommend the
+// fastest (KARL_auto).
+//
+// In-situ/online: when the dataset arrives with the queries, build ONE
+// deep kd-tree and simulate its top-i-level prefixes T_i via the
+// evaluator's level cap; spend a small sample of the incoming queries
+// picking the best level, then run the rest there. End-to-end time
+// includes build + tuning.
+
+#ifndef KARL_CORE_TUNING_H_
+#define KARL_CORE_TUNING_H_
+
+#include <vector>
+
+#include "core/karl.h"
+#include "util/status.h"
+
+namespace karl::core {
+
+/// One tuning candidate: index structure + leaf capacity.
+struct IndexConfig {
+  index::IndexKind kind = index::IndexKind::kKdTree;
+  size_t leaf_capacity = 80;
+};
+
+/// What query the workload runs (threshold vs approximate) and with which
+/// parameter.
+struct QuerySpec {
+  enum class Kind { kThreshold, kApproximate };
+  Kind kind = Kind::kThreshold;
+  double tau = 0.0;  ///< For kThreshold.
+  double eps = 0.2;  ///< For kApproximate.
+};
+
+/// Runs every query in `queries` against `engine`; returns throughput in
+/// queries/second. The workhorse of both tuners and all benchmarks.
+double MeasureThroughput(const Engine& engine, const data::Matrix& queries,
+                         const QuerySpec& spec);
+
+/// The paper's exponential leaf-capacity grid {10,20,...,640} for both
+/// index kinds.
+std::vector<IndexConfig> DefaultTuningGrid();
+
+/// Measured performance of one candidate.
+struct TuneCandidate {
+  IndexConfig config;
+  double throughput_qps = 0.0;
+};
+
+/// Offline tuning outcome.
+struct OfflineTuneResult {
+  IndexConfig best;
+  std::vector<TuneCandidate> candidates;  ///< In grid order.
+};
+
+/// Offline tuner: builds each candidate and measures it on
+/// `sample_queries` (paper: 1000 sampled vectors). `base` supplies the
+/// kernel/bound settings; its index fields are overridden per candidate.
+util::Result<OfflineTuneResult> OfflineTune(
+    const data::Matrix& points, std::span<const double> weights,
+    const EngineOptions& base, const data::Matrix& sample_queries,
+    const QuerySpec& spec, const std::vector<IndexConfig>& grid);
+
+/// In-situ (online) tuning outcome, all times in seconds.
+struct InsituResult {
+  int best_level = -1;
+  double build_seconds = 0.0;
+  double tuning_seconds = 0.0;
+  double query_seconds = 0.0;
+  /// |queries| / (build + tuning + query) — the paper's in-situ metric.
+  double end_to_end_throughput = 0.0;
+};
+
+/// In-situ runner: builds one deep kd-tree over (points, weights), tunes
+/// the traversal level on `sample_fraction` of `queries`, then executes
+/// the remainder at the best level. `base` supplies kernel/bounds;
+/// index_kind is forced to kd-tree (paper's recommendation: lowest build
+/// cost).
+util::Result<InsituResult> InsituRun(const data::Matrix& points,
+                                     std::span<const double> weights,
+                                     const EngineOptions& base,
+                                     const data::Matrix& queries,
+                                     const QuerySpec& spec,
+                                     double sample_fraction = 0.01);
+
+}  // namespace karl::core
+
+#endif  // KARL_CORE_TUNING_H_

@@ -1,0 +1,32 @@
+// Minimal CSV reader/writer for dense numeric datasets (the UCI
+// repository's delivery format for miniboone/home/susy).
+
+#ifndef KARL_DATA_CSV_IO_H_
+#define KARL_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "data/matrix.h"
+#include "util/status.h"
+
+namespace karl::data {
+
+/// Parses comma-separated numeric text into a Matrix. Every data line must
+/// have the same number of fields. `skip_header_rows` leading lines are
+/// ignored (column headers).
+util::Result<Matrix> ParseCsv(const std::string& text,
+                              size_t skip_header_rows = 0);
+
+/// Reads and parses a CSV file from disk.
+util::Result<Matrix> ReadCsvFile(const std::string& path,
+                                 size_t skip_header_rows = 0);
+
+/// Serializes a Matrix as CSV text (17 significant digits, round-trip safe).
+std::string WriteCsv(const Matrix& matrix);
+
+/// Writes a Matrix to disk as CSV.
+util::Status WriteCsvFile(const std::string& path, const Matrix& matrix);
+
+}  // namespace karl::data
+
+#endif  // KARL_DATA_CSV_IO_H_

@@ -1,0 +1,36 @@
+#include "data/matrix.h"
+
+namespace karl::data {
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  }
+  assert(row.size() == cols_);
+  values_.insert(values_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matrix::SelectRows(std::span<const size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    const auto src = Row(indices[i]);
+    auto dst = out.MutableRow(i);
+    for (size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+Matrix Matrix::TruncateColumns(size_t k) const {
+  assert(k <= cols_);
+  Matrix out(rows_, k);
+  for (size_t i = 0; i < rows_; ++i) {
+    const auto src = Row(i);
+    auto dst = out.MutableRow(i);
+    for (size_t j = 0; j < k; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+}  // namespace karl::data

@@ -1,0 +1,48 @@
+#include "data/normalize.h"
+
+#include <cassert>
+#include <limits>
+
+namespace karl::data {
+
+NormalizationParams FitMinMax(const Matrix& m, double lo, double hi) {
+  NormalizationParams params;
+  params.target_lo = lo;
+  params.target_hi = hi;
+  params.column_min.assign(m.cols(), std::numeric_limits<double>::infinity());
+  params.column_max.assign(m.cols(), -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.Row(i);
+    for (size_t j = 0; j < row.size(); ++j) {
+      params.column_min[j] = std::min(params.column_min[j], row[j]);
+      params.column_max[j] = std::max(params.column_max[j], row[j]);
+    }
+  }
+  return params;
+}
+
+void ApplyNormalization(const NormalizationParams& params, Matrix* m) {
+  assert(m->cols() == params.column_min.size());
+  const double span = params.target_hi - params.target_lo;
+  const double mid = 0.5 * (params.target_lo + params.target_hi);
+  for (size_t i = 0; i < m->rows(); ++i) {
+    auto row = m->MutableRow(i);
+    for (size_t j = 0; j < row.size(); ++j) {
+      const double range = params.column_max[j] - params.column_min[j];
+      if (range <= 0.0) {
+        row[j] = mid;
+      } else {
+        row[j] = params.target_lo +
+                 span * (row[j] - params.column_min[j]) / range;
+      }
+    }
+  }
+}
+
+NormalizationParams MinMaxNormalize(Matrix* m, double lo, double hi) {
+  NormalizationParams params = FitMinMax(*m, lo, hi);
+  ApplyNormalization(params, m);
+  return params;
+}
+
+}  // namespace karl::data

@@ -1,0 +1,35 @@
+// Feature scaling, matching the paper's preprocessing: SVM data are
+// min-max normalised to [0,1]^d (Gaussian kernel) or [-1,1]^d (polynomial
+// kernel, LIBSVM's convention).
+
+#ifndef KARL_DATA_NORMALIZE_H_
+#define KARL_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace karl::data {
+
+/// Per-column affine scaling parameters learned from a dataset, applicable
+/// to held-out query points so that train and query live in the same space.
+struct NormalizationParams {
+  std::vector<double> column_min;
+  std::vector<double> column_max;
+  double target_lo = 0.0;
+  double target_hi = 1.0;
+};
+
+/// Computes per-column min/max over `m` for scaling into [lo, hi].
+NormalizationParams FitMinMax(const Matrix& m, double lo, double hi);
+
+/// Applies previously fitted parameters in place. Columns that were
+/// constant in the fit map to the midpoint of [lo, hi].
+void ApplyNormalization(const NormalizationParams& params, Matrix* m);
+
+/// Fits and applies in one step (in place).
+NormalizationParams MinMaxNormalize(Matrix* m, double lo, double hi);
+
+}  // namespace karl::data
+
+#endif  // KARL_DATA_NORMALIZE_H_

@@ -1,0 +1,158 @@
+#include "data/pca.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace karl::data {
+
+void JacobiEigenSymmetric(std::vector<double> a, size_t d,
+                          std::vector<double>* eigenvalues,
+                          std::vector<double>* eigenvectors,
+                          int max_sweeps) {
+  assert(a.size() == d * d);
+  // v starts as identity and accumulates the rotations; its columns end up
+  // as the eigenvectors.
+  std::vector<double>& v = *eigenvectors;
+  v.assign(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) v[i * d + i] = 1.0;
+
+  auto at = [&](std::vector<double>& m, size_t i, size_t j) -> double& {
+    return m[i * d + j];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; stop when numerically diagonal.
+    double off = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) off += a[i * d + j] * a[i * d + j];
+    }
+    if (off < 1e-22) break;
+
+    for (size_t p = 0; p < d; ++p) {
+      for (size_t q = p + 1; q < d; ++q) {
+        const double apq = at(a, p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = at(a, p, p);
+        const double aqq = at(a, q, q);
+        // Classic Jacobi rotation annihilating a[p][q].
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < d; ++k) {
+          const double akp = at(a, k, p);
+          const double akq = at(a, k, q);
+          at(a, k, p) = c * akp - s * akq;
+          at(a, k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < d; ++k) {
+          const double apk = at(a, p, k);
+          const double aqk = at(a, q, k);
+          at(a, p, k) = c * apk - s * aqk;
+          at(a, q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < d; ++k) {
+          const double vkp = at(v, k, p);
+          const double vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  eigenvalues->resize(d);
+  for (size_t i = 0; i < d; ++i) (*eigenvalues)[i] = a[i * d + i];
+}
+
+util::Result<PcaModel> PcaModel::Fit(const Matrix& m) {
+  if (m.empty()) {
+    return util::Status::InvalidArgument("PCA requires a non-empty matrix");
+  }
+  const size_t n = m.rows();
+  const size_t d = m.cols();
+
+  PcaModel model;
+  model.mean_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = m.Row(i);
+    for (size_t j = 0; j < d; ++j) model.mean_[j] += row[j];
+  }
+  for (auto& v : model.mean_) v /= static_cast<double>(n);
+
+  // Covariance (biased, 1/n) — the normalisation constant does not affect
+  // the eigenvectors.
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = m.Row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - model.mean_[j];
+    for (size_t j = 0; j < d; ++j) {
+      const double cj = centered[j];
+      if (cj == 0.0) continue;
+      double* cov_row = cov.data() + j * d;
+      for (size_t k = j; k < d; ++k) cov_row[k] += cj * centered[k];
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t k = j; k < d; ++k) {
+      cov[j * d + k] /= static_cast<double>(n);
+      cov[k * d + j] = cov[j * d + k];
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  std::vector<double> eigenvectors;
+  JacobiEigenSymmetric(std::move(cov), d, &eigenvalues, &eigenvectors);
+
+  // Sort components by descending eigenvalue.
+  std::vector<size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return eigenvalues[a] > eigenvalues[b];
+  });
+
+  model.eigenvalues_.resize(d);
+  model.components_ = Matrix(d, d);
+  for (size_t r = 0; r < d; ++r) {
+    const size_t src = order[r];
+    model.eigenvalues_[r] = eigenvalues[src];
+    auto dst = model.components_.MutableRow(r);
+    for (size_t j = 0; j < d; ++j) dst[j] = eigenvectors[j * d + src];
+  }
+  return model;
+}
+
+util::Result<Matrix> PcaModel::Project(const Matrix& m, size_t k) const {
+  const size_t d = dimensions();
+  if (m.cols() != d) {
+    return util::Status::InvalidArgument(
+        "matrix dimensionality " + std::to_string(m.cols()) +
+        " does not match PCA model dimensionality " + std::to_string(d));
+  }
+  if (k > d) {
+    return util::Status::InvalidArgument(
+        "cannot project onto " + std::to_string(k) + " > " +
+        std::to_string(d) + " components");
+  }
+  Matrix out(m.rows(), k);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.Row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - mean_[j];
+    auto dst = out.MutableRow(i);
+    for (size_t c = 0; c < k; ++c) {
+      const auto axis = components_.Row(c);
+      double s = 0.0;
+      for (size_t j = 0; j < d; ++j) s += centered[j] * axis[j];
+      dst[c] = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace karl::data

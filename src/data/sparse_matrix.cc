@@ -1,0 +1,44 @@
+#include "data/sparse_matrix.h"
+
+#include <cassert>
+
+namespace karl::data {
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  SparseMatrix out;
+  out.cols_ = dense.cols();
+  out.row_offsets_.reserve(dense.rows() + 1);
+  out.row_offsets_.push_back(0);
+  out.sq_norms_.reserve(dense.rows());
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    const auto row = dense.Row(i);
+    double sq = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (row[j] != 0.0) {
+        out.entries_.push_back({static_cast<uint32_t>(j), row[j]});
+        sq += row[j] * row[j];
+      }
+    }
+    out.row_offsets_.push_back(out.entries_.size());
+    out.sq_norms_.push_back(sq);
+  }
+  return out;
+}
+
+double SparseMatrix::DotDense(size_t i, std::span<const double> dense) const {
+  assert(dense.size() == cols_);
+  double s = 0.0;
+  for (const Entry& e : Row(i)) s += e.value * dense[e.column];
+  return s;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows(), cols_);
+  for (size_t i = 0; i < rows(); ++i) {
+    auto row = out.MutableRow(i);
+    for (const Entry& e : Row(i)) row[e.column] = e.value;
+  }
+  return out;
+}
+
+}  // namespace karl::data

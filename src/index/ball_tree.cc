@@ -1,0 +1,128 @@
+#include "index/ball_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace karl::index {
+
+util::Result<std::unique_ptr<BallTree>> BallTree::Build(
+    const data::Matrix& points, std::span<const double> weights,
+    size_t leaf_capacity) {
+  if (points.empty()) {
+    return util::Status::InvalidArgument(
+        "cannot build ball-tree on empty data");
+  }
+  if (weights.size() != points.rows()) {
+    return util::Status::InvalidArgument(
+        "weight count " + std::to_string(weights.size()) +
+        " does not match point count " + std::to_string(points.rows()));
+  }
+  if (leaf_capacity < 1) {
+    return util::Status::InvalidArgument("leaf capacity must be >= 1");
+  }
+  std::unique_ptr<BallTree> tree(new BallTree());
+  tree->BuildShared(points, weights, leaf_capacity);
+  return tree;
+}
+
+size_t BallTree::Partition(const data::Matrix& input_points,
+                           std::vector<size_t>& perm, size_t begin,
+                           size_t end) {
+  const size_t d = input_points.cols();
+
+  // Farthest-pair heuristic: pivot A = farthest point from the centroid,
+  // pivot B = farthest point from A; partition by nearer pivot.
+  std::vector<double> centroid(d, 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    const auto row = input_points.Row(perm[i]);
+    for (size_t j = 0; j < d; ++j) centroid[j] += row[j];
+  }
+  const double inv_n = 1.0 / static_cast<double>(end - begin);
+  for (auto& c : centroid) c *= inv_n;
+
+  size_t pivot_a = begin;
+  double best = -1.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double sq =
+        util::SquaredDistance(input_points.Row(perm[i]), centroid);
+    if (sq > best) {
+      best = sq;
+      pivot_a = i;
+    }
+  }
+  const std::vector<double> a(input_points.Row(perm[pivot_a]).begin(),
+                              input_points.Row(perm[pivot_a]).end());
+  size_t pivot_b = begin;
+  best = -1.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double sq = util::SquaredDistance(input_points.Row(perm[i]), a);
+    if (sq > best) {
+      best = sq;
+      pivot_b = i;
+    }
+  }
+  const std::vector<double> b(input_points.Row(perm[pivot_b]).begin(),
+                              input_points.Row(perm[pivot_b]).end());
+
+  if (best <= 0.0) return begin;  // All points identical: stay a leaf.
+
+  // Stable two-way partition: nearer to A goes left.
+  const auto nearer_a = [&](size_t original_index) {
+    const auto row = input_points.Row(original_index);
+    return util::SquaredDistance(row, a) <= util::SquaredDistance(row, b);
+  };
+  size_t mid = static_cast<size_t>(
+      std::stable_partition(perm.begin() + begin, perm.begin() + end,
+                            nearer_a) -
+      perm.begin());
+
+  // Both pivots exist, but ties can still empty one side; force a
+  // median-by-pivot-distance split in that case.
+  if (mid == begin || mid == end) {
+    mid = begin + (end - begin) / 2;
+    std::nth_element(perm.begin() + begin, perm.begin() + mid,
+                     perm.begin() + end, [&](size_t x, size_t y) {
+                       return util::SquaredDistance(input_points.Row(x), a) <
+                              util::SquaredDistance(input_points.Row(y), a);
+                     });
+  }
+  return mid;
+}
+
+void BallTree::ComputeRegions() {
+  balls_.resize(nodes_.size());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& nd = nodes_[id];
+    balls_[id] = BoundingBall::FitRange(points(), nd.begin, nd.end);
+  }
+}
+
+void BallTree::DistanceBounds(NodeId id, std::span<const double> q,
+                              double* min_sq, double* max_sq) const {
+  // One centre-distance evaluation serves both bounds.
+  const double dist =
+      std::sqrt(util::SquaredDistance(q, balls_[id].center()));
+  const double min_dist = std::max(0.0, dist - balls_[id].radius());
+  const double max_dist = dist + balls_[id].radius();
+  *min_sq = min_dist * min_dist;
+  *max_sq = max_dist * max_dist;
+}
+
+void BallTree::InnerProductBounds(NodeId id, std::span<const double> q,
+                                  double* ip_min, double* ip_max) const {
+  balls_[id].InnerProductBounds(q, ip_min, ip_max);
+}
+
+size_t BallTree::MemoryUsageBytes() const {
+  size_t bytes = TreeIndex::MemoryUsageBytes();
+  for (const auto& ball : balls_) {
+    bytes += ball.center().size() * sizeof(double) + sizeof(BoundingBall);
+  }
+  return bytes;
+}
+
+}  // namespace karl::index

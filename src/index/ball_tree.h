@@ -1,0 +1,46 @@
+// Ball-tree index [Uhlmann'91, Moore'00]: nodes are bounding balls, split
+// by the farthest-pair heuristic.
+
+#ifndef KARL_INDEX_BALL_TREE_H_
+#define KARL_INDEX_BALL_TREE_H_
+
+#include <memory>
+
+#include "index/bounding_ball.h"
+#include "index/tree_index.h"
+#include "util/status.h"
+
+namespace karl::index {
+
+/// Ball-tree over a weighted point set.
+class BallTree final : public TreeIndex {
+ public:
+  /// Builds a ball-tree. Fails on empty input or mismatched weight count.
+  static util::Result<std::unique_ptr<BallTree>> Build(
+      const data::Matrix& points, std::span<const double> weights,
+      size_t leaf_capacity);
+
+  void DistanceBounds(NodeId id, std::span<const double> q, double* min_sq,
+                      double* max_sq) const override;
+  void InnerProductBounds(NodeId id, std::span<const double> q,
+                          double* ip_min, double* ip_max) const override;
+  IndexKind kind() const override { return IndexKind::kBallTree; }
+  size_t MemoryUsageBytes() const override;
+
+  /// The bounding ball of a node (exposed for tests/diagnostics).
+  const BoundingBall& ball(NodeId id) const { return balls_[id]; }
+
+ private:
+  BallTree() = default;
+
+  size_t Partition(const data::Matrix& input_points,
+                   std::vector<size_t>& perm, size_t begin,
+                   size_t end) override;
+  void ComputeRegions() override;
+
+  std::vector<BoundingBall> balls_;
+};
+
+}  // namespace karl::index
+
+#endif  // KARL_INDEX_BALL_TREE_H_

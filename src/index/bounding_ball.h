@@ -1,0 +1,48 @@
+// Bounding ball (centre + radius) — the node region of the ball-tree
+// [Uhlmann'91, Moore'00], with the same bound interface as BoundingBox.
+
+#ifndef KARL_INDEX_BOUNDING_BALL_H_
+#define KARL_INDEX_BOUNDING_BALL_H_
+
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace karl::index {
+
+/// Minimal enclosing ball approximation (centroid-centred) for a point set.
+class BoundingBall {
+ public:
+  /// Constructs an empty (invalid) ball; call FitRange before use.
+  BoundingBall() = default;
+
+  /// Fits a ball centred at the centroid of rows [begin, end), with radius
+  /// the maximum centroid distance (exact cover, not minimal).
+  static BoundingBall FitRange(const data::Matrix& points, size_t begin,
+                               size_t end);
+
+  /// mindist(q, B)^2 = max(0, ||q-c|| - r)^2.
+  double MinSquaredDistance(std::span<const double> q) const;
+
+  /// maxdist(q, B)^2 = (||q-c|| + r)^2.
+  double MaxSquaredDistance(std::span<const double> q) const;
+
+  /// [IP_min, IP_max] of q·p over the ball: q·c ∓ r·||q||.
+  void InnerProductBounds(std::span<const double> q, double* ip_min,
+                          double* ip_max) const;
+
+  /// Ball centre.
+  const std::vector<double>& center() const { return center_; }
+
+  /// Ball radius.
+  double radius() const { return radius_; }
+
+ private:
+  std::vector<double> center_;
+  double radius_ = 0.0;
+};
+
+}  // namespace karl::index
+
+#endif  // KARL_INDEX_BOUNDING_BALL_H_

@@ -1,0 +1,130 @@
+#include "index/bounding_box.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace karl::index {
+
+BoundingBox BoundingBox::Fit(const data::Matrix& points,
+                             std::span<const size_t> row_indices) {
+  assert(!row_indices.empty());
+  BoundingBox box;
+  const size_t d = points.cols();
+  box.lower_.assign(d, std::numeric_limits<double>::infinity());
+  box.upper_.assign(d, -std::numeric_limits<double>::infinity());
+  for (const size_t i : row_indices) {
+    const auto row = points.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      box.lower_[j] = std::min(box.lower_[j], row[j]);
+      box.upper_[j] = std::max(box.upper_[j], row[j]);
+    }
+  }
+  return box;
+}
+
+BoundingBox BoundingBox::FitRange(const data::Matrix& points, size_t begin,
+                                  size_t end) {
+  assert(begin < end && end <= points.rows());
+  BoundingBox box;
+  const size_t d = points.cols();
+  box.lower_.assign(d, std::numeric_limits<double>::infinity());
+  box.upper_.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = begin; i < end; ++i) {
+    const auto row = points.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      box.lower_[j] = std::min(box.lower_[j], row[j]);
+      box.upper_[j] = std::max(box.upper_[j], row[j]);
+    }
+  }
+  return box;
+}
+
+double BoundingBox::MinSquaredDistance(std::span<const double> q) const {
+  assert(q.size() == lower_.size());
+  double s = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    double diff = 0.0;
+    if (q[j] < lower_[j]) {
+      diff = lower_[j] - q[j];
+    } else if (q[j] > upper_[j]) {
+      diff = q[j] - upper_[j];
+    }
+    s += diff * diff;
+  }
+  return s;
+}
+
+double BoundingBox::MaxSquaredDistance(std::span<const double> q) const {
+  assert(q.size() == lower_.size());
+  double s = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    // Farthest corner per dimension.
+    const double to_lower = q[j] - lower_[j];
+    const double to_upper = upper_[j] - q[j];
+    const double diff = std::max(std::abs(to_lower), std::abs(to_upper));
+    s += diff * diff;
+  }
+  return s;
+}
+
+void BoundingBox::SquaredDistanceBounds(std::span<const double> q,
+                                        double* min_sq,
+                                        double* max_sq) const {
+  assert(q.size() == lower_.size());
+  double min_s = 0.0;
+  double max_s = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    const double to_lower = q[j] - lower_[j];
+    const double to_upper = upper_[j] - q[j];
+    if (to_lower < 0.0) {
+      min_s += to_lower * to_lower;
+    } else if (to_upper < 0.0) {
+      min_s += to_upper * to_upper;
+    }
+    const double far_diff = std::max(std::abs(to_lower), std::abs(to_upper));
+    max_s += far_diff * far_diff;
+  }
+  *min_sq = min_s;
+  *max_sq = max_s;
+}
+
+void BoundingBox::InnerProductBounds(std::span<const double> q,
+                                     double* ip_min, double* ip_max) const {
+  assert(q.size() == lower_.size());
+  double lo = 0.0;
+  double hi = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    // q_j * p_j over p_j in [l_j, u_j]: extremes at the interval ends,
+    // which end depends on the sign of q_j.
+    const double a = q[j] * lower_[j];
+    const double b = q[j] * upper_[j];
+    lo += std::min(a, b);
+    hi += std::max(a, b);
+  }
+  *ip_min = lo;
+  *ip_max = hi;
+}
+
+size_t BoundingBox::WidestDimension() const {
+  size_t best = 0;
+  double best_extent = -1.0;
+  for (size_t j = 0; j < lower_.size(); ++j) {
+    const double extent = upper_[j] - lower_[j];
+    if (extent > best_extent) {
+      best_extent = extent;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool BoundingBox::Contains(std::span<const double> p) const {
+  assert(p.size() == lower_.size());
+  for (size_t j = 0; j < p.size(); ++j) {
+    if (p[j] < lower_[j] || p[j] > upper_[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace karl::index

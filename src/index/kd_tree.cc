@@ -1,0 +1,85 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace karl::index {
+
+util::Result<std::unique_ptr<KdTree>> KdTree::Build(
+    const data::Matrix& points, std::span<const double> weights,
+    size_t leaf_capacity) {
+  if (points.empty()) {
+    return util::Status::InvalidArgument("cannot build kd-tree on empty data");
+  }
+  if (weights.size() != points.rows()) {
+    return util::Status::InvalidArgument(
+        "weight count " + std::to_string(weights.size()) +
+        " does not match point count " + std::to_string(points.rows()));
+  }
+  if (leaf_capacity < 1) {
+    return util::Status::InvalidArgument("leaf capacity must be >= 1");
+  }
+  std::unique_ptr<KdTree> tree(new KdTree());
+  tree->BuildShared(points, weights, leaf_capacity);
+  return tree;
+}
+
+size_t KdTree::Partition(const data::Matrix& input_points,
+                         std::vector<size_t>& perm, size_t begin,
+                         size_t end) {
+  // Split dimension: widest extent over the node's points.
+  const size_t d = input_points.cols();
+  size_t split_dim = 0;
+  double best_extent = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (size_t i = begin; i < end; ++i) {
+      const double v = input_points(perm[i], j);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      split_dim = j;
+    }
+  }
+  if (best_extent <= 0.0) return begin;  // All points identical: stay a leaf.
+
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(perm.begin() + begin, perm.begin() + mid,
+                   perm.begin() + end, [&](size_t a, size_t b) {
+                     return input_points(a, split_dim) <
+                            input_points(b, split_dim);
+                   });
+  return mid;
+}
+
+void KdTree::ComputeRegions() {
+  boxes_.resize(nodes_.size());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& nd = nodes_[id];
+    boxes_[id] = BoundingBox::FitRange(points(), nd.begin, nd.end);
+  }
+}
+
+void KdTree::DistanceBounds(NodeId id, std::span<const double> q,
+                            double* min_sq, double* max_sq) const {
+  boxes_[id].SquaredDistanceBounds(q, min_sq, max_sq);
+}
+
+void KdTree::InnerProductBounds(NodeId id, std::span<const double> q,
+                                double* ip_min, double* ip_max) const {
+  boxes_[id].InnerProductBounds(q, ip_min, ip_max);
+}
+
+size_t KdTree::MemoryUsageBytes() const {
+  size_t bytes = TreeIndex::MemoryUsageBytes();
+  for (const auto& box : boxes_) {
+    bytes += 2 * box.dimensions() * sizeof(double) + sizeof(BoundingBox);
+  }
+  return bytes;
+}
+
+}  // namespace karl::index

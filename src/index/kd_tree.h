@@ -1,0 +1,46 @@
+// kd-tree index [Samet'06, §1.5] with bounding-rectangle node regions:
+// splits on the widest dimension at the median.
+
+#ifndef KARL_INDEX_KD_TREE_H_
+#define KARL_INDEX_KD_TREE_H_
+
+#include <memory>
+
+#include "index/bounding_box.h"
+#include "index/tree_index.h"
+#include "util/status.h"
+
+namespace karl::index {
+
+/// kd-tree over a weighted point set.
+class KdTree final : public TreeIndex {
+ public:
+  /// Builds a kd-tree. Fails on empty input or mismatched weight count.
+  static util::Result<std::unique_ptr<KdTree>> Build(
+      const data::Matrix& points, std::span<const double> weights,
+      size_t leaf_capacity);
+
+  void DistanceBounds(NodeId id, std::span<const double> q, double* min_sq,
+                      double* max_sq) const override;
+  void InnerProductBounds(NodeId id, std::span<const double> q,
+                          double* ip_min, double* ip_max) const override;
+  IndexKind kind() const override { return IndexKind::kKdTree; }
+  size_t MemoryUsageBytes() const override;
+
+  /// The bounding rectangle of a node (exposed for tests/diagnostics).
+  const BoundingBox& box(NodeId id) const { return boxes_[id]; }
+
+ private:
+  KdTree() = default;
+
+  size_t Partition(const data::Matrix& input_points,
+                   std::vector<size_t>& perm, size_t begin,
+                   size_t end) override;
+  void ComputeRegions() override;
+
+  std::vector<BoundingBox> boxes_;
+};
+
+}  // namespace karl::index
+
+#endif  // KARL_INDEX_KD_TREE_H_

@@ -1,0 +1,132 @@
+#include "index/tree_index.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "util/math_util.h"
+
+namespace karl::index {
+
+std::string_view IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kKdTree:
+      return "kd-tree";
+    case IndexKind::kBallTree:
+      return "ball-tree";
+  }
+  return "unknown";
+}
+
+void TreeIndex::BuildShared(const data::Matrix& input_points,
+                            std::span<const double> input_weights,
+                            size_t leaf_capacity) {
+  assert(input_points.rows() > 0);
+  assert(input_weights.size() == input_points.rows());
+  assert(leaf_capacity >= 1);
+
+  leaf_capacity_ = leaf_capacity;
+  const size_t n = input_points.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), size_t{0});
+
+  // Phase 1: recursive structure build over the permutation. Explicit
+  // stack to stay robust on deep trees (leaf capacity 1, skewed splits).
+  nodes_.clear();
+  struct Frame {
+    NodeId id;
+    size_t begin, end;
+  };
+  std::vector<Frame> stack;
+  nodes_.push_back(Node{kInvalidNode, kInvalidNode, 0,
+                        static_cast<uint32_t>(n), 0});
+  stack.push_back({0, 0, n});
+  max_depth_ = 0;
+
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    Node& nd = nodes_[frame.id];
+    if (nd.count() <= leaf_capacity) continue;
+
+    const size_t mid =
+        Partition(input_points, perm_, frame.begin, frame.end);
+    // A degenerate split (all points identical) keeps the node a leaf.
+    if (mid <= frame.begin || mid >= frame.end) continue;
+
+    const uint16_t child_depth = static_cast<uint16_t>(nodes_[frame.id].depth + 1);
+    const NodeId left_id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{kInvalidNode, kInvalidNode,
+                          static_cast<uint32_t>(frame.begin),
+                          static_cast<uint32_t>(mid), child_depth});
+    const NodeId right_id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{kInvalidNode, kInvalidNode,
+                          static_cast<uint32_t>(mid),
+                          static_cast<uint32_t>(frame.end), child_depth});
+    nodes_[frame.id].left = left_id;
+    nodes_[frame.id].right = right_id;
+    max_depth_ = std::max(max_depth_, static_cast<size_t>(child_depth));
+    stack.push_back({left_id, frame.begin, mid});
+    stack.push_back({right_id, mid, frame.end});
+  }
+
+  // Phase 2: materialise the permuted point matrix and weights.
+  const size_t d = input_points.cols();
+  points_ = data::Matrix(n, d);
+  weights_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto src = input_points.Row(perm_[i]);
+    auto dst = points_.MutableRow(i);
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+    weights_[i] = input_weights[perm_[i]];
+  }
+
+  // Phase 3: aggregates and subclass region geometry.
+  ComputeSummaries();
+  ComputeRegions();
+}
+
+void TreeIndex::ComputeSummaries() {
+  const size_t d = points_.cols();
+  const size_t num = nodes_.size();
+  weight_sums_.assign(num, 0.0);
+  sqnorm_sums_.assign(num, 0.0);
+  point_sums_.assign(num * d, 0.0);
+
+  // Bottom-up: children appear after parents in nodes_, so a reverse pass
+  // can merge child aggregates into parents. Leaves are computed directly.
+  for (size_t idx = num; idx-- > 0;) {
+    const Node& nd = nodes_[idx];
+    double* sums = point_sums_.data() + idx * d;
+    if (nd.is_leaf()) {
+      double w_sum = 0.0;
+      double b_sum = 0.0;
+      for (size_t i = nd.begin; i < nd.end; ++i) {
+        const double w = weights_[i];
+        const auto row = points_.Row(i);
+        w_sum += w;
+        b_sum += w * util::SquaredNorm(row);
+        for (size_t j = 0; j < d; ++j) sums[j] += w * row[j];
+      }
+      weight_sums_[idx] = w_sum;
+      sqnorm_sums_[idx] = b_sum;
+    } else {
+      weight_sums_[idx] = weight_sums_[nd.left] + weight_sums_[nd.right];
+      sqnorm_sums_[idx] = sqnorm_sums_[nd.left] + sqnorm_sums_[nd.right];
+      const double* left = point_sums_.data() + static_cast<size_t>(nd.left) * d;
+      const double* right =
+          point_sums_.data() + static_cast<size_t>(nd.right) * d;
+      for (size_t j = 0; j < d; ++j) sums[j] = left[j] + right[j];
+    }
+  }
+}
+
+size_t TreeIndex::MemoryUsageBytes() const {
+  return nodes_.size() * sizeof(Node) +
+         (weight_sums_.size() + sqnorm_sums_.size() + point_sums_.size() +
+          weights_.size()) *
+             sizeof(double) +
+         perm_.size() * sizeof(size_t) +
+         points_.values().size() * sizeof(double);
+}
+
+}  // namespace karl::index

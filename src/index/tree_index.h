@@ -1,0 +1,152 @@
+// Common interface and storage for KARL's hierarchical indexes (kd-tree,
+// ball-tree).
+//
+// A TreeIndex owns a permuted copy of the point set (each node's points are
+// contiguous), per-point weights, and per-node *weighted aggregates* that
+// let KARL's linear bound functions be evaluated in O(d) per node
+// (paper Lemma 2 / Lemma 5):
+//
+//   weight_sum            w_P  = Σ w_i
+//   weighted_point_sum    a_P  = Σ w_i · p_i        (length-d vector)
+//   weighted_sqnorm_sum   b_P  = Σ w_i · ||p_i||²
+//
+// Concrete trees supply the node geometry (distance and inner-product
+// bounds); everything else is shared.
+
+#ifndef KARL_INDEX_TREE_INDEX_H_
+#define KARL_INDEX_TREE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace karl::index {
+
+/// Identifier of a node inside a TreeIndex; the root is node 0.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Which concrete index structure to build.
+enum class IndexKind {
+  kKdTree,
+  kBallTree,
+};
+
+/// Human-readable name ("kd-tree" / "ball-tree").
+std::string_view IndexKindToString(IndexKind kind);
+
+/// Abstract hierarchical index over a weighted point set.
+class TreeIndex {
+ public:
+  /// Tree node: children plus the contiguous range of permuted points it
+  /// covers. Leaves have left == right == kInvalidNode.
+  struct Node {
+    NodeId left = kInvalidNode;
+    NodeId right = kInvalidNode;
+    uint32_t begin = 0;  ///< First permuted point index (inclusive).
+    uint32_t end = 0;    ///< Last permuted point index (exclusive).
+    uint16_t depth = 0;  ///< Root has depth 0.
+
+    bool is_leaf() const { return left == kInvalidNode; }
+    size_t count() const { return end - begin; }
+  };
+
+  virtual ~TreeIndex() = default;
+
+  TreeIndex(const TreeIndex&) = delete;
+  TreeIndex& operator=(const TreeIndex&) = delete;
+
+  /// Root node id (always 0 for a non-empty tree).
+  NodeId root() const { return 0; }
+
+  /// Number of nodes.
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Node accessor.
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Deepest node depth (root = 0).
+  size_t max_depth() const { return max_depth_; }
+
+  /// Leaf capacity the tree was built with.
+  size_t leaf_capacity() const { return leaf_capacity_; }
+
+  /// The permuted point matrix; node ranges index into it.
+  const data::Matrix& points() const { return points_; }
+
+  /// Per-point weights, permuted alongside points().
+  std::span<const double> weights() const { return weights_; }
+
+  /// Maps permuted position -> original row index in the input matrix.
+  std::span<const size_t> original_indices() const { return perm_; }
+
+  /// w_P of the node (Σ w_i).
+  double weight_sum(NodeId id) const { return weight_sums_[id]; }
+
+  /// b_P of the node (Σ w_i ||p_i||²).
+  double weighted_sqnorm_sum(NodeId id) const { return sqnorm_sums_[id]; }
+
+  /// a_P of the node (Σ w_i p_i), as a length-d span.
+  std::span<const double> weighted_point_sum(NodeId id) const {
+    const size_t d = points_.cols();
+    return {point_sums_.data() + static_cast<size_t>(id) * d, d};
+  }
+
+  /// Squared-distance bounds of the node region from `q`:
+  /// mindist(q,R)² and maxdist(q,R)².
+  virtual void DistanceBounds(NodeId id, std::span<const double> q,
+                              double* min_sq, double* max_sq) const = 0;
+
+  /// Inner-product bounds of the node region: [min q·p, max q·p].
+  virtual void InnerProductBounds(NodeId id, std::span<const double> q,
+                                  double* ip_min, double* ip_max) const = 0;
+
+  /// The concrete index kind.
+  virtual IndexKind kind() const = 0;
+
+  /// Total heap bytes used by node storage (diagnostics).
+  virtual size_t MemoryUsageBytes() const;
+
+ protected:
+  TreeIndex() = default;
+
+  /// Shared build driver: recursively partitions the permutation using the
+  /// subclass's Partition hook, then materialises the permuted matrix and
+  /// the per-node aggregates, then calls the subclass's ComputeRegions.
+  void BuildShared(const data::Matrix& input_points,
+                   std::span<const double> input_weights,
+                   size_t leaf_capacity);
+
+  /// Subclass hook: reorders perm[begin, end) (indices into
+  /// `input_points`) and returns the split position `mid` in (begin, end)
+  /// so children cover [begin, mid) and [mid, end). Called only when
+  /// end - begin > leaf capacity.
+  virtual size_t Partition(const data::Matrix& input_points,
+                           std::vector<size_t>& perm, size_t begin,
+                           size_t end) = 0;
+
+  /// Subclass hook: after points are permuted, compute each node's region
+  /// geometry from its contiguous range.
+  virtual void ComputeRegions() = 0;
+
+  std::vector<Node> nodes_;
+
+ private:
+  void ComputeSummaries();
+
+  data::Matrix points_;          // Permuted copy of the input.
+  std::vector<double> weights_;  // Permuted weights.
+  std::vector<size_t> perm_;     // Permuted position -> original index.
+  std::vector<double> weight_sums_;
+  std::vector<double> sqnorm_sums_;
+  std::vector<double> point_sums_;  // num_nodes x d, flattened.
+  size_t leaf_capacity_ = 0;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace karl::index
+
+#endif  // KARL_INDEX_TREE_INDEX_H_

@@ -1,0 +1,55 @@
+#include "ml/kde.h"
+
+#include <cmath>
+
+namespace karl::ml {
+
+double ScottBandwidth(const data::Matrix& data) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n == 0 || d == 0) return 1.0;
+
+  // Mean per-dimension standard deviation.
+  double sigma_sum = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += data(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double diff = data(i, j) - mean;
+      var += diff * diff;
+    }
+    sigma_sum += std::sqrt(var / static_cast<double>(n));
+  }
+  const double sigma_bar = sigma_sum / static_cast<double>(d);
+
+  const double factor =
+      std::pow(static_cast<double>(n),
+               -1.0 / (static_cast<double>(d) + 4.0));
+  // Guard against constant datasets (σ̄ = 0).
+  return std::max(factor * sigma_bar, 1e-9);
+}
+
+double BandwidthToGamma(double bandwidth) {
+  return 1.0 / (2.0 * bandwidth * bandwidth);
+}
+
+util::Result<KdeModel> KdeModel::Fit(const data::Matrix& data,
+                                     const EngineOptions& options,
+                                     double gamma_override) {
+  if (data.empty()) {
+    return util::Status::InvalidArgument("cannot fit KDE on empty data");
+  }
+  const double gamma = gamma_override > 0.0
+                           ? gamma_override
+                           : BandwidthToGamma(ScottBandwidth(data));
+  EngineOptions engine_options = options;
+  engine_options.kernel = core::KernelParams::Gaussian(gamma);
+  auto engine = Engine::BuildUniform(
+      data, 1.0 / static_cast<double>(data.rows()), engine_options);
+  if (!engine.ok()) return engine.status();
+  return KdeModel(std::move(engine).ValueOrDie(), gamma);
+}
+
+}  // namespace karl::ml

@@ -1,0 +1,69 @@
+// Kernel density estimation substrate (the paper's Type-I application
+// model): Scott's-rule bandwidth selection and a KDE model that maps
+// density queries onto kernel aggregation queries.
+
+#ifndef KARL_ML_KDE_H_
+#define KARL_ML_KDE_H_
+
+#include "core/karl.h"
+#include "data/matrix.h"
+#include "util/status.h"
+
+namespace karl::ml {
+
+/// Scott's-rule bandwidth for `data`: h = n^{-1/(d+4)} · σ̄, where σ̄ is
+/// the mean per-dimension standard deviation (the multivariate rule used
+/// by [Gan&Bailis'17] and the paper's Type-I setup).
+double ScottBandwidth(const data::Matrix& data);
+
+/// Converts a bandwidth h into the Gaussian-kernel γ of Equation (1):
+/// exp(−γ·dist²) with γ = 1/(2h²).
+double BandwidthToGamma(double bandwidth);
+
+/// A kernel density estimator backed by a KARL engine.
+///
+/// Density(q) = (1/n)·Σ exp(−γ·dist(q,p_i)²), i.e. a Type-I kernel
+/// aggregation with common weight 1/n (the Gaussian normalisation
+/// constant is omitted, as in the paper — thresholds scale with it).
+class KdeModel {
+ public:
+  /// Fits a KDE over `data`. γ defaults to Scott's rule; pass a positive
+  /// `gamma_override` to pin it. Index settings come from `options`
+  /// (kernel field is overwritten).
+  static util::Result<KdeModel> Fit(const data::Matrix& data,
+                                    const EngineOptions& options,
+                                    double gamma_override = 0.0);
+
+  /// Approximate density with relative error eps (eKAQ).
+  double Density(std::span<const double> q, double eps = 0.05) const {
+    return engine_.Ekaq(q, eps);
+  }
+
+  /// Exact density (full scan).
+  double ExactDensity(std::span<const double> q) const {
+    return engine_.Exact(q);
+  }
+
+  /// Is the density at q above `tau`? (TKAQ — the kernel density
+  /// classification problem of [Gan&Bailis'17].)
+  bool DensityAbove(std::span<const double> q, double tau) const {
+    return engine_.Tkaq(q, tau);
+  }
+
+  /// The γ in use.
+  double gamma() const { return gamma_; }
+
+  /// The underlying engine.
+  const Engine& engine() const { return engine_; }
+
+ private:
+  KdeModel(Engine engine, double gamma)
+      : engine_(std::move(engine)), gamma_(gamma) {}
+
+  Engine engine_;
+  double gamma_ = 0.0;
+};
+
+}  // namespace karl::ml
+
+#endif  // KARL_ML_KDE_H_

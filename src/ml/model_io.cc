@@ -1,0 +1,120 @@
+#include "ml/model_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace karl::ml {
+
+std::string WriteSvmModel(const SvmModel& model) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "kernel " << core::KernelTypeToString(model.kernel.type) << '\n';
+  out << "gamma " << model.kernel.gamma << '\n';
+  out << "beta " << model.kernel.beta << '\n';
+  out << "degree " << model.kernel.degree << '\n';
+  out << "rho " << model.rho << '\n';
+  out << "dim " << model.support_vectors.cols() << '\n';
+  out << "nr_sv " << model.support_vectors.rows() << '\n';
+  out << "SV\n";
+  for (size_t i = 0; i < model.support_vectors.rows(); ++i) {
+    out << model.coefficients[i];
+    const auto row = model.support_vectors.Row(i);
+    for (const double v : row) out << ' ' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+util::Result<SvmModel> ParseSvmModel(const std::string& text) {
+  std::istringstream in(text);
+  SvmModel model;
+  size_t dim = 0;
+  size_t nr_sv = 0;
+  std::string key;
+  // Header: "key value" lines until the SV marker.
+  while (in >> key) {
+    if (key == "SV") break;
+    if (key == "kernel") {
+      std::string name;
+      in >> name;
+      if (name == "gaussian") {
+        model.kernel.type = core::KernelType::kGaussian;
+      } else if (name == "laplacian") {
+        model.kernel.type = core::KernelType::kLaplacian;
+      } else if (name == "cauchy") {
+        model.kernel.type = core::KernelType::kCauchy;
+      } else if (name == "polynomial") {
+        model.kernel.type = core::KernelType::kPolynomial;
+      } else if (name == "sigmoid") {
+        model.kernel.type = core::KernelType::kSigmoid;
+      } else {
+        return util::Status::InvalidArgument("unknown kernel '" + name + "'");
+      }
+    } else if (key == "gamma") {
+      in >> model.kernel.gamma;
+    } else if (key == "beta") {
+      in >> model.kernel.beta;
+    } else if (key == "degree") {
+      in >> model.kernel.degree;
+    } else if (key == "rho") {
+      in >> model.rho;
+    } else if (key == "dim") {
+      in >> dim;
+    } else if (key == "nr_sv") {
+      in >> nr_sv;
+    } else {
+      return util::Status::InvalidArgument("unknown model field '" + key +
+                                           "'");
+    }
+    if (!in) {
+      return util::Status::InvalidArgument("malformed value for field '" +
+                                           key + "'");
+    }
+  }
+  if (key != "SV") {
+    return util::Status::InvalidArgument("missing SV section");
+  }
+
+  model.support_vectors = data::Matrix(nr_sv, dim);
+  model.coefficients.resize(nr_sv);
+  for (size_t i = 0; i < nr_sv; ++i) {
+    if (!(in >> model.coefficients[i])) {
+      return util::Status::InvalidArgument(
+          "truncated SV section at row " + std::to_string(i));
+    }
+    auto row = model.support_vectors.MutableRow(i);
+    for (size_t j = 0; j < dim; ++j) {
+      if (!(in >> row[j])) {
+        return util::Status::InvalidArgument(
+            "truncated SV row " + std::to_string(i));
+      }
+    }
+  }
+  return model;
+}
+
+util::Status SaveSvmModel(const std::string& path, const SvmModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return util::Status::IOError("cannot open " + path + " for writing: " +
+                                 std::strerror(errno));
+  }
+  out << WriteSvmModel(model);
+  if (!out) return util::Status::IOError("write failed for " + path);
+  return util::Status::OK();
+}
+
+util::Result<SvmModel> LoadSvmModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSvmModel(buf.str());
+}
+
+}  // namespace karl::ml

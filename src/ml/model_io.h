@@ -1,0 +1,29 @@
+// Save/load trained SVM models in a LIBSVM-flavoured text format, so the
+// offline training phase and the online query phase can run in different
+// processes (as in the paper's pipeline).
+
+#ifndef KARL_ML_MODEL_IO_H_
+#define KARL_ML_MODEL_IO_H_
+
+#include <string>
+
+#include "ml/svm.h"
+#include "util/status.h"
+
+namespace karl::ml {
+
+/// Serializes a model to text. Round-trips exactly with ParseSvmModel.
+std::string WriteSvmModel(const SvmModel& model);
+
+/// Parses a model from text produced by WriteSvmModel.
+util::Result<SvmModel> ParseSvmModel(const std::string& text);
+
+/// Writes a model to disk.
+util::Status SaveSvmModel(const std::string& path, const SvmModel& model);
+
+/// Reads a model from disk.
+util::Result<SvmModel> LoadSvmModel(const std::string& path);
+
+}  // namespace karl::ml
+
+#endif  // KARL_ML_MODEL_IO_H_

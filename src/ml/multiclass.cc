@@ -1,0 +1,98 @@
+#include "ml/multiclass.h"
+
+#include <algorithm>
+#include <set>
+
+namespace karl::ml {
+
+util::Result<MulticlassSvm> MulticlassSvm::Train(
+    const data::LabeledDataset& data, const core::KernelParams& kernel,
+    const TwoClassSvmParams& params) {
+  if (data.points.empty()) {
+    return util::Status::InvalidArgument(
+        "cannot train multi-class SVM on empty data");
+  }
+  std::set<double> class_set(data.labels.begin(), data.labels.end());
+  if (class_set.size() < 2) {
+    return util::Status::InvalidArgument(
+        "multi-class SVM requires at least two classes");
+  }
+
+  MulticlassSvm svm;
+  svm.classes_.assign(class_set.begin(), class_set.end());
+
+  for (size_t a = 0; a < svm.classes_.size(); ++a) {
+    for (size_t b = a + 1; b < svm.classes_.size(); ++b) {
+      // Binary subproblem: class a -> +1, class b -> -1.
+      data::LabeledDataset pair;
+      pair.points = data::Matrix(0, data.points.cols());
+      for (size_t i = 0; i < data.labels.size(); ++i) {
+        if (data.labels[i] == svm.classes_[a]) {
+          pair.points.AppendRow(data.points.Row(i));
+          pair.labels.push_back(+1.0);
+        } else if (data.labels[i] == svm.classes_[b]) {
+          pair.points.AppendRow(data.points.Row(i));
+          pair.labels.push_back(-1.0);
+        }
+      }
+      auto model = TrainTwoClassSvm(pair, kernel, params);
+      if (!model.ok()) return model.status();
+      svm.models_.push_back(std::move(model).ValueOrDie());
+      svm.pairs_.emplace_back(a, b);
+    }
+  }
+  return svm;
+}
+
+double MulticlassSvm::Vote(std::span<const double> q, bool fast) const {
+  std::vector<int> votes(classes_.size(), 0);
+  for (size_t m = 0; m < models_.size(); ++m) {
+    bool positive;
+    if (fast) {
+      positive = engines_[m]->Tkaq(q, taus_[m]);
+    } else {
+      positive = SvmDecision(models_[m], q) > 0.0;
+    }
+    votes[positive ? pairs_[m].first : pairs_[m].second] += 1;
+  }
+  size_t best = 0;
+  for (size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return classes_[best];
+}
+
+double MulticlassSvm::PredictScan(std::span<const double> q) const {
+  return Vote(q, /*fast=*/false);
+}
+
+util::Status MulticlassSvm::BuildEngines(const EngineOptions& options) {
+  engines_.clear();
+  taus_.clear();
+  for (const SvmModel& model : models_) {
+    double tau = 0.0;
+    auto engine = MakeEngineFromSvm(model, options, &tau);
+    if (!engine.ok()) return engine.status();
+    engines_.push_back(
+        std::make_unique<Engine>(std::move(engine).ValueOrDie()));
+    taus_.push_back(tau);
+  }
+  return util::Status::OK();
+}
+
+double MulticlassSvm::PredictFast(std::span<const double> q) const {
+  assert(engines_.size() == models_.size());
+  return Vote(q, /*fast=*/true);
+}
+
+double MulticlassSvm::Accuracy(const data::Matrix& points,
+                               std::span<const double> labels) const {
+  if (points.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    correct += PredictScan(points.Row(i)) == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(points.rows());
+}
+
+}  // namespace karl::ml

@@ -1,0 +1,69 @@
+// Multi-class kernel SVM (one-vs-one), the paper's §VII future-work item.
+//
+// Training builds C(k,2) binary C-SVC models with the SMO substrate; each
+// binary decision at prediction time is exactly a TKAQ over that model's
+// support vectors, so the classifier can run all of its votes through
+// KARL engines and inherit the paper's speedups.
+
+#ifndef KARL_ML_MULTICLASS_H_
+#define KARL_ML_MULTICLASS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/karl.h"
+#include "ml/svm.h"
+#include "util/status.h"
+
+namespace karl::ml {
+
+/// One-vs-one multi-class kernel SVM.
+class MulticlassSvm {
+ public:
+  /// Trains C(k,2) pairwise C-SVC models on `data`, whose labels may be
+  /// any distinct numeric class ids (at least two classes required).
+  static util::Result<MulticlassSvm> Train(const data::LabeledDataset& data,
+                                           const core::KernelParams& kernel,
+                                           const TwoClassSvmParams& params);
+
+  /// Predicts the class of q by majority vote over all pairwise models,
+  /// evaluating each decision by sequential scan. Ties break toward the
+  /// smaller class id.
+  double PredictScan(std::span<const double> q) const;
+
+  /// Builds KARL engines over every pairwise model; subsequent
+  /// PredictFast calls answer each vote with a TKAQ.
+  util::Status BuildEngines(const EngineOptions& options);
+
+  /// Predicts via the KARL engines (BuildEngines must have succeeded).
+  /// Produces identical votes to PredictScan.
+  double PredictFast(std::span<const double> q) const;
+
+  /// Fraction of (points, labels) classified correctly by PredictScan.
+  double Accuracy(const data::Matrix& points,
+                  std::span<const double> labels) const;
+
+  /// The distinct class ids, ascending.
+  const std::vector<double>& classes() const { return classes_; }
+
+  /// The pairwise models, in (i, j) lexicographic class order.
+  const std::vector<SvmModel>& models() const { return models_; }
+
+ private:
+  MulticlassSvm() = default;
+
+  // Casts all pairwise votes for q; `fast` selects the engine path.
+  double Vote(std::span<const double> q, bool fast) const;
+
+  std::vector<double> classes_;
+  // models_[m] separates classes_[pairs_[m].first] (positive side) from
+  // classes_[pairs_[m].second] (negative side).
+  std::vector<SvmModel> models_;
+  std::vector<std::pair<size_t, size_t>> pairs_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<double> taus_;
+};
+
+}  // namespace karl::ml
+
+#endif  // KARL_ML_MULTICLASS_H_

@@ -1,0 +1,75 @@
+#include "ml/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/evaluator.h"
+#include "ml/kde.h"
+
+namespace karl::ml {
+
+util::Result<KernelRegression> KernelRegression::Fit(
+    const data::Matrix& points, std::span<const double> targets,
+    const EngineOptions& options, double gamma) {
+  if (points.empty()) {
+    return util::Status::InvalidArgument(
+        "cannot fit kernel regression on empty data");
+  }
+  if (targets.size() != points.rows()) {
+    return util::Status::InvalidArgument("target count mismatch");
+  }
+
+  KernelRegression model;
+  model.gamma_ =
+      gamma > 0.0 ? gamma : BandwidthToGamma(ScottBandwidth(points));
+  model.y_min_ = *std::min_element(targets.begin(), targets.end());
+
+  EngineOptions engine_options = options;
+  engine_options.kernel = core::KernelParams::Gaussian(model.gamma_);
+
+  const double inv_n = 1.0 / static_cast<double>(points.rows());
+  std::vector<double> den_weights(points.rows(), inv_n);
+  auto den = Engine::Build(points, den_weights, engine_options);
+  if (!den.ok()) return den.status();
+  model.denominator_ =
+      std::make_unique<Engine>(std::move(den).ValueOrDie());
+
+  // Shifted numerator: all weights >= 0 (zeros are dropped by the
+  // engine). A constant-target dataset leaves no positive weights; the
+  // prediction is then identically y_min and no engine is needed.
+  std::vector<double> num_weights(points.rows());
+  bool any_positive = false;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    num_weights[i] = (targets[i] - model.y_min_) * inv_n;
+    any_positive |= num_weights[i] > 0.0;
+  }
+  if (any_positive) {
+    auto num = Engine::Build(points, num_weights, engine_options);
+    if (!num.ok()) return num.status();
+    model.numerator_ =
+        std::make_unique<Engine>(std::move(num).ValueOrDie());
+  }
+  return model;
+}
+
+double KernelRegression::Predict(std::span<const double> q,
+                                 double eps) const {
+  if (numerator_ == nullptr) return y_min_;
+  // (1±ε/3)-approximations of both aggregates compose into a (1±ε)
+  // approximation of their ratio for ε <= 1.
+  const double sub_eps = eps / 3.0;
+  const double num = numerator_->Ekaq(q, sub_eps);
+  const double den = denominator_->Ekaq(q, sub_eps);
+  if (den <= 0.0) return y_min_;  // No kernel mass anywhere near q.
+  return y_min_ + num / den;
+}
+
+double KernelRegression::PredictExact(std::span<const double> q) const {
+  if (numerator_ == nullptr) return y_min_;
+  const double num = numerator_->Exact(q);
+  const double den = denominator_->Exact(q);
+  if (den <= 0.0) return y_min_;
+  return y_min_ + num / den;
+}
+
+}  // namespace karl::ml

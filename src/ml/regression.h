@@ -1,0 +1,61 @@
+// Kernel (Nadaraya–Watson) regression — the paper's §VII future-work
+// item.
+//
+//   ŷ(q) = Σᵢ wᵢ·yᵢ·K(q,pᵢ) / Σᵢ wᵢ·K(q,pᵢ)
+//
+// Both the numerator and the denominator are kernel aggregation queries,
+// so KARL accelerates the regression too. To obtain a clean relative-
+// error guarantee the targets are shifted by y_min (making the numerator
+// a positive Type-II aggregate):
+//
+//   ŷ(q) = y_min + Σ wᵢ·(yᵢ − y_min)·K / Σ wᵢ·K
+//
+// and each aggregate is answered with an εKAQ; the ratio of two
+// (1±ε/3)-approximations is a (1±ε)-approximation of the shifted value.
+
+#ifndef KARL_ML_REGRESSION_H_
+#define KARL_ML_REGRESSION_H_
+
+#include <memory>
+
+#include "core/karl.h"
+#include "data/libsvm_io.h"
+#include "util/status.h"
+
+namespace karl::ml {
+
+/// Kernel regression model backed by two KARL engines.
+class KernelRegression {
+ public:
+  /// Fits on (points, targets) with uniform data weights and a Gaussian
+  /// kernel of the given γ (pass 0 to use Scott's rule).
+  static util::Result<KernelRegression> Fit(const data::Matrix& points,
+                                            std::span<const double> targets,
+                                            const EngineOptions& options,
+                                            double gamma = 0.0);
+
+  /// Approximate prediction: relative error at most `eps` on the shifted
+  /// value ŷ(q) − y_min (and hence absolute error ≤ eps·(ŷ − y_min)).
+  double Predict(std::span<const double> q, double eps = 0.1) const;
+
+  /// Exact prediction by sequential scan (the reference).
+  double PredictExact(std::span<const double> q) const;
+
+  /// The γ in use.
+  double gamma() const { return gamma_; }
+
+  /// The target shift (min of the training targets).
+  double target_shift() const { return y_min_; }
+
+ private:
+  KernelRegression() = default;
+
+  std::unique_ptr<Engine> numerator_;    // Weights (y_i − y_min)/n.
+  std::unique_ptr<Engine> denominator_;  // Weights 1/n.
+  double y_min_ = 0.0;
+  double gamma_ = 0.0;
+};
+
+}  // namespace karl::ml
+
+#endif  // KARL_ML_REGRESSION_H_

@@ -1,0 +1,91 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace karl::util {
+
+util::Result<ParsedArgs> ParsedArgs::Parse(int argc,
+                                           const char* const* argv) {
+  ParsedArgs parsed;
+  int i = 1;
+  while (i < argc) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (token.size() == 2) {
+        return util::Status::InvalidArgument("bare '--' is not a valid flag");
+      }
+      const std::string name = token.substr(2);
+      // Value = next token unless it is another flag or absent.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        parsed.flags_[name] = argv[i + 1];
+        i += 2;
+      } else {
+        parsed.flags_[name] = "";
+        i += 1;
+      }
+    } else {
+      if (parsed.command_.empty() && parsed.positional_.empty()) {
+        parsed.command_ = token;
+      } else {
+        parsed.positional_.push_back(token);
+      }
+      i += 1;
+    }
+  }
+  return parsed;
+}
+
+bool ParsedArgs::Has(const std::string& name) const {
+  touched_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string ParsedArgs::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+util::Result<double> ParsedArgs::GetDouble(const std::string& name,
+                                           double fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("flag --" + name +
+                                         " expects a number, got '" +
+                                         it->second + "'");
+  }
+  return value;
+}
+
+util::Result<int64_t> ParsedArgs::GetInt(const std::string& name,
+                                         int64_t fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return util::Status::InvalidArgument("flag --" + name +
+                                         " expects an integer, got '" +
+                                         it->second + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::vector<std::string> ParsedArgs::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, _] : flags_) {
+    if (!touched_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace karl::util

@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for the karl_cli tool:
+// `subcommand --flag value --bool-flag` conventions, no external deps.
+
+#ifndef KARL_UTIL_FLAGS_H_
+#define KARL_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace karl::util {
+
+/// Parsed command line: one optional subcommand, --key value flags, and
+/// bare --switches.
+class ParsedArgs {
+ public:
+  /// Parses argv[1..). Flags start with "--"; a flag followed by another
+  /// flag (or nothing) is a boolean switch. The first non-flag token is
+  /// the subcommand; later non-flag tokens are positional arguments.
+  static util::Result<ParsedArgs> Parse(int argc, const char* const* argv);
+
+  /// The subcommand ("" if none).
+  const std::string& command() const { return command_; }
+
+  /// Positional arguments after the subcommand.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True iff --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String flag value or `fallback` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Numeric flag value; error if present but unparsable.
+  util::Result<double> GetDouble(const std::string& name,
+                                 double fallback) const;
+
+  /// Integer flag value; error if present but unparsable.
+  util::Result<int64_t> GetInt(const std::string& name,
+                               int64_t fallback) const;
+
+  /// Flags that were never read by any accessor — typo detection.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;  // name -> value ("" = switch).
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace karl::util
+
+#endif  // KARL_UTIL_FLAGS_H_

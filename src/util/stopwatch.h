@@ -1,0 +1,34 @@
+// Monotonic wall-clock stopwatch for throughput measurements.
+
+#ifndef KARL_UTIL_STOPWATCH_H_
+#define KARL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace karl::util {
+
+/// Measures elapsed wall time on the steady (monotonic) clock.
+class Stopwatch {
+ public:
+  /// Starts timing on construction.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace karl::util
+
+#endif  // KARL_UTIL_STOPWATCH_H_

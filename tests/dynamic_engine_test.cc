@@ -1,0 +1,205 @@
+// Tests for DynamicEngine: correctness of every query against a brute-
+// force model of the live multiset across randomized insert/remove
+// churn, rebuild behaviour, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/dynamic_engine.h"
+#include "core/evaluator.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace karl::core {
+namespace {
+
+DynamicEngine::Options SmallOptions(double gamma = 4.0) {
+  DynamicEngine::Options options;
+  options.engine.kernel = KernelParams::Gaussian(gamma);
+  options.engine.leaf_capacity = 16;
+  options.min_index_size = 64;
+  options.rebuild_fraction = 0.25;
+  return options;
+}
+
+// Brute-force mirror of the live multiset.
+struct Mirror {
+  std::map<PointId, std::pair<std::vector<double>, double>> live;
+
+  double Exact(const KernelParams& kernel, std::span<const double> q) const {
+    double f = 0.0;
+    for (const auto& [id, pw] : live) {
+      f += pw.second * KernelValue(kernel, q, pw.first);
+    }
+    return f;
+  }
+};
+
+TEST(DynamicEngineTest, CreateValidation) {
+  EXPECT_FALSE(DynamicEngine::Create(0, SmallOptions()).ok());
+  auto options = SmallOptions();
+  options.rebuild_fraction = 0.0;
+  EXPECT_FALSE(DynamicEngine::Create(3, options).ok());
+  options = SmallOptions();
+  options.engine.kernel.gamma = -1.0;
+  EXPECT_FALSE(DynamicEngine::Create(3, options).ok());
+  EXPECT_TRUE(DynamicEngine::Create(3, SmallOptions()).ok());
+}
+
+TEST(DynamicEngineTest, InsertValidation) {
+  auto engine = DynamicEngine::Create(2, SmallOptions()).ValueOrDie();
+  const std::vector<double> wrong_dim{1.0, 2.0, 3.0};
+  EXPECT_FALSE(engine.Insert(wrong_dim, 1.0).ok());
+  const std::vector<double> p{0.5, 0.5};
+  EXPECT_FALSE(engine.Insert(p, 0.0).ok());
+  EXPECT_TRUE(engine.Insert(p, 1.0).ok());
+  EXPECT_EQ(engine.size(), 1u);
+}
+
+TEST(DynamicEngineTest, RemoveValidation) {
+  auto engine = DynamicEngine::Create(2, SmallOptions()).ValueOrDie();
+  const std::vector<double> p{0.5, 0.5};
+  const PointId id = engine.Insert(p, 1.0).ValueOrDie();
+  EXPECT_FALSE(engine.Remove(id + 100).ok());
+  EXPECT_TRUE(engine.Remove(id).ok());
+  EXPECT_FALSE(engine.Remove(id).ok());  // Double remove.
+  EXPECT_EQ(engine.size(), 0u);
+}
+
+TEST(DynamicEngineTest, SmallSetScansExactly) {
+  // Below min_index_size everything is answered by scanning.
+  auto engine = DynamicEngine::Create(2, SmallOptions()).ValueOrDie();
+  util::Rng rng(1);
+  Mirror mirror;
+  const auto kernel = SmallOptions().engine.kernel;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    const double w = rng.Uniform(0.1, 1.0);
+    const PointId id = engine.Insert(p, w).ValueOrDie();
+    mirror.live[id] = {p, w};
+  }
+  EXPECT_EQ(engine.rebuild_count(), 0u);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> q{rng.Uniform(), rng.Uniform()};
+    EXPECT_NEAR(engine.Exact(q), mirror.Exact(kernel, q), 1e-12);
+  }
+}
+
+TEST(DynamicEngineTest, RandomChurnMatchesBruteForce) {
+  auto options = SmallOptions(6.0);
+  auto engine = DynamicEngine::Create(3, options).ValueOrDie();
+  util::Rng rng(2);
+  Mirror mirror;
+  const auto& kernel = options.engine.kernel;
+
+  for (int step = 0; step < 1500; ++step) {
+    const bool remove = !mirror.live.empty() && rng.Uniform() < 0.3;
+    if (remove) {
+      // Remove a pseudo-random live id.
+      auto it = mirror.live.begin();
+      std::advance(it, rng.UniformInt(mirror.live.size()));
+      ASSERT_TRUE(engine.Remove(it->first).ok());
+      mirror.live.erase(it);
+    } else {
+      std::vector<double> p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+      const double w = rng.Uniform(0.05, 1.0);
+      const PointId id = engine.Insert(p, w).ValueOrDie();
+      mirror.live[id] = {p, w};
+    }
+
+    if (step % 100 == 99) {
+      ASSERT_EQ(engine.size(), mirror.live.size());
+      for (int trial = 0; trial < 3; ++trial) {
+        const std::vector<double> q{rng.Uniform(), rng.Uniform(),
+                                    rng.Uniform()};
+        const double truth = mirror.Exact(kernel, q);
+        ASSERT_NEAR(engine.Exact(q), truth, 1e-9 * (1.0 + truth))
+            << "step " << step;
+        if (truth > 1e-9) {
+          ASSERT_EQ(engine.Tkaq(q, truth * 0.95), true) << "step " << step;
+          ASSERT_EQ(engine.Tkaq(q, truth * 1.05), false) << "step " << step;
+          const double approx = engine.Ekaq(q, 0.2);
+          ASSERT_NEAR(approx, truth, 0.25 * truth + 1e-9) << "step " << step;
+        }
+      }
+    }
+  }
+  // Churn at this volume must have triggered index rebuilds.
+  EXPECT_GT(engine.rebuild_count(), 1u);
+}
+
+TEST(DynamicEngineTest, SignedWeightsSupported) {
+  auto options = SmallOptions(3.0);
+  options.min_index_size = 32;
+  auto engine = DynamicEngine::Create(2, options).ValueOrDie();
+  util::Rng rng(3);
+  Mirror mirror;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    const double w = rng.Uniform() < 0.5 ? rng.Uniform(0.1, 1.0)
+                                         : -rng.Uniform(0.1, 1.0);
+    const PointId id = engine.Insert(p, w).ValueOrDie();
+    mirror.live[id] = {p, w};
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> q{rng.Uniform(), rng.Uniform()};
+    const double truth = mirror.Exact(options.engine.kernel, q);
+    EXPECT_NEAR(engine.Exact(q), truth, 1e-9);
+    EXPECT_EQ(engine.Tkaq(q, truth - 0.01), true);
+    EXPECT_EQ(engine.Tkaq(q, truth + 0.01), false);
+  }
+}
+
+TEST(DynamicEngineTest, RebuildShrinksDeltaState) {
+  auto options = SmallOptions();
+  options.min_index_size = 64;
+  auto engine = DynamicEngine::Create(2, options).ValueOrDie();
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    engine.Insert(p, 1.0).ValueOrDie();
+  }
+  // After the churn settles, the delta buffer is bounded by the rebuild
+  // fraction of the snapshot.
+  EXPECT_LE(engine.delta_size(),
+            static_cast<size_t>(0.25 * 200) + options.min_index_size);
+  EXPECT_GE(engine.rebuild_count(), 1u);
+}
+
+TEST(DynamicEngineTest, RemoveEverythingThenQuery) {
+  auto engine = DynamicEngine::Create(2, SmallOptions()).ValueOrDie();
+  std::vector<PointId> ids;
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    ids.push_back(engine.Insert(p, 1.0).ValueOrDie());
+  }
+  for (const PointId id : ids) ASSERT_TRUE(engine.Remove(id).ok());
+  EXPECT_EQ(engine.size(), 0u);
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(engine.Exact(q), 0.0, 1e-9);
+  EXPECT_FALSE(engine.Tkaq(q, 0.5));
+}
+
+TEST(DynamicEngineTest, LaplacianKernelWorksToo) {
+  auto options = SmallOptions();
+  options.engine.kernel = KernelParams::Laplacian(2.0);
+  auto engine = DynamicEngine::Create(2, options).ValueOrDie();
+  util::Rng rng(6);
+  Mirror mirror;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    const PointId id = engine.Insert(p, 0.5).ValueOrDie();
+    mirror.live[id] = {p, 0.5};
+  }
+  const std::vector<double> q{0.4, 0.6};
+  const double truth = mirror.Exact(options.engine.kernel, q);
+  EXPECT_NEAR(engine.Exact(q), truth, 1e-9);
+  EXPECT_EQ(engine.Tkaq(q, truth * 0.9), true);
+}
+
+}  // namespace
+}  // namespace karl::core

@@ -1,0 +1,136 @@
+// Tests for engine model persistence: byte-exact round trips, query
+// equivalence of the restored engine, and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/engine_io.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace karl::core {
+namespace {
+
+EngineModel MakeModel(uint64_t seed, KernelParams kernel,
+                      index::IndexKind kind = index::IndexKind::kKdTree) {
+  util::Rng rng(seed);
+  EngineModel model;
+  model.points = data::SampleClustered(400, 4, 3, 0.08, rng);
+  model.weights.resize(model.points.rows());
+  for (auto& w : model.weights) w = rng.Uniform(-1.0, 1.0);
+  model.options.kernel = kernel;
+  model.options.index_kind = kind;
+  model.options.leaf_capacity = 24;
+  return model;
+}
+
+TEST(EngineIoTest, StreamRoundTripIsExact) {
+  const EngineModel model = MakeModel(1, KernelParams::Gaussian(3.0));
+  std::stringstream stream;
+  ASSERT_TRUE(WriteEngineModel(stream, model).ok());
+  auto back = ReadEngineModel(stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  const EngineModel& m = back.value();
+  EXPECT_EQ(m.options.kernel.type, model.options.kernel.type);
+  EXPECT_DOUBLE_EQ(m.options.kernel.gamma, model.options.kernel.gamma);
+  EXPECT_EQ(m.options.index_kind, model.options.index_kind);
+  EXPECT_EQ(m.options.leaf_capacity, model.options.leaf_capacity);
+  ASSERT_EQ(m.points.rows(), model.points.rows());
+  ASSERT_EQ(m.points.cols(), model.points.cols());
+  for (size_t i = 0; i < m.points.rows(); i += 17) {
+    EXPECT_DOUBLE_EQ(m.weights[i], model.weights[i]);
+    for (size_t j = 0; j < m.points.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(m.points(i, j), model.points(i, j));
+    }
+  }
+}
+
+TEST(EngineIoTest, AllKernelAndIndexVariantsRoundTrip) {
+  for (const auto kernel :
+       {KernelParams::Gaussian(2.0), KernelParams::Laplacian(1.5),
+        KernelParams::Cauchy(4.0), KernelParams::Polynomial(0.3, 0.7, 5),
+        KernelParams::Sigmoid(0.9, -0.4)}) {
+    for (const auto kind :
+         {index::IndexKind::kKdTree, index::IndexKind::kBallTree}) {
+      const EngineModel model = MakeModel(2, kernel, kind);
+      std::stringstream stream;
+      ASSERT_TRUE(WriteEngineModel(stream, model).ok());
+      auto back = ReadEngineModel(stream);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(back.value().options.kernel.type, kernel.type);
+      EXPECT_DOUBLE_EQ(back.value().options.kernel.beta, kernel.beta);
+      EXPECT_EQ(back.value().options.kernel.degree, kernel.degree);
+      EXPECT_EQ(back.value().options.index_kind, kind);
+    }
+  }
+}
+
+TEST(EngineIoTest, RestoredEngineAnswersIdentically) {
+  const EngineModel model = MakeModel(3, KernelParams::Gaussian(5.0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "karl_engine_io_test.bin")
+          .string();
+  ASSERT_TRUE(SaveEngineModel(path, model).ok());
+
+  auto original =
+      Engine::Build(model.points, model.weights, model.options).ValueOrDie();
+  auto restored = LoadEngine(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(restored.value().Exact(q), original.Exact(q));
+    const double exact = original.Exact(q);
+    EXPECT_EQ(restored.value().Tkaq(q, exact + 0.01),
+              original.Tkaq(q, exact + 0.01));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(EngineIoTest, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("this is not a karl model");
+  EXPECT_FALSE(ReadEngineModel(garbage).ok());
+
+  // Truncate a valid serialisation at several prefixes.
+  const EngineModel model = MakeModel(5, KernelParams::Gaussian(1.0));
+  std::stringstream full;
+  ASSERT_TRUE(WriteEngineModel(full, model).ok());
+  const std::string bytes = full.str();
+  for (const size_t cut : {size_t{2}, size_t{10}, size_t{40},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadEngineModel(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(EngineIoTest, RejectsCorruptEnumValues) {
+  const EngineModel model = MakeModel(6, KernelParams::Gaussian(1.0));
+  std::stringstream full;
+  ASSERT_TRUE(WriteEngineModel(full, model).ok());
+  std::string bytes = full.str();
+  bytes[8] = static_cast<char>(0xFF);  // Kernel-type field.
+  std::stringstream corrupt(bytes);
+  EXPECT_FALSE(ReadEngineModel(corrupt).ok());
+}
+
+TEST(EngineIoTest, MissingFileIsIOError) {
+  auto result = LoadEngineModel("/nonexistent/karl/model.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kIOError);
+}
+
+TEST(EngineIoTest, RejectsMismatchedWeights) {
+  EngineModel model = MakeModel(7, KernelParams::Gaussian(1.0));
+  model.weights.pop_back();
+  std::stringstream stream;
+  EXPECT_FALSE(WriteEngineModel(stream, model).ok());
+}
+
+}  // namespace
+}  // namespace karl::core

@@ -1,0 +1,346 @@
+// Tests for the best-first refinement evaluator: TKAQ / eKAQ correctness
+// against brute force, level caps, Type-III two-tree interleaving, and
+// the convergence trace.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "data/synthetic.h"
+#include "index/ball_tree.h"
+#include "index/kd_tree.h"
+#include "util/rng.h"
+
+namespace karl::core {
+namespace {
+
+struct Workbench {
+  data::Matrix points;
+  std::vector<double> weights;
+  std::unique_ptr<index::TreeIndex> tree;
+};
+
+Workbench MakeBench(size_t n, size_t d, uint64_t seed, bool uniform_weights,
+                    size_t leaf_capacity = 16) {
+  util::Rng rng(seed);
+  Workbench wb;
+  wb.points = data::SampleClustered(n, d, 3, 0.07, rng);
+  wb.weights.resize(n);
+  for (auto& w : wb.weights) w = uniform_weights ? 1.0 : rng.Uniform(0.1, 2.0);
+  wb.tree = index::KdTree::Build(wb.points, wb.weights, leaf_capacity)
+                .ValueOrDie();
+  return wb;
+}
+
+TEST(EvaluatorTest, CreateRequiresPlusTree) {
+  Evaluator::Options options;
+  EXPECT_FALSE(
+      Evaluator::Create(nullptr, nullptr, KernelParams::Gaussian(1.0), options)
+          .ok());
+}
+
+TEST(EvaluatorTest, CreateRejectsInvalidKernel) {
+  const auto wb = MakeBench(50, 3, 1, true);
+  Evaluator::Options options;
+  EXPECT_FALSE(Evaluator::Create(wb.tree.get(), nullptr,
+                                 KernelParams::Gaussian(-2.0), options)
+                   .ok());
+}
+
+TEST(EvaluatorTest, ExactMatchesBruteForce) {
+  const auto wb = MakeBench(300, 4, 2, false);
+  const auto kernel = KernelParams::Gaussian(3.0);
+  Evaluator::Options options;
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const double brute = ExactAggregate(wb.points, wb.weights, kernel, q);
+    EXPECT_NEAR(ev.QueryExact(q), brute, 1e-9 * (1.0 + std::abs(brute)));
+  }
+}
+
+class ThresholdCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<BoundKind, bool>> {};
+
+TEST_P(ThresholdCorrectnessTest, AgreesWithBruteForceAcrossThresholds) {
+  const auto [bound_kind, uniform] = GetParam();
+  const auto wb = MakeBench(400, 5, 4, uniform);
+  const auto kernel = KernelParams::Gaussian(5.0);
+  Evaluator::Options options;
+  options.bounds = bound_kind;
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+
+  util::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> q(5);
+    for (auto& v : q) v = rng.Uniform(-0.2, 1.2);
+    const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+    // Mix relative thresholds around the exact value with fixed ones.
+    for (const double tau :
+         {exact * 0.5, exact * 0.99, exact * 1.01, exact * 2.0, 1e-6, 50.0}) {
+      EXPECT_EQ(ev.QueryThreshold(q, tau), exact > tau)
+          << "tau=" << tau << " exact=" << exact;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothBoundsBothWeightings, ThresholdCorrectnessTest,
+    ::testing::Combine(::testing::Values(BoundKind::kSota, BoundKind::kKarl),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(BoundKindToString(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "Uniform" : "Weighted");
+    });
+
+class ApproximateCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<BoundKind, double>> {};
+
+TEST_P(ApproximateCorrectnessTest, RelativeErrorWithinEps) {
+  const auto [bound_kind, eps] = GetParam();
+  const auto wb = MakeBench(400, 4, 6, true);
+  const auto kernel = KernelParams::Gaussian(4.0);
+  Evaluator::Options options;
+  options.bounds = bound_kind;
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+    const double approx = ev.QueryApproximate(q, eps);
+    EXPECT_GE(approx, (1.0 - eps) * exact - 1e-12);
+    EXPECT_LE(approx, (1.0 + eps) * exact + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundsTimesEps, ApproximateCorrectnessTest,
+    ::testing::Combine(::testing::Values(BoundKind::kSota, BoundKind::kKarl),
+                       ::testing::Values(0.05, 0.2, 0.5)),
+    [](const auto& info) {
+      const int pct = static_cast<int>(std::get<1>(info.param) * 100);
+      return std::string(BoundKindToString(std::get<0>(info.param))) + "Eps" +
+             std::to_string(pct);
+    });
+
+TEST(EvaluatorTest, TypeThreeSignedAggregateCorrect) {
+  // Split signed weights across two trees, query through one evaluator.
+  util::Rng rng(8);
+  const size_t n = 300, d = 4;
+  const data::Matrix pts = data::SampleClustered(n, d, 3, 0.1, rng);
+  std::vector<double> signed_w(n);
+  for (auto& w : signed_w) w = rng.Uniform(-1.0, 1.0);
+
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < n; ++i) (signed_w[i] >= 0 ? pos : neg).push_back(i);
+  const data::Matrix pp = pts.SelectRows(pos);
+  const data::Matrix np = pts.SelectRows(neg);
+  std::vector<double> pw, nw;
+  for (const size_t i : pos) pw.push_back(signed_w[i]);
+  for (const size_t i : neg) nw.push_back(-signed_w[i]);
+
+  auto ptree = index::KdTree::Build(pp, pw, 8).ValueOrDie();
+  auto ntree = index::KdTree::Build(np, nw, 8).ValueOrDie();
+
+  const auto kernel = KernelParams::Gaussian(4.0);
+  Evaluator::Options options;
+  options.bounds = BoundKind::kKarl;
+  auto ev = Evaluator::Create(ptree.get(), ntree.get(), kernel, options)
+                .ValueOrDie();
+
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> q(d);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const double exact = ExactAggregate(pts, signed_w, kernel, q);
+    EXPECT_NEAR(ev.QueryExact(q), exact, 1e-9);
+    for (const double tau : {exact - 0.05, exact + 0.05, 0.0}) {
+      EXPECT_EQ(ev.QueryThreshold(q, tau), exact > tau) << "tau=" << tau;
+    }
+  }
+}
+
+TEST(EvaluatorTest, DistanceKernelFamilyThresholdAndApproxCorrect) {
+  // Laplacian and Cauchy ride the same convex-profile machinery as the
+  // Gaussian; verify both bound kinds end to end.
+  const auto wb = MakeBench(300, 4, 21, false);
+  for (const auto kernel :
+       {KernelParams::Laplacian(3.0), KernelParams::Cauchy(5.0)}) {
+    for (const auto bound_kind : {BoundKind::kSota, BoundKind::kKarl}) {
+      Evaluator::Options options;
+      options.bounds = bound_kind;
+      auto ev = Evaluator::Create(wb.tree.get(), nullptr, kernel, options)
+                    .ValueOrDie();
+      util::Rng rng(22);
+      for (int trial = 0; trial < 10; ++trial) {
+        std::vector<double> q(4);
+        for (auto& v : q) v = rng.Uniform(-0.2, 1.2);
+        const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+        EXPECT_EQ(ev.QueryThreshold(q, exact * 0.95), true)
+            << KernelTypeToString(kernel.type);
+        EXPECT_EQ(ev.QueryThreshold(q, exact * 1.05), false)
+            << KernelTypeToString(kernel.type);
+        const double approx = ev.QueryApproximate(q, 0.15);
+        EXPECT_NEAR(approx, exact, 0.15 * exact + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(EvaluatorTest, InnerProductKernelThresholdCorrect) {
+  const auto wb = MakeBench(250, 4, 9, false);
+  for (const auto kernel :
+       {KernelParams::Polynomial(0.5, 0.2, 3), KernelParams::Polynomial(0.5, 0.2, 2),
+        KernelParams::Sigmoid(1.0, -0.3)}) {
+    for (const auto bound_kind : {BoundKind::kSota, BoundKind::kKarl}) {
+      Evaluator::Options options;
+      options.bounds = bound_kind;
+      auto ev = Evaluator::Create(wb.tree.get(), nullptr, kernel, options)
+                    .ValueOrDie();
+      util::Rng rng(10);
+      for (int trial = 0; trial < 10; ++trial) {
+        std::vector<double> q(4);
+        for (auto& v : q) v = rng.Uniform(-1.0, 1.0);
+        const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+        for (const double tau : {exact - 0.1, exact + 0.1}) {
+          EXPECT_EQ(ev.QueryThreshold(q, tau), exact > tau)
+              << KernelTypeToString(kernel.type) << " "
+              << BoundKindToString(bound_kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(EvaluatorTest, LevelCapZeroEqualsFullScan) {
+  const auto wb = MakeBench(200, 3, 11, true);
+  const auto kernel = KernelParams::Gaussian(2.0);
+  Evaluator::Options options;
+  options.max_level = 0;  // Root treated as leaf: pure scan.
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+  const std::vector<double> q(3, 0.5);
+  EvalStats stats;
+  const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+  EXPECT_EQ(ev.QueryThreshold(q, exact * 0.9, &stats), true);
+  EXPECT_EQ(stats.kernel_evals, wb.points.rows());
+  EXPECT_EQ(stats.nodes_expanded, 0u);
+}
+
+TEST(EvaluatorTest, LevelCapsAreCorrectAtEveryLevel) {
+  const auto wb = MakeBench(256, 3, 12, true, /*leaf_capacity=*/4);
+  const auto kernel = KernelParams::Gaussian(3.0);
+  const std::vector<double> q(3, 0.4);
+  const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+
+  for (int level = 0; level <= static_cast<int>(wb.tree->max_depth());
+       ++level) {
+    Evaluator::Options options;
+    options.max_level = level;
+    auto ev = Evaluator::Create(wb.tree.get(), nullptr, kernel, options)
+                  .ValueOrDie();
+    EXPECT_EQ(ev.QueryThreshold(q, exact * 0.95), true) << "level " << level;
+    EXPECT_EQ(ev.QueryThreshold(q, exact * 1.05), false) << "level " << level;
+  }
+}
+
+TEST(EvaluatorTest, KarlNeedsNoMoreIterationsThanSota) {
+  const auto wb = MakeBench(1000, 4, 13, true, 8);
+  const auto kernel = KernelParams::Gaussian(6.0);
+  util::Rng rng(14);
+  size_t sota_total = 0, karl_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+    const double tau = exact * 1.1;
+    for (const auto kind : {BoundKind::kSota, BoundKind::kKarl}) {
+      Evaluator::Options options;
+      options.bounds = kind;
+      auto ev = Evaluator::Create(wb.tree.get(), nullptr, kernel, options)
+                    .ValueOrDie();
+      EvalStats stats;
+      ev.QueryThreshold(q, tau, &stats);
+      (kind == BoundKind::kSota ? sota_total : karl_total) +=
+          stats.iterations;
+    }
+  }
+  EXPECT_LE(karl_total, sota_total);
+}
+
+TEST(EvaluatorTest, TraceIsMonotoneAndConvergent) {
+  const auto wb = MakeBench(500, 3, 15, true, 8);
+  const auto kernel = KernelParams::Gaussian(5.0);
+  Evaluator::Options options;
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+
+  const std::vector<double> q(3, 0.5);
+  std::vector<double> lbs, ubs;
+  TraceFn trace = [&](size_t, double lb, double ub) {
+    lbs.push_back(lb);
+    ubs.push_back(ub);
+  };
+  double lb = 0.0, ub = 0.0;
+  ev.RefineToConvergence(q, 100000, &lb, &ub, &trace);
+
+  ASSERT_GT(lbs.size(), 2u);
+  const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+  for (size_t i = 0; i < lbs.size(); ++i) {
+    EXPECT_LE(lbs[i], exact + 1e-6);
+    EXPECT_GE(ubs[i], exact - 1e-6);
+  }
+  // Refinement tightens (allow tiny float slack between iterations).
+  for (size_t i = 1; i < lbs.size(); ++i) {
+    EXPECT_GE(lbs[i], lbs[i - 1] - 1e-7);
+    EXPECT_LE(ubs[i], ubs[i - 1] + 1e-7);
+  }
+  EXPECT_NEAR(lb, exact, 1e-6);
+  EXPECT_NEAR(ub, exact, 1e-6);
+}
+
+TEST(EvaluatorTest, BallTreeBackendAgrees) {
+  util::Rng rng(16);
+  const data::Matrix pts = data::SampleClustered(300, 4, 3, 0.08, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  auto ball = index::BallTree::Build(pts, weights, 16).ValueOrDie();
+  const auto kernel = KernelParams::Gaussian(4.0);
+  Evaluator::Options options;
+  auto ev =
+      Evaluator::Create(ball.get(), nullptr, kernel, options).ValueOrDie();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const double exact = ExactAggregate(pts, weights, kernel, q);
+    EXPECT_EQ(ev.QueryThreshold(q, exact * 0.9), true);
+    EXPECT_EQ(ev.QueryThreshold(q, exact * 1.1), false);
+    const double approx = ev.QueryApproximate(q, 0.1);
+    EXPECT_NEAR(approx, exact, 0.1 * exact + 1e-12);
+  }
+}
+
+TEST(EvaluatorTest, StatsAccumulateAcrossCalls) {
+  const auto wb = MakeBench(200, 3, 17, true);
+  const auto kernel = KernelParams::Gaussian(2.0);
+  Evaluator::Options options;
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+  const std::vector<double> q(3, 0.5);
+  EvalStats stats;
+  ev.QueryThreshold(q, 1.0, &stats);
+  const size_t after_one = stats.iterations + stats.kernel_evals;
+  ev.QueryThreshold(q, 1.0, &stats);
+  EXPECT_GE(stats.iterations + stats.kernel_evals, 2 * after_one);
+}
+
+}  // namespace
+}  // namespace karl::core

@@ -1,0 +1,303 @@
+// Tests for the extension modules beyond the paper's core: sparse (CSR)
+// storage, multi-class SVM, kernel regression, and the ablation bound
+// variants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "data/sparse_matrix.h"
+#include "data/synthetic.h"
+#include "index/kd_tree.h"
+#include "ml/multiclass.h"
+#include "ml/regression.h"
+#include "util/rng.h"
+
+namespace karl {
+namespace {
+
+using core::BoundKind;
+using core::KernelParams;
+
+// ------------------------------ SparseMatrix -----------------------------
+
+data::Matrix SparseTestMatrix() {
+  // Mostly-zero matrix with structure.
+  data::Matrix m(3, 4);
+  m(0, 1) = 2.0;
+  m(1, 0) = -1.0;
+  m(1, 3) = 0.5;
+  return m;  // Row 2 is all zeros.
+}
+
+TEST(SparseMatrixTest, FromDenseDropsZeros) {
+  const auto sparse = data::SparseMatrix::FromDense(SparseTestMatrix());
+  EXPECT_EQ(sparse.rows(), 3u);
+  EXPECT_EQ(sparse.cols(), 4u);
+  EXPECT_EQ(sparse.num_entries(), 3u);
+  EXPECT_EQ(sparse.Row(2).size(), 0u);
+}
+
+TEST(SparseMatrixTest, DenseRoundTrip) {
+  const auto dense = SparseTestMatrix();
+  const auto back = data::SparseMatrix::FromDense(dense).ToDense();
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    for (size_t j = 0; j < dense.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(back(i, j), dense(i, j));
+    }
+  }
+}
+
+TEST(SparseMatrixTest, RowNormsAndDots) {
+  const auto sparse = data::SparseMatrix::FromDense(SparseTestMatrix());
+  EXPECT_DOUBLE_EQ(sparse.RowSquaredNorm(0), 4.0);
+  EXPECT_DOUBLE_EQ(sparse.RowSquaredNorm(1), 1.25);
+  const std::vector<double> q{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sparse.DotDense(0, q), 4.0);
+  EXPECT_DOUBLE_EQ(sparse.DotDense(1, q), -1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(sparse.DotDense(2, q), 0.0);
+}
+
+TEST(SparseMatrixTest, SparseAggregateMatchesDenseAllKernels) {
+  util::Rng rng(1);
+  // Sparse-ish data: zero out most entries.
+  data::Matrix dense = data::SampleUniform(100, 8, -1.0, 1.0, rng);
+  for (size_t i = 0; i < dense.rows(); ++i) {
+    for (size_t j = 0; j < dense.cols(); ++j) {
+      if (rng.Uniform() < 0.7) dense(i, j) = 0.0;
+    }
+  }
+  const auto sparse = data::SparseMatrix::FromDense(dense);
+  std::vector<double> weights(dense.rows());
+  for (auto& w : weights) w = rng.Uniform(-1.0, 1.0);
+
+  for (const auto kernel :
+       {KernelParams::Gaussian(2.0), KernelParams::Polynomial(0.5, 0.1, 3),
+        KernelParams::Sigmoid(1.0, -0.2)}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<double> q(8);
+      for (auto& v : q) v = rng.Uniform(-1.0, 1.0);
+      const double dense_f = core::ExactAggregate(dense, weights, kernel, q);
+      const double sparse_f =
+          core::ExactAggregateSparse(sparse, weights, kernel, q);
+      EXPECT_NEAR(sparse_f, dense_f, 1e-9 * (1.0 + std::abs(dense_f)));
+    }
+  }
+}
+
+// ----------------------------- Multiclass SVM ----------------------------
+
+data::LabeledDataset MakeThreeClassDataset(size_t per_class, size_t d,
+                                           util::Rng& rng) {
+  // Three well-separated blobs with labels 0, 1, 2.
+  data::LabeledDataset ds;
+  ds.points = data::Matrix(0, d);
+  const double centers[3] = {0.15, 0.5, 0.85};
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      std::vector<double> p(d);
+      for (auto& v : p) v = rng.Gaussian(centers[c], 0.05);
+      ds.points.AppendRow(p);
+      ds.labels.push_back(static_cast<double>(c));
+    }
+  }
+  return ds;
+}
+
+TEST(MulticlassSvmTest, RejectsDegenerateInputs) {
+  const auto kernel = KernelParams::Gaussian(1.0);
+  ml::TwoClassSvmParams params;
+  data::LabeledDataset empty;
+  EXPECT_FALSE(ml::MulticlassSvm::Train(empty, kernel, params).ok());
+
+  data::LabeledDataset one_class;
+  one_class.points = data::Matrix(3, 2);
+  one_class.labels = {1.0, 1.0, 1.0};
+  EXPECT_FALSE(ml::MulticlassSvm::Train(one_class, kernel, params).ok());
+}
+
+TEST(MulticlassSvmTest, TrainsPairwiseModels) {
+  util::Rng rng(2);
+  const auto ds = MakeThreeClassDataset(60, 3, rng);
+  auto svm = ml::MulticlassSvm::Train(ds, KernelParams::Gaussian(3.0),
+                                      ml::TwoClassSvmParams{});
+  ASSERT_TRUE(svm.ok()) << svm.status().ToString();
+  EXPECT_EQ(svm.value().classes().size(), 3u);
+  EXPECT_EQ(svm.value().models().size(), 3u);  // C(3,2).
+}
+
+TEST(MulticlassSvmTest, SeparableDataHighAccuracy) {
+  util::Rng rng(3);
+  const auto ds = MakeThreeClassDataset(80, 3, rng);
+  auto svm = ml::MulticlassSvm::Train(ds, KernelParams::Gaussian(3.0),
+                                      ml::TwoClassSvmParams{});
+  ASSERT_TRUE(svm.ok());
+  EXPECT_GT(svm.value().Accuracy(ds.points, ds.labels), 0.95);
+}
+
+TEST(MulticlassSvmTest, FastPredictionMatchesScan) {
+  util::Rng rng(4);
+  const auto ds = MakeThreeClassDataset(60, 3, rng);
+  auto trained = ml::MulticlassSvm::Train(ds, KernelParams::Gaussian(3.0),
+                                          ml::TwoClassSvmParams{});
+  ASSERT_TRUE(trained.ok());
+  ml::MulticlassSvm svm = std::move(trained).ValueOrDie();
+
+  EngineOptions options;
+  options.leaf_capacity = 8;
+  ASSERT_TRUE(svm.BuildEngines(options).ok());
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> q(3);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(svm.PredictFast(q), svm.PredictScan(q));
+  }
+}
+
+// ---------------------------- Kernel regression --------------------------
+
+TEST(KernelRegressionTest, RejectsBadInputs) {
+  EngineOptions options;
+  EXPECT_FALSE(
+      ml::KernelRegression::Fit(data::Matrix(), {}, options).ok());
+  data::Matrix pts(3, 1, {0.0, 0.5, 1.0});
+  std::vector<double> targets(2, 1.0);
+  EXPECT_FALSE(ml::KernelRegression::Fit(pts, targets, options).ok());
+}
+
+TEST(KernelRegressionTest, ConstantTargetsPredictConstant) {
+  util::Rng rng(5);
+  const data::Matrix pts = data::SampleUniform(100, 2, 0.0, 1.0, rng);
+  const std::vector<double> targets(100, 7.5);
+  EngineOptions options;
+  auto model = ml::KernelRegression::Fit(pts, targets, options);
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> q(2, 0.5);
+  EXPECT_DOUBLE_EQ(model.value().Predict(q), 7.5);
+  EXPECT_DOUBLE_EQ(model.value().PredictExact(q), 7.5);
+}
+
+TEST(KernelRegressionTest, RecoversSmoothFunction) {
+  // y = sin(2πx0) + x1 on [0,1]^2; NW regression with enough data should
+  // track it closely at interior points.
+  util::Rng rng(6);
+  const size_t n = 4000;
+  data::Matrix pts = data::SampleUniform(n, 2, 0.0, 1.0, rng);
+  std::vector<double> targets(n);
+  for (size_t i = 0; i < n; ++i) {
+    targets[i] = std::sin(2.0 * M_PI * pts(i, 0)) + pts(i, 1);
+  }
+  EngineOptions options;
+  auto model = ml::KernelRegression::Fit(pts, targets, options,
+                                         /*gamma=*/200.0);
+  ASSERT_TRUE(model.ok());
+
+  double max_err = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> q{rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9)};
+    const double truth = std::sin(2.0 * M_PI * q[0]) + q[1];
+    max_err = std::max(max_err,
+                       std::abs(model.value().PredictExact(q) - truth));
+  }
+  EXPECT_LT(max_err, 0.25);
+}
+
+TEST(KernelRegressionTest, ApproximateTracksExact) {
+  util::Rng rng(7);
+  const size_t n = 2000;
+  data::Matrix pts = data::SampleClustered(n, 3, 2, 0.08, rng);
+  std::vector<double> targets(n);
+  for (size_t i = 0; i < n; ++i) targets[i] = pts(i, 0) * 3.0 - 1.0;
+  EngineOptions options;
+  auto model = ml::KernelRegression::Fit(pts, targets, options);
+  ASSERT_TRUE(model.ok());
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto qspan = pts.Row(rng.UniformInt(n));
+    const std::vector<double> q(qspan.begin(), qspan.end());
+    const double exact = model.value().PredictExact(q);
+    const double approx = model.value().Predict(q, 0.1);
+    // Guarantee is relative to the shifted value (ŷ − y_min).
+    const double shifted = exact - model.value().target_shift();
+    EXPECT_NEAR(approx, exact, 0.1 * std::abs(shifted) + 1e-9);
+  }
+}
+
+// --------------------------- Ablation bound kinds ------------------------
+
+TEST(AblationBoundsTest, NamesExist) {
+  EXPECT_EQ(core::BoundKindToString(BoundKind::kKarlChordOnly),
+            "KARL-chord-only");
+  EXPECT_EQ(core::BoundKindToString(BoundKind::kKarlTangentOnly),
+            "KARL-tangent-only");
+}
+
+TEST(AblationBoundsTest, TightnessOrderingHolds) {
+  // Pointwise: SOTA ⊆ chord-only / tangent-only ⊆ full KARL on each side.
+  util::Rng rng(8);
+  const data::Matrix pts = data::SampleClustered(300, 4, 3, 0.08, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  auto tree = index::KdTree::Build(pts, weights, 16).ValueOrDie();
+  const auto kernel = KernelParams::Gaussian(5.0);
+
+  auto sota = core::MakeBoundFunction(kernel, BoundKind::kSota).ValueOrDie();
+  auto chord =
+      core::MakeBoundFunction(kernel, BoundKind::kKarlChordOnly).ValueOrDie();
+  auto tangent = core::MakeBoundFunction(kernel, BoundKind::kKarlTangentOnly)
+                     .ValueOrDie();
+  auto full = core::MakeBoundFunction(kernel, BoundKind::kKarl).ValueOrDie();
+
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const auto ctx = core::QueryContext::Make(q);
+    for (size_t id = 0; id < tree->num_nodes(); ++id) {
+      double s_lb, s_ub, c_lb, c_ub, t_lb, t_ub, f_lb, f_ub;
+      const auto node = static_cast<index::NodeId>(id);
+      sota->NodeBounds(*tree, node, ctx, &s_lb, &s_ub);
+      chord->NodeBounds(*tree, node, ctx, &c_lb, &c_ub);
+      tangent->NodeBounds(*tree, node, ctx, &t_lb, &t_ub);
+      full->NodeBounds(*tree, node, ctx, &f_lb, &f_ub);
+
+      // Chord-only: KARL ub, SOTA lb.
+      EXPECT_LE(c_ub, s_ub + 1e-9);
+      EXPECT_NEAR(c_lb, s_lb, 1e-9 + 1e-9 * std::abs(s_lb));
+      // Tangent-only: SOTA ub, KARL lb.
+      EXPECT_NEAR(t_ub, s_ub, 1e-9 + 1e-9 * std::abs(s_ub));
+      EXPECT_GE(t_lb, s_lb - 1e-9);
+      // Full matches the union of the two improvements.
+      EXPECT_NEAR(f_ub, c_ub, 1e-9 + 1e-9 * std::abs(c_ub));
+      EXPECT_NEAR(f_lb, t_lb, 1e-9 + 1e-9 * std::abs(t_lb));
+    }
+  }
+}
+
+TEST(AblationBoundsTest, QueriesStayCorrectUnderAllVariants) {
+  util::Rng rng(9);
+  const data::Matrix pts = data::SampleClustered(400, 3, 3, 0.07, rng);
+  const auto kernel = KernelParams::Gaussian(4.0);
+  std::vector<double> weights(pts.rows(), 1.0);
+
+  for (const auto kind :
+       {BoundKind::kKarlChordOnly, BoundKind::kKarlTangentOnly}) {
+    EngineOptions options;
+    options.kernel = kernel;
+    options.bounds = kind;
+    auto engine = Engine::Build(pts, weights, options).ValueOrDie();
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<double> q(3);
+      for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+      const double exact = core::ExactAggregate(pts, weights, kernel, q);
+      EXPECT_EQ(engine.Tkaq(q, exact * 0.9), true);
+      EXPECT_EQ(engine.Tkaq(q, exact * 1.1), false);
+      const double approx = engine.Ekaq(q, 0.2);
+      EXPECT_NEAR(approx, exact, 0.2 * exact + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace karl

@@ -1,0 +1,98 @@
+// Unit tests for the command-line flag parser backing karl_cli.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/flags.h"
+
+namespace karl::util {
+namespace {
+
+ParsedArgs ParseVec(const std::vector<const char*>& args) {
+  std::vector<const char*> argv{"karl"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  auto parsed = ParsedArgs::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).ValueOrDie();
+}
+
+TEST(FlagsTest, EmptyCommandLine) {
+  const auto args = ParseVec({});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(FlagsTest, SubcommandAndPositionals) {
+  const auto args = ParseVec({"build", "extra1", "extra2"});
+  EXPECT_EQ(args.command(), "build");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "extra1");
+  EXPECT_EQ(args.positional()[1], "extra2");
+}
+
+TEST(FlagsTest, StringFlags) {
+  const auto args = ParseVec({"build", "--data", "points.csv", "--out",
+                              "model.bin"});
+  EXPECT_EQ(args.GetString("data"), "points.csv");
+  EXPECT_EQ(args.GetString("out"), "model.bin");
+  EXPECT_EQ(args.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, BooleanSwitches) {
+  const auto args = ParseVec({"query", "--verbose", "--tau", "1.5"});
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_TRUE(args.Has("tau"));
+  EXPECT_FALSE(args.Has("eps"));
+}
+
+TEST(FlagsTest, SwitchFollowedByFlag) {
+  // --verbose is followed by another flag, so it has no value.
+  const auto args = ParseVec({"x", "--verbose", "--gamma", "2.0"});
+  EXPECT_EQ(args.GetString("verbose", "unset"), "");
+  EXPECT_DOUBLE_EQ(args.GetDouble("gamma", 0.0).value(), 2.0);
+}
+
+TEST(FlagsTest, NumericParsing) {
+  const auto args = ParseVec({"q", "--tau", "2.5e-3", "--limit", "42"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0.0).value(), 2.5e-3);
+  EXPECT_EQ(args.GetInt("limit", 0).value(), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("absent", 7.0).value(), 7.0);
+  EXPECT_EQ(args.GetInt("absent", -3).value(), -3);
+}
+
+TEST(FlagsTest, NumericParseErrors) {
+  const auto args = ParseVec({"q", "--tau", "abc", "--limit", "1.5x"});
+  EXPECT_FALSE(args.GetDouble("tau", 0.0).ok());
+  EXPECT_FALSE(args.GetInt("limit", 0).ok());
+}
+
+TEST(FlagsTest, NegativeNumberAsValue) {
+  // "-1.5" does not start with "--", so it parses as the flag's value.
+  const auto args = ParseVec({"q", "--tau", "-1.5"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0.0).value(), -1.5);
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  std::vector<const char*> argv{"karl", "--"};
+  auto parsed = ParsedArgs::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(FlagsTest, UnusedFlagDetection) {
+  const auto args = ParseVec({"q", "--tau", "1.0", "--typo-flag", "x"});
+  (void)args.GetDouble("tau", 0.0);
+  const auto unused = args.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo-flag");
+}
+
+TEST(FlagsTest, AllTouchedMeansNoUnused) {
+  const auto args = ParseVec({"q", "--a", "1", "--b"});
+  (void)args.GetString("a");
+  (void)args.Has("b");
+  EXPECT_TRUE(args.UnusedFlags().empty());
+}
+
+}  // namespace
+}  // namespace karl::util

@@ -1,0 +1,378 @@
+// Unit tests for the index layer: bounding geometry, kd-tree, ball-tree,
+// and the per-node weighted aggregates KARL's bounds consume.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "data/synthetic.h"
+#include "index/ball_tree.h"
+#include "index/bounding_ball.h"
+#include "index/bounding_box.h"
+#include "index/kd_tree.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace karl::index {
+namespace {
+
+data::Matrix TestPoints() {
+  // 6 points in 2-d.
+  return data::Matrix(6, 2, {0, 0, 1, 0, 0, 1, 2, 2, 3, 1, 1, 3});
+}
+
+// ------------------------------ BoundingBox ------------------------------
+
+TEST(BoundingBoxTest, FitRangeCoversAllPoints) {
+  const auto pts = TestPoints();
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, pts.rows());
+  EXPECT_DOUBLE_EQ(box.lower()[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.upper()[0], 3.0);
+  EXPECT_DOUBLE_EQ(box.lower()[1], 0.0);
+  EXPECT_DOUBLE_EQ(box.upper()[1], 3.0);
+  for (size_t i = 0; i < pts.rows(); ++i) EXPECT_TRUE(box.Contains(pts.Row(i)));
+}
+
+TEST(BoundingBoxTest, FitSubsetOfRows) {
+  const auto pts = TestPoints();
+  const std::vector<size_t> rows{0, 1};
+  const BoundingBox box = BoundingBox::Fit(pts, rows);
+  EXPECT_DOUBLE_EQ(box.upper()[0], 1.0);
+  EXPECT_DOUBLE_EQ(box.upper()[1], 0.0);
+}
+
+TEST(BoundingBoxTest, MinDistZeroInsideBox) {
+  const auto pts = TestPoints();
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, pts.rows());
+  const std::vector<double> q{1.5, 1.5};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(q), 0.0);
+  EXPECT_GT(box.MaxSquaredDistance(q), 0.0);
+}
+
+TEST(BoundingBoxTest, MinMaxDistOutsideBox) {
+  data::Matrix pts(2, 2, {0, 0, 1, 1});
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, 2);
+  const std::vector<double> q{3.0, 0.0};
+  EXPECT_DOUBLE_EQ(box.MinSquaredDistance(q), 4.0);   // To (1,0).
+  EXPECT_DOUBLE_EQ(box.MaxSquaredDistance(q), 10.0);  // To (0,1).
+}
+
+TEST(BoundingBoxTest, DistBoundsSandwichTruePoints) {
+  util::Rng rng(1);
+  const data::Matrix pts = data::SampleUniform(100, 4, -2.0, 2.0, rng);
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, pts.rows());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(-4.0, 4.0);
+    const double min_sq = box.MinSquaredDistance(q);
+    const double max_sq = box.MaxSquaredDistance(q);
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      const double sq = util::SquaredDistance(q, pts.Row(i));
+      EXPECT_LE(min_sq, sq + 1e-12);
+      EXPECT_GE(max_sq, sq - 1e-12);
+    }
+  }
+}
+
+TEST(BoundingBoxTest, InnerProductBoundsSandwichTruePoints) {
+  util::Rng rng(2);
+  const data::Matrix pts = data::SampleUniform(100, 3, -1.0, 1.0, rng);
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, pts.rows());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(3);
+    for (auto& v : q) v = rng.Uniform(-2.0, 2.0);
+    double lo = 0.0, hi = 0.0;
+    box.InnerProductBounds(q, &lo, &hi);
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      const double ip = util::Dot(q, pts.Row(i));
+      EXPECT_LE(lo, ip + 1e-12);
+      EXPECT_GE(hi, ip - 1e-12);
+    }
+  }
+}
+
+TEST(BoundingBoxTest, InnerProductBoundsNegativeQuery) {
+  data::Matrix pts(2, 1, {1.0, 3.0});
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, 2);
+  const std::vector<double> q{-2.0};
+  double lo = 0.0, hi = 0.0;
+  box.InnerProductBounds(q, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo, -6.0);
+  EXPECT_DOUBLE_EQ(hi, -2.0);
+}
+
+TEST(BoundingBoxTest, WidestDimension) {
+  data::Matrix pts(2, 3, {0, 0, 0, 1, 5, 2});
+  const BoundingBox box = BoundingBox::FitRange(pts, 0, 2);
+  EXPECT_EQ(box.WidestDimension(), 1u);
+}
+
+// ------------------------------ BoundingBall -----------------------------
+
+TEST(BoundingBallTest, CoversAllPoints) {
+  const auto pts = TestPoints();
+  const BoundingBall ball = BoundingBall::FitRange(pts, 0, pts.rows());
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    const double dist =
+        std::sqrt(util::SquaredDistance(pts.Row(i), ball.center()));
+    EXPECT_LE(dist, ball.radius() + 1e-12);
+  }
+}
+
+TEST(BoundingBallTest, SinglePointHasZeroRadius) {
+  data::Matrix pts(1, 2, {3.0, 4.0});
+  const BoundingBall ball = BoundingBall::FitRange(pts, 0, 1);
+  EXPECT_DOUBLE_EQ(ball.radius(), 0.0);
+  const std::vector<double> q{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ball.MinSquaredDistance(q), 25.0);
+  EXPECT_DOUBLE_EQ(ball.MaxSquaredDistance(q), 25.0);
+}
+
+TEST(BoundingBallTest, DistBoundsSandwichTruePoints) {
+  util::Rng rng(3);
+  const data::Matrix pts = data::SampleUniform(100, 5, 0.0, 1.0, rng);
+  const BoundingBall ball = BoundingBall::FitRange(pts, 0, pts.rows());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(5);
+    for (auto& v : q) v = rng.Uniform(-1.0, 2.0);
+    const double min_sq = ball.MinSquaredDistance(q);
+    const double max_sq = ball.MaxSquaredDistance(q);
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      const double sq = util::SquaredDistance(q, pts.Row(i));
+      EXPECT_LE(min_sq, sq + 1e-9);
+      EXPECT_GE(max_sq, sq - 1e-9);
+    }
+  }
+}
+
+TEST(BoundingBallTest, InnerProductBoundsSandwichTruePoints) {
+  util::Rng rng(4);
+  const data::Matrix pts = data::SampleUniform(100, 3, -1.0, 1.0, rng);
+  const BoundingBall ball = BoundingBall::FitRange(pts, 0, pts.rows());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(3);
+    for (auto& v : q) v = rng.Uniform(-2.0, 2.0);
+    double lo = 0.0, hi = 0.0;
+    ball.InnerProductBounds(q, &lo, &hi);
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      const double ip = util::Dot(q, pts.Row(i));
+      EXPECT_LE(lo, ip + 1e-9);
+      EXPECT_GE(hi, ip - 1e-9);
+    }
+  }
+}
+
+TEST(BoundingBallTest, MinDistInsideBallIsZero) {
+  util::Rng rng(5);
+  const data::Matrix pts = data::SampleUniform(50, 2, 0.0, 1.0, rng);
+  const BoundingBall ball = BoundingBall::FitRange(pts, 0, pts.rows());
+  EXPECT_DOUBLE_EQ(ball.MinSquaredDistance(ball.center()), 0.0);
+}
+
+// ----------------------- Tree structure invariants -----------------------
+
+struct TreeCase {
+  IndexKind kind;
+  size_t leaf_capacity;
+};
+
+class TreeInvariantTest : public ::testing::TestWithParam<TreeCase> {
+ protected:
+  static std::unique_ptr<TreeIndex> BuildTree(const data::Matrix& pts,
+                                              std::span<const double> weights,
+                                              const TreeCase& tc) {
+    if (tc.kind == IndexKind::kKdTree) {
+      auto t = KdTree::Build(pts, weights, tc.leaf_capacity);
+      EXPECT_TRUE(t.ok());
+      return std::move(t).ValueOrDie();
+    }
+    auto t = BallTree::Build(pts, weights, tc.leaf_capacity);
+    EXPECT_TRUE(t.ok());
+    return std::move(t).ValueOrDie();
+  }
+};
+
+TEST_P(TreeInvariantTest, StructureCoversAllPointsExactlyOnce) {
+  util::Rng rng(10);
+  const data::Matrix pts = data::SampleClustered(300, 4, 3, 0.1, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  const auto tree = BuildTree(pts, weights, GetParam());
+
+  // Root covers everything.
+  EXPECT_EQ(tree->node(tree->root()).begin, 0u);
+  EXPECT_EQ(tree->node(tree->root()).end, pts.rows());
+
+  // Children partition the parent's range; leaves respect the capacity.
+  size_t leaf_points = 0;
+  for (size_t id = 0; id < tree->num_nodes(); ++id) {
+    const auto& nd = tree->node(id);
+    if (nd.is_leaf()) {
+      EXPECT_LE(nd.count(), GetParam().leaf_capacity);
+      leaf_points += nd.count();
+    } else {
+      const auto& left = tree->node(nd.left);
+      const auto& right = tree->node(nd.right);
+      EXPECT_EQ(left.begin, nd.begin);
+      EXPECT_EQ(left.end, right.begin);
+      EXPECT_EQ(right.end, nd.end);
+      EXPECT_GT(left.count(), 0u);
+      EXPECT_GT(right.count(), 0u);
+      EXPECT_EQ(left.depth, nd.depth + 1);
+      EXPECT_EQ(right.depth, nd.depth + 1);
+    }
+  }
+  EXPECT_EQ(leaf_points, pts.rows());
+}
+
+TEST_P(TreeInvariantTest, PermutationIsBijective) {
+  util::Rng rng(11);
+  const data::Matrix pts = data::SampleUniform(128, 3, 0.0, 1.0, rng);
+  std::vector<double> weights(pts.rows(), 2.0);
+  const auto tree = BuildTree(pts, weights, GetParam());
+  std::vector<bool> seen(pts.rows(), false);
+  for (const size_t original : tree->original_indices()) {
+    ASSERT_LT(original, pts.rows());
+    EXPECT_FALSE(seen[original]);
+    seen[original] = true;
+  }
+  // Permuted points match originals.
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    const size_t orig = tree->original_indices()[i];
+    for (size_t j = 0; j < pts.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(tree->points()(i, j), pts(orig, j));
+    }
+  }
+}
+
+TEST_P(TreeInvariantTest, NodeRegionsContainTheirPoints) {
+  util::Rng rng(12);
+  const data::Matrix pts = data::SampleClustered(200, 3, 4, 0.08, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  const auto tree = BuildTree(pts, weights, GetParam());
+  std::vector<double> q(3, 0.5);
+  for (size_t id = 0; id < tree->num_nodes(); ++id) {
+    const auto& nd = tree->node(id);
+    double min_sq = 0.0, max_sq = 0.0;
+    tree->DistanceBounds(static_cast<NodeId>(id), q, &min_sq, &max_sq);
+    for (uint32_t i = nd.begin; i < nd.end; ++i) {
+      const double sq = util::SquaredDistance(q, tree->points().Row(i));
+      EXPECT_LE(min_sq, sq + 1e-9);
+      EXPECT_GE(max_sq, sq - 1e-9);
+    }
+  }
+}
+
+TEST_P(TreeInvariantTest, WeightedAggregatesMatchDirectSums) {
+  util::Rng rng(13);
+  const data::Matrix pts = data::SampleUniform(150, 4, -1.0, 1.0, rng);
+  std::vector<double> weights(pts.rows());
+  for (auto& w : weights) w = rng.Uniform(0.1, 2.0);
+  const auto tree = BuildTree(pts, weights, GetParam());
+
+  for (size_t id = 0; id < tree->num_nodes(); ++id) {
+    const auto& nd = tree->node(id);
+    double w_sum = 0.0, b_sum = 0.0;
+    std::vector<double> a_sum(pts.cols(), 0.0);
+    for (uint32_t i = nd.begin; i < nd.end; ++i) {
+      const double w = tree->weights()[i];
+      const auto row = tree->points().Row(i);
+      w_sum += w;
+      b_sum += w * util::SquaredNorm(row);
+      for (size_t j = 0; j < row.size(); ++j) a_sum[j] += w * row[j];
+    }
+    EXPECT_NEAR(tree->weight_sum(static_cast<NodeId>(id)), w_sum, 1e-9);
+    EXPECT_NEAR(tree->weighted_sqnorm_sum(static_cast<NodeId>(id)), b_sum,
+                1e-9);
+    const auto stored = tree->weighted_point_sum(static_cast<NodeId>(id));
+    for (size_t j = 0; j < a_sum.size(); ++j) {
+      EXPECT_NEAR(stored[j], a_sum[j], 1e-9);
+    }
+  }
+}
+
+TEST_P(TreeInvariantTest, DuplicatePointsStayALeaf) {
+  // 50 identical points can never be split; the build must terminate and
+  // keep them in one (oversized) leaf.
+  data::Matrix pts(50, 2);
+  for (size_t i = 0; i < 50; ++i) {
+    pts(i, 0) = 1.0;
+    pts(i, 1) = 2.0;
+  }
+  std::vector<double> weights(50, 1.0);
+  const auto tree = BuildTree(pts, weights, GetParam());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_TRUE(tree->node(0).is_leaf());
+}
+
+TEST_P(TreeInvariantTest, MemoryUsageIsPositive) {
+  util::Rng rng(14);
+  const data::Matrix pts = data::SampleUniform(64, 2, 0.0, 1.0, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  const auto tree = BuildTree(pts, weights, GetParam());
+  EXPECT_GT(tree->MemoryUsageBytes(), pts.rows() * 2 * sizeof(double));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTreeKinds, TreeInvariantTest,
+    ::testing::Values(TreeCase{IndexKind::kKdTree, 1},
+                      TreeCase{IndexKind::kKdTree, 8},
+                      TreeCase{IndexKind::kKdTree, 64},
+                      TreeCase{IndexKind::kBallTree, 1},
+                      TreeCase{IndexKind::kBallTree, 8},
+                      TreeCase{IndexKind::kBallTree, 64}),
+    [](const ::testing::TestParamInfo<TreeCase>& info) {
+      return std::string(info.param.kind == IndexKind::kKdTree ? "Kd"
+                                                               : "Ball") +
+             "Cap" + std::to_string(info.param.leaf_capacity);
+    });
+
+// ------------------------------ Build errors -----------------------------
+
+TEST(TreeBuildTest, EmptyInputFails) {
+  data::Matrix empty;
+  std::vector<double> weights;
+  EXPECT_FALSE(KdTree::Build(empty, weights, 8).ok());
+  EXPECT_FALSE(BallTree::Build(empty, weights, 8).ok());
+}
+
+TEST(TreeBuildTest, WeightCountMismatchFails) {
+  data::Matrix pts(3, 1, {1, 2, 3});
+  std::vector<double> weights(2, 1.0);
+  EXPECT_FALSE(KdTree::Build(pts, weights, 8).ok());
+  EXPECT_FALSE(BallTree::Build(pts, weights, 8).ok());
+}
+
+TEST(TreeBuildTest, ZeroLeafCapacityFails) {
+  data::Matrix pts(3, 1, {1, 2, 3});
+  std::vector<double> weights(3, 1.0);
+  EXPECT_FALSE(KdTree::Build(pts, weights, 0).ok());
+  EXPECT_FALSE(BallTree::Build(pts, weights, 0).ok());
+}
+
+TEST(TreeBuildTest, SinglePointTree) {
+  data::Matrix pts(1, 2, {0.5, 0.5});
+  std::vector<double> weights(1, 3.0);
+  auto tree = KdTree::Build(pts, weights, 8);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value()->num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.value()->weight_sum(0), 3.0);
+}
+
+TEST(TreeBuildTest, KindNames) {
+  EXPECT_EQ(IndexKindToString(IndexKind::kKdTree), "kd-tree");
+  EXPECT_EQ(IndexKindToString(IndexKind::kBallTree), "ball-tree");
+}
+
+TEST(TreeBuildTest, LeafCapacityOneGivesLogDepth) {
+  util::Rng rng(20);
+  const data::Matrix pts = data::SampleUniform(256, 2, 0.0, 1.0, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  auto tree = KdTree::Build(pts, weights, 1);
+  ASSERT_TRUE(tree.ok());
+  // Median splits give depth exactly ceil(log2(256)) = 8.
+  EXPECT_EQ(tree.value()->max_depth(), 8u);
+}
+
+}  // namespace
+}  // namespace karl::index

@@ -1,0 +1,247 @@
+// Unit tests for kernel functions and their scalar profiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/kernel.h"
+#include "util/math_util.h"
+
+namespace karl::core {
+namespace {
+
+TEST(KernelParamsTest, Factories) {
+  const auto g = KernelParams::Gaussian(0.5);
+  EXPECT_EQ(g.type, KernelType::kGaussian);
+  EXPECT_DOUBLE_EQ(g.gamma, 0.5);
+
+  const auto p = KernelParams::Polynomial(0.1, 1.0, 3);
+  EXPECT_EQ(p.type, KernelType::kPolynomial);
+  EXPECT_EQ(p.degree, 3);
+
+  const auto s = KernelParams::Sigmoid(0.2, -0.5);
+  EXPECT_EQ(s.type, KernelType::kSigmoid);
+  EXPECT_DOUBLE_EQ(s.beta, -0.5);
+}
+
+TEST(KernelParamsTest, ValidationRejectsBadGamma) {
+  auto p = KernelParams::Gaussian(1.0);
+  p.gamma = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.gamma = -1.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(KernelParamsTest, ValidationRejectsBadDegree) {
+  auto p = KernelParams::Polynomial(1.0, 0.0, 0);
+  EXPECT_FALSE(p.Validate().ok());
+  p.degree = 1;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(IntPowTest, MatchesStdPow) {
+  for (const double x : {-2.0, -0.5, 0.0, 0.3, 1.0, 2.5}) {
+    for (const int e : {0, 1, 2, 3, 4, 7, 10}) {
+      EXPECT_NEAR(IntPow(x, e), std::pow(x, e), 1e-9 * std::abs(std::pow(x, e)) + 1e-12)
+          << "x=" << x << " e=" << e;
+    }
+  }
+}
+
+TEST(KernelValueTest, GaussianAtZeroDistanceIsOne) {
+  const auto k = KernelParams::Gaussian(2.0);
+  const std::vector<double> p{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(KernelValue(k, p, p), 1.0);
+}
+
+TEST(KernelValueTest, GaussianKnownValue) {
+  const auto k = KernelParams::Gaussian(0.5);
+  const std::vector<double> q{0.0, 0.0};
+  const std::vector<double> p{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), std::exp(-0.5 * 2.0));
+}
+
+TEST(KernelValueTest, GaussianSymmetric) {
+  const auto k = KernelParams::Gaussian(1.5);
+  const std::vector<double> a{0.2, -0.7, 1.1};
+  const std::vector<double> b{-0.4, 0.9, 0.3};
+  EXPECT_DOUBLE_EQ(KernelValue(k, a, b), KernelValue(k, b, a));
+}
+
+TEST(KernelValueTest, GaussianDecaysWithDistance) {
+  const auto k = KernelParams::Gaussian(1.0);
+  const std::vector<double> q{0.0};
+  EXPECT_GT(KernelValue(k, q, std::vector<double>{0.5}),
+            KernelValue(k, q, std::vector<double>{1.5}));
+}
+
+TEST(KernelValueTest, LaplacianKnownValue) {
+  const auto k = KernelParams::Laplacian(2.0);
+  const std::vector<double> q{0.0, 0.0};
+  const std::vector<double> p{3.0, 4.0};  // dist = 5.
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), std::exp(-10.0));
+}
+
+TEST(KernelValueTest, LaplacianAtZeroDistanceIsOne) {
+  const auto k = KernelParams::Laplacian(3.0);
+  const std::vector<double> p{1.0, -2.0};
+  EXPECT_DOUBLE_EQ(KernelValue(k, p, p), 1.0);
+}
+
+TEST(KernelValueTest, CauchyKnownValue) {
+  const auto k = KernelParams::Cauchy(0.5);
+  const std::vector<double> q{0.0};
+  const std::vector<double> p{2.0};  // dist² = 4.
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), 1.0 / 3.0);
+}
+
+TEST(KernelValueTest, CauchyDecaysWithDistance) {
+  const auto k = KernelParams::Cauchy(1.0);
+  const std::vector<double> q{0.0};
+  EXPECT_GT(KernelValue(k, q, std::vector<double>{0.5}),
+            KernelValue(k, q, std::vector<double>{2.0}));
+}
+
+TEST(KernelProfileTest, DistanceKernelProfilesConsistent) {
+  const std::vector<double> q{0.3, -0.8};
+  const std::vector<double> p{1.1, 0.4};
+  const double sq = util::SquaredDistance(q, p);
+  for (const auto k : {KernelParams::Gaussian(1.7),
+                       KernelParams::Laplacian(0.9),
+                       KernelParams::Cauchy(2.3)}) {
+    EXPECT_NEAR(KernelValue(k, q, p),
+                KernelProfile(k, DistanceArgScale(k) * sq), 1e-12)
+        << KernelTypeToString(k.type);
+  }
+}
+
+TEST(KernelProfileTest, DistanceDerivativesMatchFiniteDifference) {
+  // Positive arguments only: the Laplacian profile is singular at 0.
+  for (const auto k :
+       {KernelParams::Laplacian(1.0), KernelParams::Cauchy(1.0)}) {
+    for (const double x : {0.1, 0.5, 1.3, 3.0}) {
+      const double h = 1e-7;
+      const double numeric =
+          (KernelProfile(k, x + h) - KernelProfile(k, x - h)) / (2.0 * h);
+      EXPECT_NEAR(KernelProfileDerivative(k, x), numeric, 1e-5)
+          << KernelTypeToString(k.type) << " x=" << x;
+    }
+  }
+}
+
+TEST(KernelProfileTest, DistanceArgScaleConvention) {
+  EXPECT_DOUBLE_EQ(DistanceArgScale(KernelParams::Gaussian(3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceArgScale(KernelParams::Laplacian(3.0)), 9.0);
+  EXPECT_DOUBLE_EQ(DistanceArgScale(KernelParams::Cauchy(3.0)), 3.0);
+}
+
+TEST(KernelValueTest, PolynomialKnownValue) {
+  const auto k = KernelParams::Polynomial(2.0, 1.0, 3);
+  const std::vector<double> q{1.0, 0.0};
+  const std::vector<double> p{0.5, 9.0};
+  // (2·0.5 + 1)^3 = 8.
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), 8.0);
+}
+
+TEST(KernelValueTest, PolynomialOddDegreeCanBeNegative) {
+  const auto k = KernelParams::Polynomial(1.0, 0.0, 3);
+  const std::vector<double> q{1.0};
+  const std::vector<double> p{-1.0};
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), -1.0);
+}
+
+TEST(KernelValueTest, PolynomialEvenDegreeNonNegative) {
+  const auto k = KernelParams::Polynomial(1.0, 0.0, 2);
+  const std::vector<double> q{1.0};
+  for (const double v : {-3.0, -0.1, 0.0, 0.5, 2.0}) {
+    EXPECT_GE(KernelValue(k, q, std::vector<double>{v}), 0.0);
+  }
+}
+
+TEST(KernelValueTest, SigmoidKnownValue) {
+  const auto k = KernelParams::Sigmoid(1.0, 0.0);
+  const std::vector<double> q{2.0};
+  const std::vector<double> p{0.5};
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), std::tanh(1.0));
+}
+
+TEST(KernelValueTest, SigmoidBounded) {
+  const auto k = KernelParams::Sigmoid(3.0, 1.0);
+  const std::vector<double> q{5.0, -5.0};
+  const std::vector<double> p{4.0, 4.0};
+  const double v = KernelValue(k, q, p);
+  EXPECT_GT(v, -1.0);
+  EXPECT_LT(v, 1.0);
+}
+
+// Profile consistency: KernelValue == KernelProfile(x) with the right x.
+TEST(KernelProfileTest, GaussianProfileConsistent) {
+  const auto k = KernelParams::Gaussian(0.7);
+  const std::vector<double> q{0.1, 0.9};
+  const std::vector<double> p{-0.5, 0.4};
+  const double x = k.gamma * util::SquaredDistance(q, p);
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), KernelProfile(k, x));
+}
+
+TEST(KernelProfileTest, PolynomialProfileConsistent) {
+  const auto k = KernelParams::Polynomial(0.3, 0.2, 4);
+  const std::vector<double> q{0.1, 0.9};
+  const std::vector<double> p{-0.5, 0.4};
+  const double x = k.gamma * util::Dot(q, p) + k.beta;
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), KernelProfile(k, x));
+}
+
+TEST(KernelProfileTest, SigmoidProfileConsistent) {
+  const auto k = KernelParams::Sigmoid(0.3, -0.2);
+  const std::vector<double> q{1.0, -1.0};
+  const std::vector<double> p{0.5, 0.25};
+  const double x = k.gamma * util::Dot(q, p) + k.beta;
+  EXPECT_DOUBLE_EQ(KernelValue(k, q, p), KernelProfile(k, x));
+}
+
+// Derivative checks against central differences.
+class ProfileDerivativeTest : public ::testing::TestWithParam<KernelParams> {};
+
+TEST_P(ProfileDerivativeTest, MatchesFiniteDifference) {
+  const KernelParams& k = GetParam();
+  for (const double x : {-2.0, -0.7, -0.1, 0.0, 0.3, 1.0, 2.5}) {
+    const double h = 1e-6;
+    const double numeric =
+        (KernelProfile(k, x + h) - KernelProfile(k, x - h)) / (2.0 * h);
+    EXPECT_NEAR(KernelProfileDerivative(k, x), numeric, 1e-5)
+        << KernelTypeToString(k.type) << " at x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileDerivativeTest,
+    ::testing::Values(KernelParams::Gaussian(1.0),
+                      KernelParams::Polynomial(1.0, 0.0, 2),
+                      KernelParams::Polynomial(1.0, 0.0, 3),
+                      KernelParams::Polynomial(1.0, 0.0, 5),
+                      KernelParams::Sigmoid(1.0, 0.0)),
+    [](const ::testing::TestParamInfo<KernelParams>& info) {
+      std::string name(KernelTypeToString(info.param.type));
+      if (info.param.type == KernelType::kPolynomial) {
+        name += "Deg" + std::to_string(info.param.degree);
+      }
+      return name;
+    });
+
+TEST(KernelTypeTest, Names) {
+  EXPECT_EQ(KernelTypeToString(KernelType::kGaussian), "gaussian");
+  EXPECT_EQ(KernelTypeToString(KernelType::kPolynomial), "polynomial");
+  EXPECT_EQ(KernelTypeToString(KernelType::kSigmoid), "sigmoid");
+}
+
+TEST(KernelTypeTest, InnerProductClassification) {
+  EXPECT_FALSE(IsInnerProductKernel(KernelType::kGaussian));
+  EXPECT_FALSE(IsInnerProductKernel(KernelType::kLaplacian));
+  EXPECT_FALSE(IsInnerProductKernel(KernelType::kCauchy));
+  EXPECT_TRUE(IsInnerProductKernel(KernelType::kPolynomial));
+  EXPECT_TRUE(IsInnerProductKernel(KernelType::kSigmoid));
+}
+
+}  // namespace
+}  // namespace karl::core

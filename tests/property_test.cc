@@ -1,0 +1,342 @@
+// Property-based tests: randomised sweeps asserting the library's core
+// invariants over many generated configurations.
+//
+//  P1. Bound validity: for every kernel, bound kind, tree, node and query,
+//      lb ≤ Σ w_i K(q,p_i) ≤ ub.
+//  P2. KARL dominance (Gaussian): KARL's node bounds are never looser
+//      than SOTA's (Lemmas 3–4).
+//  P3. Query correctness: TKAQ == (exact > τ) and eKAQ within ε, for any
+//      tree/bound/weighting combination.
+//  P4. Refinement monotonicity: global lb never decreases, ub never
+//      increases during refinement.
+//  P5. Linear-bound functions sandwich the profile pointwise on the
+//      interval they were constructed for.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/evaluator.h"
+#include "core/karl.h"
+#include "data/synthetic.h"
+#include "index/ball_tree.h"
+#include "index/kd_tree.h"
+#include "util/rng.h"
+
+namespace karl {
+namespace {
+
+using core::BoundKind;
+using core::Curvature;
+using core::KernelParams;
+using core::KernelProfile;
+using core::LinearFn;
+
+struct PropertyCase {
+  uint64_t seed;
+  size_t n;
+  size_t d;
+  index::IndexKind index_kind;
+  size_t leaf_capacity;
+  int kernel_id;   // 0 gaussian, 1 poly3, 2 poly2, 3 sigmoid
+  int weighting;   // 1, 2, 3
+};
+
+KernelParams KernelForCase(const PropertyCase& pc, size_t d) {
+  const double gamma = 1.0 / static_cast<double>(d);
+  switch (pc.kernel_id) {
+    case 0:
+      return KernelParams::Gaussian(8.0 * gamma * static_cast<double>(d));
+    case 1:
+      return KernelParams::Polynomial(gamma, 0.1, 3);
+    case 2:
+      return KernelParams::Polynomial(gamma, -0.1, 2);
+    default:
+      return KernelParams::Sigmoid(gamma, 0.05);
+  }
+}
+
+std::vector<double> WeightsForCase(const PropertyCase& pc, size_t n,
+                                   util::Rng& rng) {
+  std::vector<double> w(n);
+  for (auto& v : w) {
+    switch (pc.weighting) {
+      case 1:
+        v = 0.7;
+        break;
+      case 2:
+        v = rng.Uniform(0.05, 1.5);
+        break;
+      default:
+        v = rng.Uniform(-1.0, 1.0);
+        if (v == 0.0) v = 0.5;
+        break;
+    }
+  }
+  return w;
+}
+
+std::unique_ptr<index::TreeIndex> TreeForCase(const PropertyCase& pc,
+                                              const data::Matrix& pts,
+                                              std::span<const double> w) {
+  if (pc.index_kind == index::IndexKind::kKdTree) {
+    return index::KdTree::Build(pts, w, pc.leaf_capacity).ValueOrDie();
+  }
+  return index::BallTree::Build(pts, w, pc.leaf_capacity).ValueOrDie();
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+// P3: query correctness through the Engine across the whole matrix of
+// configurations.
+TEST_P(QueryPropertyTest, ThresholdAndApproximateMatchBruteForce) {
+  const PropertyCase pc = GetParam();
+  util::Rng rng(pc.seed);
+  const data::Matrix pts =
+      data::SampleClustered(pc.n, pc.d, 3, 0.08, rng);
+  const auto weights = WeightsForCase(pc, pc.n, rng);
+  const KernelParams kernel = KernelForCase(pc, pc.d);
+
+  for (const auto bound_kind : {BoundKind::kSota, BoundKind::kKarl}) {
+    EngineOptions options;
+    options.kernel = kernel;
+    options.bounds = bound_kind;
+    options.index_kind = pc.index_kind;
+    options.leaf_capacity = pc.leaf_capacity;
+    auto engine = Engine::Build(pts, weights, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<double> q(pc.d);
+      for (auto& v : q) v = rng.Uniform(-0.1, 1.1);
+      const double exact = core::ExactAggregate(pts, weights, kernel, q);
+
+      // Refinement maintains bounds incrementally, so decisions carry an
+      // absolute noise floor of ~eps_machine x (root bound magnitude) —
+      // inherent to the paper's algorithm. Skip assertions when the
+      // margin |exact - tau| sits below that floor.
+      const double noise_floor =
+          1e-12 * (1.0 + std::abs(exact));
+      for (const double rel : {0.7, 0.97, 1.03, 1.4}) {
+        const double tau = exact * rel;
+        if (std::abs(exact - tau) <= noise_floor) continue;
+        EXPECT_EQ(engine.value().Tkaq(q, tau), exact > tau)
+            << "bounds=" << BoundKindToString(bound_kind) << " tau=" << tau
+            << " exact=" << exact;
+      }
+
+      if (pc.weighting != 3) {
+        const double approx = engine.value().Ekaq(q, 0.2);
+        // Symmetric relative-error guarantee (F may be negative for
+        // polynomial/sigmoid profiles even under positive weights).
+        EXPECT_LE(std::abs(approx - exact), 0.2 * std::abs(exact) + 1e-10);
+      }
+    }
+  }
+}
+
+// P1: node-bound validity on every node of the case's tree.
+TEST_P(QueryPropertyTest, NodeBoundsAreValidEverywhere) {
+  const PropertyCase pc = GetParam();
+  util::Rng rng(pc.seed + 1000);
+  const data::Matrix pts =
+      data::SampleClustered(pc.n, pc.d, 3, 0.08, rng);
+  // Bound functions require positive weights (the engine pre-splits
+  // Type III), so test the positive-space contract directly.
+  std::vector<double> weights(pc.n);
+  for (auto& v : weights) v = rng.Uniform(0.05, 1.5);
+  const KernelParams kernel = KernelForCase(pc, pc.d);
+  const auto tree = TreeForCase(pc, pts, weights);
+
+  for (const auto bound_kind : {BoundKind::kSota, BoundKind::kKarl}) {
+    auto bounds = core::MakeBoundFunction(kernel, bound_kind).ValueOrDie();
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<double> q(pc.d);
+      for (auto& v : q) v = rng.Uniform(-0.2, 1.2);
+      const core::QueryContext ctx = core::QueryContext::Make(q);
+      for (size_t id = 0; id < tree->num_nodes(); ++id) {
+        const auto& nd = tree->node(id);
+        double exact = 0.0;
+        for (uint32_t i = nd.begin; i < nd.end; ++i) {
+          exact += tree->weights()[i] *
+                   core::KernelValue(kernel, q, tree->points().Row(i));
+        }
+        double lb = 0.0, ub = 0.0;
+        bounds->NodeBounds(*tree, static_cast<index::NodeId>(id), ctx, &lb,
+                           &ub);
+        const double slack = 1e-7 * (1.0 + std::abs(exact));
+        ASSERT_LE(lb, exact + slack)
+            << BoundKindToString(bound_kind) << " node " << id;
+        ASSERT_GE(ub, exact - slack)
+            << BoundKindToString(bound_kind) << " node " << id;
+      }
+    }
+  }
+}
+
+// P4: refinement monotonicity. This is a theorem only for the Gaussian
+// chord/tangent bounds over nested kd boxes (child intervals shrink and
+// the constructions are pointwise monotone in the interval). Ball-tree
+// child balls are not nested in the parent ball, and the mixed-interval
+// pivot construction is not pointwise monotone across intervals, so for
+// those only bound validity is asserted.
+TEST_P(QueryPropertyTest, RefinementIsMonotone) {
+  const PropertyCase pc = GetParam();
+  util::Rng rng(pc.seed + 2000);
+  const data::Matrix pts =
+      data::SampleClustered(pc.n, pc.d, 3, 0.08, rng);
+  std::vector<double> weights(pc.n, 1.0);
+  const KernelParams kernel = KernelForCase(pc, pc.d);
+  const auto tree = TreeForCase(pc, pts, weights);
+
+  core::Evaluator::Options options;
+  options.bounds = BoundKind::kKarl;
+  auto ev = core::Evaluator::Create(tree.get(), nullptr, kernel, options)
+                .ValueOrDie();
+
+  std::vector<double> q(pc.d, 0.5);
+  const double exact =
+      core::ExactAggregate(pts, weights, kernel, q);
+  double prev_lb = -1e300, prev_ub = 1e300;
+  bool monotone = true;
+  bool valid = true;
+  core::TraceFn trace = [&](size_t, double lb, double ub) {
+    if (lb < prev_lb - 1e-7 || ub > prev_ub + 1e-7) monotone = false;
+    if (lb > exact + 1e-6 || ub < exact - 1e-6) valid = false;
+    prev_lb = lb;
+    prev_ub = ub;
+  };
+  double lb = 0.0, ub = 0.0;
+  ev.RefineToConvergence(q, 1000000, &lb, &ub, &trace);
+  if (pc.index_kind == index::IndexKind::kKdTree && pc.kernel_id == 0) {
+    EXPECT_TRUE(monotone);
+  }
+  EXPECT_TRUE(valid);
+  EXPECT_LE(lb, ub + 1e-9);
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  uint64_t seed = 40;
+  for (const auto kind :
+       {index::IndexKind::kKdTree, index::IndexKind::kBallTree}) {
+    for (const int kernel_id : {0, 1, 2, 3}) {
+      for (const int weighting : {1, 2, 3}) {
+        cases.push_back(PropertyCase{seed++, 250, 4, kind,
+                                     (seed % 2 == 0) ? size_t{8} : size_t{32},
+                                     kernel_id, weighting});
+      }
+    }
+  }
+  // A few stress shapes: tiny leaf, high-d, small n.
+  cases.push_back({seed++, 64, 2, index::IndexKind::kKdTree, 1, 0, 1});
+  cases.push_back({seed++, 300, 24, index::IndexKind::kKdTree, 16, 0, 2});
+  cases.push_back({seed++, 40, 3, index::IndexKind::kBallTree, 2, 3, 3});
+  return cases;
+}
+
+std::string PropertyCaseName(
+    const ::testing::TestParamInfo<PropertyCase>& info) {
+  const auto& pc = info.param;
+  static const char* const kKernels[] = {"Gauss", "Poly3", "Poly2",
+                                         "Sigmoid"};
+  return std::string(pc.index_kind == index::IndexKind::kKdTree ? "Kd"
+                                                                : "Ball") +
+         kKernels[pc.kernel_id] + "W" + std::to_string(pc.weighting) + "N" +
+         std::to_string(pc.n) + "D" + std::to_string(pc.d) + "C" +
+         std::to_string(pc.leaf_capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QueryPropertyTest,
+                         ::testing::ValuesIn(MakeCases()), PropertyCaseName);
+
+// P2: KARL dominance over SOTA on random Gaussian configurations.
+TEST(BoundDominanceProperty, KarlNeverLooserThanSotaGaussian) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed * 31);
+    const size_t d = 2 + seed % 5;
+    const data::Matrix pts =
+        data::SampleClustered(200 + 50 * seed, d, 1 + seed % 4, 0.1, rng);
+    std::vector<double> weights(pts.rows());
+    for (auto& w : weights) w = rng.Uniform(0.1, 2.0);
+    auto tree = index::KdTree::Build(pts, weights, 16).ValueOrDie();
+    const auto kernel = KernelParams::Gaussian(rng.Uniform(0.5, 10.0));
+    auto sota = core::MakeBoundFunction(kernel, BoundKind::kSota).ValueOrDie();
+    auto karl = core::MakeBoundFunction(kernel, BoundKind::kKarl).ValueOrDie();
+
+    std::vector<double> q(d);
+    for (auto& v : q) v = rng.Uniform(-0.5, 1.5);
+    const core::QueryContext ctx = core::QueryContext::Make(q);
+    for (size_t id = 0; id < tree->num_nodes(); ++id) {
+      double slb = 0.0, sub = 0.0, klb = 0.0, kub = 0.0;
+      sota->NodeBounds(*tree, static_cast<index::NodeId>(id), ctx, &slb,
+                       &sub);
+      karl->NodeBounds(*tree, static_cast<index::NodeId>(id), ctx, &klb,
+                       &kub);
+      ASSERT_GE(klb, slb - 1e-9) << "seed " << seed << " node " << id;
+      ASSERT_LE(kub, sub + 1e-9) << "seed " << seed << " node " << id;
+    }
+  }
+}
+
+// P5: random-interval pointwise sandwich for the pure linear machinery.
+TEST(LinearBoundProperty, RandomIntervalsSandwichProfiles) {
+  util::Rng rng(4242);
+  const std::vector<KernelParams> kernels = {
+      KernelParams::Gaussian(1.0),       KernelParams::Polynomial(1, 0, 2),
+      KernelParams::Polynomial(1, 0, 3), KernelParams::Polynomial(1, 0, 5),
+      KernelParams::Polynomial(1, 0, 4), KernelParams::Sigmoid(1, 0),
+      KernelParams::Laplacian(1.0),      KernelParams::Cauchy(1.0)};
+
+  for (int trial = 0; trial < 260; ++trial) {
+    const KernelParams& k = kernels[trial % kernels.size()];
+    double lo = rng.Uniform(-3.0, 3.0);
+    double hi = lo + rng.Uniform(0.01, 4.0);
+    if (!core::IsInnerProductKernel(k.type)) {
+      // Distance-profile arguments are non-negative.
+      lo = std::abs(lo);
+      hi = lo + rng.Uniform(0.01, 4.0);
+    }
+
+    LinearFn lower, upper;
+    const Curvature curv = core::ClassifyProfile(k, lo, hi);
+    const double t = rng.Uniform(lo, hi);
+    switch (curv) {
+      case Curvature::kLinear:
+        continue;
+      case Curvature::kConvex:
+        upper = core::ProfileChord(k, lo, hi);
+        lower = core::ProfileTangent(k, t);
+        break;
+      case Curvature::kConcave:
+        lower = core::ProfileChord(k, lo, hi);
+        upper = core::ProfileTangent(k, t);
+        break;
+      case Curvature::kMixedConcaveConvex:
+        upper = core::PivotLine(k, lo, hi, true, true);
+        lower = core::PivotLine(k, lo, hi, false, false);
+        break;
+      case Curvature::kMixedConvexConcave:
+        upper = core::PivotLine(k, lo, hi, false, true);
+        lower = core::PivotLine(k, lo, hi, true, false);
+        break;
+    }
+
+    for (int i = 0; i <= 64; ++i) {
+      const double x = lo + (hi - lo) * i / 64.0;
+      const double f = KernelProfile(k, x);
+      const double tol = 1e-8 * (1.0 + std::abs(f));
+      ASSERT_LE(lower.At(x), f + tol)
+          << core::KernelTypeToString(k.type) << " deg=" << k.degree
+          << " [" << lo << "," << hi << "] x=" << x;
+      ASSERT_GE(upper.At(x), f - tol)
+          << core::KernelTypeToString(k.type) << " deg=" << k.degree
+          << " [" << lo << "," << hi << "] x=" << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace karl

@@ -1,0 +1,146 @@
+// Tests for offline and in-situ index tuning (§III-C).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tuning.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace karl::core {
+namespace {
+
+EngineOptions BaseOptions(double gamma) {
+  EngineOptions options;
+  options.kernel = KernelParams::Gaussian(gamma);
+  return options;
+}
+
+data::Matrix SampleQueries(const data::Matrix& points, size_t count,
+                           util::Rng& rng) {
+  const auto rows = rng.SampleWithoutReplacement(points.rows(), count);
+  return points.SelectRows(rows);
+}
+
+TEST(MeasureThroughputTest, PositiveForRealWork) {
+  util::Rng rng(1);
+  const data::Matrix pts = data::SampleClustered(500, 3, 3, 0.08, rng);
+  auto engine = Engine::BuildUniform(pts, 1.0, BaseOptions(4.0)).ValueOrDie();
+  const data::Matrix queries = SampleQueries(pts, 20, rng);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kThreshold;
+  spec.tau = 1.0;
+  EXPECT_GT(MeasureThroughput(engine, queries, spec), 0.0);
+}
+
+TEST(MeasureThroughputTest, ZeroForEmptyQuerySet) {
+  util::Rng rng(2);
+  const data::Matrix pts = data::SampleUniform(100, 2, 0.0, 1.0, rng);
+  auto engine = Engine::BuildUniform(pts, 1.0, BaseOptions(1.0)).ValueOrDie();
+  QuerySpec spec;
+  EXPECT_DOUBLE_EQ(MeasureThroughput(engine, data::Matrix(), spec), 0.0);
+}
+
+TEST(DefaultGridTest, CoversBothKindsAndPaperCapacities) {
+  const auto grid = DefaultTuningGrid();
+  EXPECT_EQ(grid.size(), 14u);
+  size_t kd = 0, ball = 0;
+  for (const auto& cfg : grid) {
+    (cfg.kind == index::IndexKind::kKdTree ? kd : ball) += 1;
+    EXPECT_GE(cfg.leaf_capacity, 10u);
+    EXPECT_LE(cfg.leaf_capacity, 640u);
+  }
+  EXPECT_EQ(kd, 7u);
+  EXPECT_EQ(ball, 7u);
+}
+
+TEST(OfflineTuneTest, RejectsEmptyGrid) {
+  util::Rng rng(3);
+  const data::Matrix pts = data::SampleUniform(50, 2, 0.0, 1.0, rng);
+  std::vector<double> weights(50, 1.0);
+  EXPECT_FALSE(OfflineTune(pts, weights, BaseOptions(1.0), pts, QuerySpec{},
+                           {})
+                   .ok());
+}
+
+TEST(OfflineTuneTest, ReturnsBestOfGrid) {
+  util::Rng rng(4);
+  const data::Matrix pts = data::SampleClustered(2000, 3, 4, 0.06, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  const data::Matrix queries = SampleQueries(pts, 30, rng);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kThreshold;
+  spec.tau = 5.0;
+
+  const std::vector<IndexConfig> grid = {
+      {index::IndexKind::kKdTree, 16},
+      {index::IndexKind::kKdTree, 128},
+      {index::IndexKind::kBallTree, 64},
+  };
+  auto result =
+      OfflineTune(pts, weights, BaseOptions(8.0), queries, spec, grid);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().candidates.size(), grid.size());
+
+  // The reported best matches the max measured throughput.
+  double best = -1.0;
+  IndexConfig best_cfg;
+  for (const auto& cand : result.value().candidates) {
+    EXPECT_GT(cand.throughput_qps, 0.0);
+    if (cand.throughput_qps > best) {
+      best = cand.throughput_qps;
+      best_cfg = cand.config;
+    }
+  }
+  EXPECT_EQ(result.value().best.kind, best_cfg.kind);
+  EXPECT_EQ(result.value().best.leaf_capacity, best_cfg.leaf_capacity);
+}
+
+TEST(InsituRunTest, RejectsBadSampleFraction) {
+  util::Rng rng(5);
+  const data::Matrix pts = data::SampleUniform(100, 2, 0.0, 1.0, rng);
+  std::vector<double> weights(100, 1.0);
+  QuerySpec spec;
+  EXPECT_FALSE(
+      InsituRun(pts, weights, BaseOptions(1.0), pts, spec, 0.0).ok());
+  EXPECT_FALSE(
+      InsituRun(pts, weights, BaseOptions(1.0), pts, spec, 1.0).ok());
+}
+
+TEST(InsituRunTest, ProducesEndToEndTimingAndLevel) {
+  util::Rng rng(6);
+  const data::Matrix pts = data::SampleClustered(3000, 3, 4, 0.06, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  const data::Matrix queries = SampleQueries(pts, 200, rng);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kThreshold;
+  spec.tau = 10.0;
+
+  auto result =
+      InsituRun(pts, weights, BaseOptions(8.0), queries, spec, 0.1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& r = result.value();
+  EXPECT_GE(r.best_level, 2);
+  EXPECT_GT(r.build_seconds, 0.0);
+  EXPECT_GT(r.tuning_seconds, 0.0);
+  EXPECT_GT(r.end_to_end_throughput, 0.0);
+}
+
+TEST(InsituRunTest, ApproximateSpecWorksToo) {
+  util::Rng rng(7);
+  const data::Matrix pts = data::SampleClustered(1500, 3, 3, 0.07, rng);
+  std::vector<double> weights(pts.rows(), 1.0);
+  const data::Matrix queries = SampleQueries(pts, 100, rng);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kApproximate;
+  spec.eps = 0.2;
+
+  auto result =
+      InsituRun(pts, weights, BaseOptions(6.0), queries, spec, 0.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().end_to_end_throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace karl::core

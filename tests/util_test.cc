@@ -1,0 +1,262 @@
+// Unit tests for util: Status/Result, Rng, math helpers, Stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace karl::util {
+namespace {
+
+// --------------------------- Status / Result ---------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad gamma");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad gamma");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad gamma");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIOError, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  const auto fails = []() -> Status {
+    KARL_RETURN_NOT_OK(Status::Internal("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInternal);
+
+  const auto succeeds = []() -> Status {
+    KARL_RETURN_NOT_OK(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(succeeds().ok());
+}
+
+// --------------------------------- Rng ---------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All buckets hit in 1000 draws.
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(42);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(42);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(42);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+// ------------------------------ math_util ------------------------------
+
+TEST(MathTest, Dot) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(MathTest, SquaredNorm) {
+  const std::vector<double> a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 25.0);
+}
+
+TEST(MathTest, SquaredDistance) {
+  const std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{4.0, 5.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0 + 16.0);
+}
+
+TEST(MathTest, SquaredDistanceIdentity) {
+  const std::vector<double> a{1.5, -2.5, 3.25};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a), 0.0);
+}
+
+TEST(MathTest, KahanSumStability) {
+  // 1 + 1e-16 * 10^8 would lose everything with naive double summation
+  // order; Kahan keeps the small tail.
+  std::vector<double> values{1.0};
+  values.insert(values.end(), 100000000 / 1000, 0.0);  // Keep test fast:
+  values.assign(100001, 1e-16);
+  values[0] = 1.0;
+  const double total = KahanSum(values);
+  EXPECT_NEAR(total, 1.0 + 1e-16 * 100000, 1e-18);
+}
+
+TEST(MathTest, KahanAccumulatorMatchesSum) {
+  KahanAccumulator acc;
+  double plain = 0.0;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-1.0, 1.0);
+    acc.Add(v);
+    plain += v;
+  }
+  EXPECT_NEAR(acc.Total(), plain, 1e-9);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(MathTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+}
+
+TEST(MathTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// ------------------------------ Stopwatch ------------------------------
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(x, 100000.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  const double before = sw.ElapsedSeconds();
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedSeconds(), before + 1.0);
+  EXPECT_DOUBLE_EQ(x, 100000.0);
+}
+
+TEST(StopwatchTest, MillisConsistentWithSeconds) {
+  Stopwatch sw;
+  const double s = sw.ElapsedSeconds();
+  const double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);
+}
+
+}  // namespace
+}  // namespace karl::util

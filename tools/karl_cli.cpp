@@ -1,0 +1,279 @@
+// karl — command-line front end to the KARL library.
+//
+// Subcommands:
+//   generate  --dataset <name> --out <file.csv> [--n N]
+//       Writes a benchmark-dataset simulacrum as CSV.
+//   build     --data <file.csv|file.libsvm> --out <model.bin>
+//             [--kernel gaussian|laplacian|cauchy|polynomial|sigmoid]
+//             [--gamma G] [--beta B] [--degree D] [--weight W]
+//             [--index kd|ball] [--leaf-capacity C] [--bounds karl|sota]
+//       Builds an engine model from data (libsvm labels become weights)
+//       and saves it.
+//   query     --model <model.bin> --queries <file.csv>
+//             (--tau T | --eps E) [--limit N]
+//       Runs TKAQ or eKAQ over every query row; prints results and
+//       throughput.
+//   tune      --model <model.bin> --queries <file.csv> (--tau T | --eps E)
+//       Offline-tunes the index configuration and reports the grid.
+//
+// Exit status: 0 on success, 1 on usage or runtime errors.
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine_io.h"
+#include "core/tuning.h"
+#include "data/csv_io.h"
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "ml/kde.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using karl::core::EngineModel;
+using karl::util::ParsedArgs;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "karl: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: karl <generate|build|query|tune> [--flags]\n"
+               "run with a subcommand to see its required flags\n");
+  return 1;
+}
+
+// Reads either CSV (dense) or LIBSVM (sparse, labelled) points. For
+// LIBSVM input, labels are returned through `weights_out` when non-null.
+karl::util::Result<karl::data::Matrix> ReadPoints(
+    const std::string& path, std::vector<double>* weights_out) {
+  if (path.size() > 7 && path.substr(path.size() - 7) == ".libsvm") {
+    auto ds = karl::data::ReadLibsvmFile(path);
+    if (!ds.ok()) return ds.status();
+    if (weights_out != nullptr) *weights_out = ds.value().labels;
+    return std::move(ds).ValueOrDie().points;
+  }
+  return karl::data::ReadCsvFile(path);
+}
+
+int RunGenerate(const ParsedArgs& args) {
+  const std::string name = args.GetString("dataset");
+  const std::string out = args.GetString("out");
+  if (name.empty() || out.empty()) {
+    return Fail("generate requires --dataset <name> --out <file.csv>");
+  }
+  auto spec = karl::data::FindDataset(name);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  auto n = args.GetInt("n", static_cast<int64_t>(spec.value().n));
+  if (!n.ok()) return Fail(n.status().ToString());
+  karl::data::DatasetSpec adjusted = spec.value();
+  adjusted.n = static_cast<size_t>(n.value());
+  const karl::data::Matrix points = karl::data::MakeUciLike(adjusted);
+  if (auto st = karl::data::WriteCsvFile(out, points); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("wrote %zu x %zu points to %s\n", points.rows(), points.cols(),
+              out.c_str());
+  return 0;
+}
+
+int RunBuild(const ParsedArgs& args) {
+  const std::string data_path = args.GetString("data");
+  const std::string out = args.GetString("out");
+  if (data_path.empty() || out.empty()) {
+    return Fail("build requires --data <file> --out <model.bin>");
+  }
+
+  std::vector<double> labels;
+  auto points = ReadPoints(data_path, &labels);
+  if (!points.ok()) return Fail(points.status().ToString());
+
+  EngineModel model;
+  model.points = std::move(points).ValueOrDie();
+
+  const auto weight_flag = args.GetDouble("weight", 1.0);
+  if (!weight_flag.ok()) return Fail(weight_flag.status().ToString());
+  if (!labels.empty() && !args.Has("weight")) {
+    model.weights = std::move(labels);  // LIBSVM labels as weights.
+  } else {
+    model.weights.assign(model.points.rows(), weight_flag.value());
+  }
+
+  // Kernel selection; γ defaults to Scott's rule for distance kernels.
+  const std::string kernel_name = args.GetString("kernel", "gaussian");
+  const auto gamma_flag = args.GetDouble(
+      "gamma", karl::ml::BandwidthToGamma(
+                   karl::ml::ScottBandwidth(model.points)));
+  const auto beta_flag = args.GetDouble("beta", 0.0);
+  const auto degree_flag = args.GetInt("degree", 3);
+  if (!gamma_flag.ok()) return Fail(gamma_flag.status().ToString());
+  if (!beta_flag.ok()) return Fail(beta_flag.status().ToString());
+  if (!degree_flag.ok()) return Fail(degree_flag.status().ToString());
+  const double gamma = gamma_flag.value();
+  if (kernel_name == "gaussian") {
+    model.options.kernel = karl::core::KernelParams::Gaussian(gamma);
+  } else if (kernel_name == "laplacian") {
+    model.options.kernel = karl::core::KernelParams::Laplacian(gamma);
+  } else if (kernel_name == "cauchy") {
+    model.options.kernel = karl::core::KernelParams::Cauchy(gamma);
+  } else if (kernel_name == "polynomial") {
+    model.options.kernel = karl::core::KernelParams::Polynomial(
+        gamma, beta_flag.value(), static_cast<int>(degree_flag.value()));
+  } else if (kernel_name == "sigmoid") {
+    model.options.kernel =
+        karl::core::KernelParams::Sigmoid(gamma, beta_flag.value());
+  } else {
+    return Fail("unknown kernel '" + kernel_name + "'");
+  }
+
+  const std::string index_name = args.GetString("index", "kd");
+  if (index_name == "kd") {
+    model.options.index_kind = karl::index::IndexKind::kKdTree;
+  } else if (index_name == "ball") {
+    model.options.index_kind = karl::index::IndexKind::kBallTree;
+  } else {
+    return Fail("unknown index '" + index_name + "' (kd|ball)");
+  }
+  const auto capacity = args.GetInt("leaf-capacity", 80);
+  if (!capacity.ok()) return Fail(capacity.status().ToString());
+  model.options.leaf_capacity = static_cast<size_t>(capacity.value());
+  const std::string bounds = args.GetString("bounds", "karl");
+  model.options.bounds = bounds == "sota" ? karl::core::BoundKind::kSota
+                                          : karl::core::BoundKind::kKarl;
+
+  // Validate the model by building it once before persisting.
+  auto engine =
+      karl::Engine::Build(model.points, model.weights, model.options);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+  if (auto st = karl::core::SaveEngineModel(out, model); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("model saved: %zu points, %zu dims, %s kernel (gamma=%.6g), "
+              "%s index, %s bounds -> %s\n",
+              model.points.rows(), model.points.cols(),
+              std::string(KernelTypeToString(model.options.kernel.type))
+                  .c_str(),
+              model.options.kernel.gamma,
+              std::string(IndexKindToString(model.options.index_kind))
+                  .c_str(),
+              std::string(BoundKindToString(model.options.bounds)).c_str(),
+              out.c_str());
+  return 0;
+}
+
+int RunQuery(const ParsedArgs& args) {
+  const std::string model_path = args.GetString("model");
+  const std::string query_path = args.GetString("queries");
+  if (model_path.empty() || query_path.empty()) {
+    return Fail("query requires --model <model.bin> --queries <file.csv>");
+  }
+  const bool threshold_mode = args.Has("tau");
+  const bool approx_mode = args.Has("eps");
+  if (threshold_mode == approx_mode) {
+    return Fail("query requires exactly one of --tau or --eps");
+  }
+  const auto tau = args.GetDouble("tau", 0.0);
+  const auto eps = args.GetDouble("eps", 0.1);
+  if (!tau.ok()) return Fail(tau.status().ToString());
+  if (!eps.ok()) return Fail(eps.status().ToString());
+
+  auto engine = karl::core::LoadEngine(model_path);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+  auto queries = karl::data::ReadCsvFile(query_path);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  const auto limit = args.GetInt(
+      "limit", static_cast<int64_t>(queries.value().rows()));
+  if (!limit.ok()) return Fail(limit.status().ToString());
+  const size_t count =
+      std::min<size_t>(queries.value().rows(),
+                       static_cast<size_t>(std::max<int64_t>(0, limit.value())));
+
+  karl::util::Stopwatch timer;
+  for (size_t i = 0; i < count; ++i) {
+    const auto q = queries.value().Row(i);
+    if (threshold_mode) {
+      std::printf("%zu\t%s\n", i,
+                  engine.value().Tkaq(q, tau.value()) ? "above" : "below");
+    } else {
+      std::printf("%zu\t%.12g\n", i, engine.value().Ekaq(q, eps.value()));
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  std::fprintf(stderr, "%zu queries in %.3fs (%.0f q/s)\n", count, elapsed,
+               count / std::max(elapsed, 1e-9));
+  return 0;
+}
+
+int RunTune(const ParsedArgs& args) {
+  const std::string model_path = args.GetString("model");
+  const std::string query_path = args.GetString("queries");
+  if (model_path.empty() || query_path.empty()) {
+    return Fail("tune requires --model <model.bin> --queries <file.csv>");
+  }
+  const auto tau = args.GetDouble("tau", 0.0);
+  const auto eps = args.GetDouble("eps", 0.2);
+  if (!tau.ok()) return Fail(tau.status().ToString());
+  if (!eps.ok()) return Fail(eps.status().ToString());
+
+  auto model = karl::core::LoadEngineModel(model_path);
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto queries = karl::data::ReadCsvFile(query_path);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  karl::core::QuerySpec spec;
+  if (args.Has("tau")) {
+    spec.kind = karl::core::QuerySpec::Kind::kThreshold;
+    spec.tau = tau.value();
+  } else {
+    spec.kind = karl::core::QuerySpec::Kind::kApproximate;
+    spec.eps = eps.value();
+  }
+
+  auto result = karl::core::OfflineTune(
+      model.value().points, model.value().weights, model.value().options,
+      queries.value(), spec, karl::core::DefaultTuningGrid());
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  std::printf("%-12s %-14s %s\n", "index", "leaf-capacity", "queries/s");
+  for (const auto& cand : result.value().candidates) {
+    std::printf("%-12s %-14zu %.1f\n",
+                std::string(IndexKindToString(cand.config.kind)).c_str(),
+                cand.config.leaf_capacity, cand.throughput_qps);
+  }
+  std::printf("recommended: %s with leaf capacity %zu\n",
+              std::string(IndexKindToString(result.value().best.kind))
+                  .c_str(),
+              result.value().best.leaf_capacity);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ParsedArgs::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const ParsedArgs& args = parsed.value();
+
+  int rc;
+  if (args.command() == "generate") {
+    rc = RunGenerate(args);
+  } else if (args.command() == "build") {
+    rc = RunBuild(args);
+  } else if (args.command() == "query") {
+    rc = RunQuery(args);
+  } else if (args.command() == "tune") {
+    rc = RunTune(args);
+  } else {
+    return Usage();
+  }
+
+  for (const auto& flag : args.UnusedFlags()) {
+    std::fprintf(stderr, "karl: warning: unused flag --%s\n", flag.c_str());
+  }
+  return rc;
+}
