@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_epsilon.dir/bench_fig10_epsilon.cc.o"
+  "CMakeFiles/bench_fig10_epsilon.dir/bench_fig10_epsilon.cc.o.d"
+  "bench_fig10_epsilon"
+  "bench_fig10_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_tightness.dir/bench_fig13_tightness.cc.o"
+  "CMakeFiles/bench_fig13_tightness.dir/bench_fig13_tightness.cc.o.d"
+  "bench_fig13_tightness"
+  "bench_fig13_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_polynomial.dir/bench_table10_polynomial.cc.o"
+  "CMakeFiles/bench_table10_polynomial.dir/bench_table10_polynomial.cc.o.d"
+  "bench_table10_polynomial"
+  "bench_table10_polynomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_polynomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

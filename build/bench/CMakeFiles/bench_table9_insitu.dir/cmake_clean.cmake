@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_insitu.dir/bench_table9_insitu.cc.o"
+  "CMakeFiles/bench_table9_insitu.dir/bench_table9_insitu.cc.o.d"
+  "bench_table9_insitu"
+  "bench_table9_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kde_particle_search.dir/kde_particle_search.cpp.o"
+  "CMakeFiles/kde_particle_search.dir/kde_particle_search.cpp.o.d"
+  "kde_particle_search"
+  "kde_particle_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kde_particle_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_regression_forecast.dir/kernel_regression_forecast.cpp.o"
+  "CMakeFiles/kernel_regression_forecast.dir/kernel_regression_forecast.cpp.o.d"
+  "kernel_regression_forecast"
+  "kernel_regression_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_regression_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

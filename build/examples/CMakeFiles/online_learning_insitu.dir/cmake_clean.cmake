@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_learning_insitu.dir/online_learning_insitu.cpp.o"
+  "CMakeFiles/online_learning_insitu.dir/online_learning_insitu.cpp.o.d"
+  "online_learning_insitu"
+  "online_learning_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_learning_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

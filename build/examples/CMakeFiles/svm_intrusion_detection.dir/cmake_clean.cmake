@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_intrusion_detection.dir/svm_intrusion_detection.cpp.o"
+  "CMakeFiles/svm_intrusion_detection.dir/svm_intrusion_detection.cpp.o.d"
+  "svm_intrusion_detection"
+  "svm_intrusion_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_intrusion_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

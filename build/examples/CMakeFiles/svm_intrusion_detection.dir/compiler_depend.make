@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svm_intrusion_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/karl.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/dynamic_engine.cc" "src/CMakeFiles/karl.dir/core/dynamic_engine.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/dynamic_engine.cc.o.d"
+  "/root/repo/src/core/engine_io.cc" "src/CMakeFiles/karl.dir/core/engine_io.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/engine_io.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/karl.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/karl.cc" "src/CMakeFiles/karl.dir/core/karl.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/karl.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/CMakeFiles/karl.dir/core/kernel.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/kernel.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/CMakeFiles/karl.dir/core/tuning.cc.o" "gcc" "src/CMakeFiles/karl.dir/core/tuning.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "src/CMakeFiles/karl.dir/data/csv_io.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/csv_io.cc.o.d"
+  "/root/repo/src/data/libsvm_io.cc" "src/CMakeFiles/karl.dir/data/libsvm_io.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/libsvm_io.cc.o.d"
+  "/root/repo/src/data/matrix.cc" "src/CMakeFiles/karl.dir/data/matrix.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/matrix.cc.o.d"
+  "/root/repo/src/data/normalize.cc" "src/CMakeFiles/karl.dir/data/normalize.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/normalize.cc.o.d"
+  "/root/repo/src/data/pca.cc" "src/CMakeFiles/karl.dir/data/pca.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/pca.cc.o.d"
+  "/root/repo/src/data/sparse_matrix.cc" "src/CMakeFiles/karl.dir/data/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/sparse_matrix.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/karl.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/karl.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/index/ball_tree.cc" "src/CMakeFiles/karl.dir/index/ball_tree.cc.o" "gcc" "src/CMakeFiles/karl.dir/index/ball_tree.cc.o.d"
+  "/root/repo/src/index/bounding_ball.cc" "src/CMakeFiles/karl.dir/index/bounding_ball.cc.o" "gcc" "src/CMakeFiles/karl.dir/index/bounding_ball.cc.o.d"
+  "/root/repo/src/index/bounding_box.cc" "src/CMakeFiles/karl.dir/index/bounding_box.cc.o" "gcc" "src/CMakeFiles/karl.dir/index/bounding_box.cc.o.d"
+  "/root/repo/src/index/kd_tree.cc" "src/CMakeFiles/karl.dir/index/kd_tree.cc.o" "gcc" "src/CMakeFiles/karl.dir/index/kd_tree.cc.o.d"
+  "/root/repo/src/index/tree_index.cc" "src/CMakeFiles/karl.dir/index/tree_index.cc.o" "gcc" "src/CMakeFiles/karl.dir/index/tree_index.cc.o.d"
+  "/root/repo/src/ml/kde.cc" "src/CMakeFiles/karl.dir/ml/kde.cc.o" "gcc" "src/CMakeFiles/karl.dir/ml/kde.cc.o.d"
+  "/root/repo/src/ml/model_io.cc" "src/CMakeFiles/karl.dir/ml/model_io.cc.o" "gcc" "src/CMakeFiles/karl.dir/ml/model_io.cc.o.d"
+  "/root/repo/src/ml/multiclass.cc" "src/CMakeFiles/karl.dir/ml/multiclass.cc.o" "gcc" "src/CMakeFiles/karl.dir/ml/multiclass.cc.o.d"
+  "/root/repo/src/ml/regression.cc" "src/CMakeFiles/karl.dir/ml/regression.cc.o" "gcc" "src/CMakeFiles/karl.dir/ml/regression.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/CMakeFiles/karl.dir/ml/svm.cc.o" "gcc" "src/CMakeFiles/karl.dir/ml/svm.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/karl.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/karl.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/math_util.cc" "src/CMakeFiles/karl.dir/util/math_util.cc.o" "gcc" "src/CMakeFiles/karl.dir/util/math_util.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/karl.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/karl.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/karl.dir/util/status.cc.o" "gcc" "src/CMakeFiles/karl.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

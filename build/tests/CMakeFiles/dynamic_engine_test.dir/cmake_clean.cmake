@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_engine_test.dir/dynamic_engine_test.cc.o"
+  "CMakeFiles/dynamic_engine_test.dir/dynamic_engine_test.cc.o.d"
+  "dynamic_engine_test"
+  "dynamic_engine_test.pdb"
+  "dynamic_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

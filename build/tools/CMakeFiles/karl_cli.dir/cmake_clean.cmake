@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karl_cli.dir/karl_cli.cpp.o"
+  "CMakeFiles/karl_cli.dir/karl_cli.cpp.o.d"
+  "karl"
+  "karl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
