@@ -1,9 +1,9 @@
 #include "core/bounds.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/math_util.h"
 
 namespace karl::core {
@@ -38,7 +38,8 @@ QueryContext QueryContext::Make(std::span<const double> q) {
 }
 
 LinearFn ExpChord(double lo, double hi) {
-  assert(hi > lo);
+  KARL_DCHECK(hi > lo) << ": chord needs a proper interval, got [" << lo
+                       << ", " << hi << "]";
   const double flo = std::exp(-lo);
   const double fhi = std::exp(-hi);
   LinearFn line;
@@ -53,7 +54,8 @@ LinearFn ExpTangent(double t) {
 }
 
 LinearFn ProfileChord(const KernelParams& params, double lo, double hi) {
-  assert(hi > lo);
+  KARL_DCHECK(hi > lo) << ": chord needs a proper interval, got [" << lo
+                       << ", " << hi << "]";
   const double flo = KernelProfile(params, lo);
   const double fhi = KernelProfile(params, hi);
   LinearFn line;
@@ -93,7 +95,8 @@ Curvature ClassifyProfile(const KernelParams& params, double lo, double hi) {
 
 LinearFn PivotLine(const KernelParams& params, double lo, double hi,
                    bool pivot_at_right, bool upper) {
-  assert(hi > lo);
+  KARL_DCHECK(hi > lo) << ": pivot line needs a proper interval, got [" << lo
+                       << ", " << hi << "]";
   const double px = pivot_at_right ? hi : lo;
   const double py = KernelProfile(params, px);
 
@@ -404,7 +407,62 @@ class KarlInnerProductBounds final : public BoundFunction {
   KernelParams params_;
 };
 
+// Auditing decorator: forwards to the wrapped BoundFunction, then
+// verifies the produced interval against the exact leaf-level aggregate
+// (see MakeAuditingBoundFunction in bounds.h).
+class AuditingBoundFunction final : public BoundFunction {
+ public:
+  AuditingBoundFunction(std::unique_ptr<BoundFunction> inner,
+                        const KernelParams& params, double rel_tolerance)
+      : inner_(std::move(inner)),
+        params_(params),
+        rel_tolerance_(rel_tolerance) {}
+
+  void NodeBounds(const index::TreeIndex& tree, index::NodeId id,
+                  const QueryContext& ctx, double* lb,
+                  double* ub) const override {
+    inner_->NodeBounds(tree, id, ctx, lb, ub);
+    const double exact = ExactNodeAggregate(params_, tree, id, ctx.q);
+    const double tol = rel_tolerance_ * (1.0 + std::abs(exact));
+    const auto& nd = tree.node(id);
+    KARL_CHECK(*lb <= *ub + tol)
+        << ": inverted node bounds; kernel=" << KernelTypeToString(params_.type)
+        << " node=" << id << " range=[" << nd.begin << "," << nd.end
+        << ") lb=" << *lb << " ub=" << *ub;
+    KARL_CHECK(*lb <= exact + tol && *ub >= exact - tol)
+        << ": node bounds exclude the exact aggregate; kernel="
+        << KernelTypeToString(params_.type) << " gamma=" << params_.gamma
+        << " node=" << id << " range=[" << nd.begin << "," << nd.end
+        << ") lb=" << *lb << " exact=" << exact << " ub=" << *ub;
+  }
+
+ private:
+  std::unique_ptr<BoundFunction> inner_;
+  KernelParams params_;
+  double rel_tolerance_;
+};
+
 }  // namespace
+
+double ExactNodeAggregate(const KernelParams& params,
+                          const index::TreeIndex& tree, index::NodeId id,
+                          std::span<const double> q) {
+  const auto& nd = tree.node(id);
+  const auto weights = tree.weights();
+  util::KahanAccumulator acc;
+  for (uint32_t i = nd.begin; i < nd.end; ++i) {
+    acc.Add(weights[i] * KernelValue(params, q, tree.points().Row(i)));
+  }
+  return acc.Total();
+}
+
+std::unique_ptr<BoundFunction> MakeAuditingBoundFunction(
+    std::unique_ptr<BoundFunction> inner, const KernelParams& params,
+    double rel_tolerance) {
+  KARL_CHECK(inner != nullptr) << ": auditor needs a bound function to wrap";
+  return std::make_unique<AuditingBoundFunction>(std::move(inner), params,
+                                                 rel_tolerance);
+}
 
 util::Result<std::unique_ptr<BoundFunction>> MakeBoundFunction(
     const KernelParams& params, BoundKind kind) {

@@ -1,11 +1,12 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <vector>
 
+#include "util/check.h"
 #include "util/math_util.h"
 
 namespace karl::core {
@@ -36,18 +37,32 @@ util::Result<Evaluator> Evaluator::Create(const index::TreeIndex* plus_tree,
                                           const index::TreeIndex* minus_tree,
                                           const KernelParams& kernel,
                                           const Options& options) {
+  auto bound_fn = MakeBoundFunction(kernel, options.bounds);
+  if (!bound_fn.ok()) return bound_fn.status();
+  return CreateWithBounds(plus_tree, minus_tree, kernel, options,
+                          std::move(bound_fn).ValueOrDie());
+}
+
+util::Result<Evaluator> Evaluator::CreateWithBounds(
+    const index::TreeIndex* plus_tree, const index::TreeIndex* minus_tree,
+    const KernelParams& kernel, const Options& options,
+    std::unique_ptr<BoundFunction> bound_fn) {
   if (plus_tree == nullptr) {
     return util::Status::InvalidArgument("plus tree is required");
   }
-  auto bound_fn = MakeBoundFunction(kernel, options.bounds);
-  if (!bound_fn.ok()) return bound_fn.status();
+  if (bound_fn == nullptr) {
+    return util::Status::InvalidArgument("bound function is required");
+  }
+  KARL_RETURN_NOT_OK(kernel.Validate());
 
   Evaluator ev;
   ev.plus_tree_ = plus_tree;
   ev.minus_tree_ = minus_tree;
   ev.kernel_ = kernel;
   ev.options_ = options;
-  ev.bound_fn_ = std::move(bound_fn).ValueOrDie();
+  ev.bound_fn_ = options.audit_bounds
+                     ? MakeAuditingBoundFunction(std::move(bound_fn), kernel)
+                     : std::move(bound_fn);
   return ev;
 }
 
@@ -71,6 +86,27 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
   double lb = 0.0;
   double ub = 0.0;
   size_t iterations = 0;
+
+  // Bound-invariant auditor state (Options::audit_bounds). The exact
+  // answer is the ground truth every global [lb, ub] must enclose; the
+  // per-iteration monotonicity check only applies where monotone
+  // refinement is a theorem: nested kd-tree boxes with the pointwise
+  // interval-monotone constructions on convex distance profiles
+  // (ball-tree child balls are not nested in the parent, and the
+  // mixed-interval pivot line is not interval-monotone).
+  const bool audit = options_.audit_bounds;
+  double audit_exact = 0.0;
+  double audit_tol = 0.0;
+  bool audit_monotone = false;
+  if (audit) {
+    audit_exact = QueryExact(q);
+    audit_tol = 1e-6 * (1.0 + std::abs(audit_exact));
+    audit_monotone =
+        !IsInnerProductKernel(kernel_.type) &&
+        plus_tree_->kind() == index::IndexKind::kKdTree &&
+        (minus_tree_ == nullptr ||
+         minus_tree_->kind() == index::IndexKind::kKdTree);
+  }
 
   // Treats a node as a leaf when it has no children or sits at the level
   // cap (the in-situ tuner's T_i simulation).
@@ -109,13 +145,49 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
       e.ub = -node_lb;
     }
     e.gap = e.ub - e.lb;
+    if (audit) {
+      // Signed-space node check: catches a Type III split whose negated
+      // P⁻ interval crosses its positive-space (Type II) parts, on top of
+      // the positive-space check the auditing bound wrapper already ran.
+      const double exact_node = static_cast<double>(side) *
+                                ExactNodeAggregate(kernel_, tree, id, q);
+      const double tol = 1e-7 * (1.0 + std::abs(exact_node));
+      KARL_CHECK(e.lb <= exact_node + tol && e.ub >= exact_node - tol)
+          << ": signed node bounds exclude the exact contribution; side="
+          << static_cast<int>(side) << " node=" << id << " lb=" << e.lb
+          << " exact=" << exact_node << " ub=" << e.ub;
+    }
     lb += e.lb;
     ub += e.ub;
     frontier.push(e);
   };
 
+  // Global-invariant audit, run after the initial admissions and after
+  // every refinement iteration (bounds move transiently inside one).
+  double audit_prev_lb = -std::numeric_limits<double>::infinity();
+  double audit_prev_ub = std::numeric_limits<double>::infinity();
+  const auto audit_globals = [&]() {
+    KARL_CHECK(lb <= ub + audit_tol)
+        << ": global bounds inverted at iteration " << iterations
+        << "; lb=" << lb << " ub=" << ub;
+    KARL_CHECK(lb <= audit_exact + audit_tol && ub >= audit_exact - audit_tol)
+        << ": global bounds exclude the exact answer at iteration "
+        << iterations << "; lb=" << lb << " exact=" << audit_exact
+        << " ub=" << ub;
+    if (audit_monotone) {
+      const double slack = 1e-7 * (1.0 + std::abs(lb) + std::abs(ub));
+      KARL_CHECK(lb >= audit_prev_lb - slack && ub <= audit_prev_ub + slack)
+          << ": refinement not monotone at iteration " << iterations
+          << "; lb " << audit_prev_lb << " -> " << lb << ", ub "
+          << audit_prev_ub << " -> " << ub;
+    }
+    audit_prev_lb = lb;
+    audit_prev_ub = ub;
+  };
+
   admit(*plus_tree_, +1, plus_tree_->root());
   if (minus_tree_ != nullptr) admit(*minus_tree_, -1, minus_tree_->root());
+  if (audit) audit_globals();
   if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
 
   while (!frontier.empty() && !stop(lb, ub)) {
@@ -128,11 +200,13 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
     const index::TreeIndex& tree =
         top.side > 0 ? *plus_tree_ : *minus_tree_;
     const auto& nd = tree.node(top.node);
-    assert(!nd.is_leaf());
+    KARL_DCHECK(!nd.is_leaf())
+        << ": leaf node " << top.node << " reached the frontier";
     if (stats != nullptr) ++stats->nodes_expanded;
     admit(tree, top.side, nd.left);
     admit(tree, top.side, nd.right);
 
+    if (audit) audit_globals();
     if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
   }
 
@@ -158,7 +232,7 @@ bool Evaluator::QueryThreshold(std::span<const double> q, double tau,
 double Evaluator::QueryApproximate(std::span<const double> q, double eps,
                                    EvalStats* stats,
                                    const TraceFn* trace) const {
-  assert(eps > 0.0);
+  KARL_CHECK(eps > 0.0) << ": eKAQ needs a positive epsilon, got " << eps;
   double lb = 0.0, ub = 0.0;
   // Terminate when ub <= (1+ε)·lb (paper §II-B); returning lb then
   // guarantees (1−ε)F <= lb <= (1+ε)F given lb <= F <= ub. The mirrored
@@ -205,7 +279,9 @@ void Evaluator::RefineToConvergence(std::span<const double> q,
 double ExactAggregate(const data::Matrix& points,
                       std::span<const double> weights,
                       const KernelParams& kernel, std::span<const double> q) {
-  assert(weights.size() == points.rows());
+  KARL_DCHECK(weights.size() == points.rows())
+      << ": " << weights.size() << " weights for " << points.rows()
+      << " points";
   util::KahanAccumulator acc;
   for (size_t i = 0; i < points.rows(); ++i) {
     acc.Add(weights[i] * KernelValue(kernel, q, points.Row(i)));
@@ -217,7 +293,9 @@ double ExactAggregateSparse(const data::SparseMatrix& points,
                             std::span<const double> weights,
                             const KernelParams& kernel,
                             std::span<const double> q) {
-  assert(weights.size() == points.rows());
+  KARL_DCHECK(weights.size() == points.rows())
+      << ": " << weights.size() << " weights for " << points.rows()
+      << " points";
   const double q_sqnorm = util::SquaredNorm(q);
   util::KahanAccumulator acc;
   const double dist_scale = DistanceArgScale(kernel);

@@ -48,6 +48,21 @@ class Evaluator {
     /// < 0 means no cap. Level 0 caps at the root, i.e. a full scan.
     /// Used by the in-situ tuner to simulate the top-i-levels tree T_i.
     int max_level = -1;
+    /// Runtime bound-invariant auditor. When on, every query first
+    /// computes the exact answer by full scan, every admitted node's
+    /// bounds are verified against its exact leaf-level aggregate (in
+    /// signed Type III space too), and every refinement iteration checks
+    /// that [lb, ub] still encloses the exact answer, that lb ≤ ub, and —
+    /// where monotone refinement is a theorem (kd-tree, distance kernels)
+    /// — that lb never decreases and ub never increases. Any violation
+    /// aborts with full diagnostics via KARL_CHECK. Orders of magnitude
+    /// slower than a normal query; compile with -DKARL_AUDIT_BOUNDS (the
+    /// `debug-asan` preset does) to flip the default to true everywhere.
+#ifdef KARL_AUDIT_BOUNDS
+    bool audit_bounds = true;
+#else
+    bool audit_bounds = false;
+#endif
   };
 
   /// Creates an evaluator. `plus_tree` is required and must carry positive
@@ -57,6 +72,16 @@ class Evaluator {
                                         const index::TreeIndex* minus_tree,
                                         const KernelParams& kernel,
                                         const Options& options);
+
+  /// Like Create, but evaluates with the caller-supplied bound function
+  /// instead of MakeBoundFunction(kernel, options.bounds). The audit seam:
+  /// lets tests and fuzz drivers inject deliberately broken bounds and
+  /// prove the auditor fires. `options.audit_bounds` wraps `bound_fn`
+  /// with the node-level auditor exactly as Create does.
+  static util::Result<Evaluator> CreateWithBounds(
+      const index::TreeIndex* plus_tree, const index::TreeIndex* minus_tree,
+      const KernelParams& kernel, const Options& options,
+      std::unique_ptr<BoundFunction> bound_fn);
 
   Evaluator(Evaluator&&) = default;
   Evaluator& operator=(Evaluator&&) = default;

@@ -103,6 +103,7 @@ util::Result<Engine> Engine::Build(const data::Matrix& points,
   core::Evaluator::Options eval_options;
   eval_options.bounds = options.bounds;
   eval_options.max_level = options.max_level;
+  eval_options.audit_bounds = options.audit_bounds;
   auto evaluator =
       core::Evaluator::Create(engine.plus_tree_.get(),
                               engine.minus_tree_.get(), options.kernel,

@@ -48,6 +48,16 @@ struct EngineOptions {
   /// Level cap forwarded to the evaluator (in-situ T_i simulation);
   /// < 0 disables.
   int max_level = -1;
+  /// Runtime bound-invariant auditor (see core::Evaluator::Options::
+  /// audit_bounds): verifies every node bound and every refinement step
+  /// against exact aggregates, aborting with diagnostics on violation.
+  /// Orders of magnitude slower; defaults ON when compiled with
+  /// -DKARL_AUDIT_BOUNDS.
+#ifdef KARL_AUDIT_BOUNDS
+  bool audit_bounds = true;
+#else
+  bool audit_bounds = false;
+#endif
 };
 
 /// A built kernel-aggregation engine: indexes + evaluator over one

@@ -1,8 +1,8 @@
 #include "core/kernel.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/math_util.h"
 
 namespace karl::core {
@@ -35,7 +35,8 @@ util::Status KernelParams::Validate() const {
 }
 
 double IntPow(double x, int e) {
-  assert(e >= 0);
+  KARL_DCHECK(e >= 0) << ": IntPow exponent must be non-negative, got "
+                      << e;
   double result = 1.0;
   double base = x;
   while (e > 0) {

@@ -7,10 +7,11 @@
 #ifndef KARL_DATA_MATRIX_H_
 #define KARL_DATA_MATRIX_H_
 
-#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "util/check.h"
 
 namespace karl::data {
 
@@ -28,7 +29,9 @@ class Matrix {
   /// rows * cols.
   Matrix(size_t rows, size_t cols, std::vector<double> values)
       : rows_(rows), cols_(cols), values_(std::move(values)) {
-    assert(values_.size() == rows_ * cols_);
+    KARL_CHECK(values_.size() == rows_ * cols_)
+        << ": flat data has " << values_.size() << " values, want "
+        << rows_ << "x" << cols_;
   }
 
   /// Number of points (rows).
@@ -42,23 +45,25 @@ class Matrix {
 
   /// Immutable view of row `i`.
   std::span<const double> Row(size_t i) const {
-    assert(i < rows_);
+    KARL_DCHECK(i < rows_) << ": row " << i << " of " << rows_;
     return {values_.data() + i * cols_, cols_};
   }
 
   /// Mutable view of row `i`.
   std::span<double> MutableRow(size_t i) {
-    assert(i < rows_);
+    KARL_DCHECK(i < rows_) << ": row " << i << " of " << rows_;
     return {values_.data() + i * cols_, cols_};
   }
 
   /// Element accessors.
   double operator()(size_t i, size_t j) const {
-    assert(i < rows_ && j < cols_);
+    KARL_DCHECK(i < rows_ && j < cols_)
+        << ": (" << i << "," << j << ") of " << rows_ << "x" << cols_;
     return values_[i * cols_ + j];
   }
   double& operator()(size_t i, size_t j) {
-    assert(i < rows_ && j < cols_);
+    KARL_DCHECK(i < rows_ && j < cols_)
+        << ": (" << i << "," << j << ") of " << rows_ << "x" << cols_;
     return values_[i * cols_ + j];
   }
 

@@ -1,7 +1,8 @@
 #include "data/normalize.h"
 
-#include <cassert>
 #include <limits>
+
+#include "util/check.h"
 
 namespace karl::data {
 
@@ -22,7 +23,9 @@ NormalizationParams FitMinMax(const Matrix& m, double lo, double hi) {
 }
 
 void ApplyNormalization(const NormalizationParams& params, Matrix* m) {
-  assert(m->cols() == params.column_min.size());
+  KARL_CHECK(m->cols() == params.column_min.size())
+      << ": matrix has " << m->cols() << " columns but params cover "
+      << params.column_min.size();
   const double span = params.target_hi - params.target_lo;
   const double mid = 0.5 * (params.target_lo + params.target_hi);
   for (size_t i = 0; i < m->rows(); ++i) {

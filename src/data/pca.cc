@@ -1,9 +1,10 @@
 #include "data/pca.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace karl::data {
 
@@ -11,7 +12,9 @@ void JacobiEigenSymmetric(std::vector<double> a, size_t d,
                           std::vector<double>* eigenvalues,
                           std::vector<double>* eigenvectors,
                           int max_sweeps) {
-  assert(a.size() == d * d);
+  KARL_CHECK(a.size() == d * d)
+      << ": Jacobi input has " << a.size() << " entries, want " << d << "x"
+      << d;
   // v starts as identity and accumulates the rotations; its columns end up
   // as the eigenvectors.
   std::vector<double>& v = *eigenvectors;

@@ -1,6 +1,7 @@
 #include "data/sparse_matrix.h"
 
-#include <cassert>
+#include "util/check.h"
+
 
 namespace karl::data {
 
@@ -26,7 +27,9 @@ SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
 }
 
 double SparseMatrix::DotDense(size_t i, std::span<const double> dense) const {
-  assert(dense.size() == cols_);
+  KARL_DCHECK(dense.size() == cols_)
+      << ": dense vector has " << dense.size() << " entries, want "
+      << cols_;
   double s = 0.0;
   for (const Entry& e : Row(i)) s += e.value * dense[e.column];
   return s;

@@ -1,24 +1,28 @@
 #include "data/synthetic.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "data/normalize.h"
+#include "util/check.h"
 
 namespace karl::data {
 
 Matrix SampleGaussianMixture(const std::vector<MixtureComponent>& components,
                              size_t n, util::Rng& rng) {
-  assert(!components.empty());
+  KARL_CHECK(!components.empty())
+      << ": mixture sampling needs at least one component";
   const size_t d = components.front().mean.size();
   // Cumulative weights for component selection.
   std::vector<double> cumulative;
   cumulative.reserve(components.size());
   double total = 0.0;
   for (const auto& c : components) {
-    assert(c.mean.size() == d);
-    assert(c.weight > 0.0);
+    KARL_CHECK(c.mean.size() == d)
+        << ": mixture component mean has dimension " << c.mean.size()
+        << ", want " << d;
+    KARL_CHECK(c.weight > 0.0)
+        << ": mixture component weight must be positive, got " << c.weight;
     total += c.weight;
     cumulative.push_back(total);
   }
@@ -162,7 +166,8 @@ util::Result<Matrix> MakeUciLike(const std::string& name) {
 
 LabeledDataset MakeTwoClassDataset(size_t n, size_t d, double separation,
                                    util::Rng& rng) {
-  assert(separation >= 0.0 && separation <= 1.0);
+  KARL_CHECK(separation >= 0.0 && separation <= 1.0)
+      << ": class separation must lie in [0, 1], got " << separation;
   // Two mixtures of 3 clusters each; class centroids offset along a random
   // direction by `separation`.
   std::vector<double> direction(d);

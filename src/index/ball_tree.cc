@@ -1,7 +1,6 @@
 #include "index/ball_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <vector>
 

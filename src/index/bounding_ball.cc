@@ -1,15 +1,17 @@
 #include "index/bounding_ball.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/math_util.h"
 
 namespace karl::index {
 
 BoundingBall BoundingBall::FitRange(const data::Matrix& points, size_t begin,
                                     size_t end) {
-  assert(begin < end && end <= points.rows());
+  KARL_CHECK(begin < end && end <= points.rows())
+      << ": bad point range [" << begin << ", " << end << ") of "
+      << points.rows();
   BoundingBall ball;
   const size_t d = points.cols();
   ball.center_.assign(d, 0.0);

@@ -1,14 +1,16 @@
 #include "index/bounding_box.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "util/check.h"
 
 namespace karl::index {
 
 BoundingBox BoundingBox::Fit(const data::Matrix& points,
                              std::span<const size_t> row_indices) {
-  assert(!row_indices.empty());
+  KARL_CHECK(!row_indices.empty())
+      << ": bounding box needs at least one point";
   BoundingBox box;
   const size_t d = points.cols();
   box.lower_.assign(d, std::numeric_limits<double>::infinity());
@@ -25,7 +27,9 @@ BoundingBox BoundingBox::Fit(const data::Matrix& points,
 
 BoundingBox BoundingBox::FitRange(const data::Matrix& points, size_t begin,
                                   size_t end) {
-  assert(begin < end && end <= points.rows());
+  KARL_CHECK(begin < end && end <= points.rows())
+      << ": bad point range [" << begin << ", " << end << ") of "
+      << points.rows();
   BoundingBox box;
   const size_t d = points.cols();
   box.lower_.assign(d, std::numeric_limits<double>::infinity());
@@ -41,7 +45,9 @@ BoundingBox BoundingBox::FitRange(const data::Matrix& points, size_t begin,
 }
 
 double BoundingBox::MinSquaredDistance(std::span<const double> q) const {
-  assert(q.size() == lower_.size());
+  KARL_DCHECK(q.size() == lower_.size())
+      << ": query has dimension " << q.size() << ", box has "
+      << lower_.size();
   double s = 0.0;
   for (size_t j = 0; j < q.size(); ++j) {
     double diff = 0.0;
@@ -56,7 +62,9 @@ double BoundingBox::MinSquaredDistance(std::span<const double> q) const {
 }
 
 double BoundingBox::MaxSquaredDistance(std::span<const double> q) const {
-  assert(q.size() == lower_.size());
+  KARL_DCHECK(q.size() == lower_.size())
+      << ": query has dimension " << q.size() << ", box has "
+      << lower_.size();
   double s = 0.0;
   for (size_t j = 0; j < q.size(); ++j) {
     // Farthest corner per dimension.
@@ -71,7 +79,9 @@ double BoundingBox::MaxSquaredDistance(std::span<const double> q) const {
 void BoundingBox::SquaredDistanceBounds(std::span<const double> q,
                                         double* min_sq,
                                         double* max_sq) const {
-  assert(q.size() == lower_.size());
+  KARL_DCHECK(q.size() == lower_.size())
+      << ": query has dimension " << q.size() << ", box has "
+      << lower_.size();
   double min_s = 0.0;
   double max_s = 0.0;
   for (size_t j = 0; j < q.size(); ++j) {
@@ -91,7 +101,9 @@ void BoundingBox::SquaredDistanceBounds(std::span<const double> q,
 
 void BoundingBox::InnerProductBounds(std::span<const double> q,
                                      double* ip_min, double* ip_max) const {
-  assert(q.size() == lower_.size());
+  KARL_DCHECK(q.size() == lower_.size())
+      << ": query has dimension " << q.size() << ", box has "
+      << lower_.size();
   double lo = 0.0;
   double hi = 0.0;
   for (size_t j = 0; j < q.size(); ++j) {
@@ -120,7 +132,9 @@ size_t BoundingBox::WidestDimension() const {
 }
 
 bool BoundingBox::Contains(std::span<const double> p) const {
-  assert(p.size() == lower_.size());
+  KARL_DCHECK(p.size() == lower_.size())
+      << ": point has dimension " << p.size() << ", box has "
+      << lower_.size();
   for (size_t j = 0; j < p.size(); ++j) {
     if (p[j] < lower_[j] || p[j] > upper_[j]) return false;
   }

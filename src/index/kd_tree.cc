@@ -1,7 +1,6 @@
 #include "index/kd_tree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
 namespace karl::index {

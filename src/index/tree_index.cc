@@ -1,8 +1,8 @@
 #include "index/tree_index.h"
 
-#include <cassert>
 #include <numeric>
 
+#include "util/check.h"
 #include "util/math_util.h"
 
 namespace karl::index {
@@ -20,9 +20,12 @@ std::string_view IndexKindToString(IndexKind kind) {
 void TreeIndex::BuildShared(const data::Matrix& input_points,
                             std::span<const double> input_weights,
                             size_t leaf_capacity) {
-  assert(input_points.rows() > 0);
-  assert(input_weights.size() == input_points.rows());
-  assert(leaf_capacity >= 1);
+  KARL_CHECK(input_points.rows() > 0)
+      << ": cannot index an empty point set";
+  KARL_CHECK(input_weights.size() == input_points.rows())
+      << ": " << input_weights.size() << " weights for "
+      << input_points.rows() << " points";
+  KARL_CHECK(leaf_capacity >= 1) << ": leaf capacity must be positive";
 
   leaf_capacity_ = leaf_capacity;
   const size_t n = input_points.rows();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "util/check.h"
+
 namespace karl::ml {
 
 util::Result<MulticlassSvm> MulticlassSvm::Train(
@@ -81,7 +83,9 @@ util::Status MulticlassSvm::BuildEngines(const EngineOptions& options) {
 }
 
 double MulticlassSvm::PredictFast(std::span<const double> q) const {
-  assert(engines_.size() == models_.size());
+  KARL_DCHECK(engines_.size() == models_.size())
+      << ": " << engines_.size() << " engines for " << models_.size()
+      << " models";
   return Vote(q, /*fast=*/true);
 }
 

@@ -1,9 +1,10 @@
 #include "ml/svm.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "util/check.h"
 
 namespace karl::ml {
 
@@ -51,7 +52,9 @@ int SvmPredict(const SvmModel& model, std::span<const double> q) {
 
 double SvmAccuracy(const SvmModel& model, const data::Matrix& points,
                    std::span<const double> labels) {
-  assert(labels.size() == points.rows());
+  KARL_CHECK(labels.size() == points.rows())
+      << ": " << labels.size() << " labels for " << points.rows()
+      << " points";
   if (points.rows() == 0) return 0.0;
   size_t correct = 0;
   for (size_t i = 0; i < points.rows(); ++i) {

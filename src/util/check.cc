@@ -1,0 +1,24 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace karl::util {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition) {
+  stream_ << file << ":" << line << ": KARL_CHECK(" << condition
+          << ") failed";
+}
+
+CheckFailure::~CheckFailure() { Fail(); }
+
+void CheckFailure::Fail() {
+  const std::string message = stream_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace karl::util

@@ -1,0 +1,65 @@
+// KARL_CHECK / KARL_DCHECK: invariant checks with formatted messages,
+// replacing bare `assert`.
+//
+//   KARL_CHECK(lb <= ub) << "node " << id << ": lb=" << lb << " ub=" << ub;
+//
+// KARL_CHECK is always on (release builds included) — use it for
+// invariants whose violation means silently wrong query answers.
+// KARL_DCHECK compiles to nothing under NDEBUG — use it on hot paths.
+// On failure both print "file:line: KARL_CHECK(cond) failed: <message>"
+// to stderr and abort(), so sanitizers and death tests see a clean,
+// diagnosable crash.
+//
+// This header is dependency-free (in particular it does NOT include
+// util/status.h, which itself uses these macros).
+
+#ifndef KARL_UTIL_CHECK_H_
+#define KARL_UTIL_CHECK_H_
+
+#include <sstream>
+
+namespace karl::util {
+
+/// Failure sink for KARL_CHECK. Streams message parts; the destructor
+/// prints the assembled diagnostic and aborts. Only ever constructed on
+/// the (cold) failure path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  /// Aborts the process after emitting the diagnostic. Marked noreturn
+  /// indirectly via Fail() so the compiler still generates the normal
+  /// end-of-scope call.
+  ~CheckFailure();
+
+  /// The message stream; anything << into it lands in the diagnostic.
+  std::ostream& stream() { return stream_; }
+
+ private:
+  [[noreturn]] void Fail();
+
+  std::ostringstream stream_;
+};
+
+}  // namespace karl::util
+
+/// Always-on invariant check with a streamed message.
+#define KARL_CHECK(condition)                                        \
+  while (!(condition))                                               \
+  ::karl::util::CheckFailure(__FILE__, __LINE__, #condition).stream()
+
+/// Debug-only invariant check; no-op (condition not evaluated) under
+/// NDEBUG. The dead-stream branch keeps the streamed operands
+/// type-checked in all build modes.
+#ifdef NDEBUG
+#define KARL_DCHECK(condition)                                       \
+  while (false && !(condition))                                      \
+  ::karl::util::CheckFailure(__FILE__, __LINE__, #condition).stream()
+#else
+#define KARL_DCHECK(condition) KARL_CHECK(condition)
+#endif
+
+#endif  // KARL_UTIL_CHECK_H_

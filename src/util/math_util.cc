@@ -1,12 +1,14 @@
 #include "util/math_util.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace karl::util {
 
 double Dot(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  KARL_DCHECK(a.size() == b.size())
+      << ": Dot of mismatched lengths " << a.size() << " vs " << b.size();
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
@@ -19,7 +21,9 @@ double SquaredNorm(std::span<const double> a) {
 }
 
 double SquaredDistance(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  KARL_DCHECK(a.size() == b.size())
+      << ": SquaredDistance of mismatched lengths " << a.size() << " vs "
+      << b.size();
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double diff = a[i] - b[i];

@@ -1,8 +1,9 @@
 #include "util/rng.h"
 
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
+
+#include "util/check.h"
 
 namespace karl::util {
 
@@ -46,7 +47,7 @@ double Rng::Uniform() {
 double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
 uint64_t Rng::UniformInt(uint64_t n) {
-  assert(n > 0);
+  KARL_DCHECK(n > 0) << ": UniformInt needs a non-empty range";
   // Rejection sampling to avoid modulo bias.
   const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
   uint64_t v = NextU64();
@@ -75,7 +76,8 @@ double Rng::Gaussian(double mean, double stddev) {
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
-  assert(k <= n);
+  KARL_CHECK(k <= n) << ": cannot sample " << k << " of " << n
+                     << " items without replacement";
   // Floyd's algorithm: k set insertions regardless of n.
   std::unordered_set<size_t> chosen;
   std::vector<size_t> out;

@@ -7,11 +7,12 @@
 #ifndef KARL_UTIL_STATUS_H_
 #define KARL_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "util/check.h"
 
 namespace karl::util {
 
@@ -43,7 +44,9 @@ class Status {
   /// be kOk; use the default constructor for success.
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {
-    assert(code != StatusCode::kOk);
+    KARL_DCHECK(code != StatusCode::kOk)
+        << ": error Status constructed with kOk; use the default "
+           "constructor for success";
   }
 
   /// Factory helpers, one per error code.
@@ -98,7 +101,8 @@ class Result {
   /// Constructs a failed result from a non-OK status.
   Result(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {
-    assert(!status_.ok());
+    KARL_DCHECK(!status_.ok())
+        << ": Result constructed from an OK status but no value";
   }
 
   /// True iff a value is present.
@@ -109,21 +113,22 @@ class Result {
 
   /// The contained value. Must only be called when ok().
   const T& value() const& {
-    assert(ok());
+    KARL_DCHECK(ok()) << ": value() on error Result: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    KARL_DCHECK(ok()) << ": value() on error Result: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    KARL_DCHECK(ok()) << ": value() on error Result: " << status_.ToString();
     return std::move(*value_);
   }
 
   /// Moves the contained value out. Must only be called when ok().
   T ValueOrDie() && {
-    assert(ok());
+    KARL_CHECK(ok()) << ": ValueOrDie() on error Result: "
+                     << status_.ToString();
     return std::move(*value_);
   }
 

@@ -1,0 +1,53 @@
+// Death tests for the KARL_CHECK / KARL_DCHECK macro layer (check.h).
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace karl {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  KARL_CHECK(1 + 1 == 2);
+  KARL_CHECK(true) << "never rendered";
+  SUCCEED();
+}
+
+TEST(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  KARL_CHECK(++calls > 0) << "side effects must run once";
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithConditionText) {
+  EXPECT_DEATH(KARL_CHECK(1 == 2), "KARL_CHECK\\(1 == 2\\) failed");
+}
+
+TEST(CheckDeathTest, FailingCheckCarriesFormattedMessage) {
+  const int node = 17;
+  const double lb = 3.5, ub = 1.25;
+  EXPECT_DEATH(KARL_CHECK(lb <= ub) << ": node " << node << " lb=" << lb
+                                    << " ub=" << ub,
+               "KARL_CHECK\\(lb <= ub\\) failed: node 17 lb=3.5 ub=1.25");
+}
+
+TEST(CheckDeathTest, FailureMessageNamesFileAndLine) {
+  EXPECT_DEATH(KARL_CHECK(false), "check_test.cc:[0-9]+");
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckIsFreeInReleaseBuilds) {
+  // Under NDEBUG the condition must not even be evaluated.
+  int calls = 0;
+  KARL_DCHECK((++calls, false)) << "unreachable";
+  EXPECT_EQ(calls, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(KARL_DCHECK(false) << ": debug-only invariant",
+               "KARL_CHECK\\(false\\) failed: debug-only invariant");
+}
+#endif
+
+}  // namespace
+}  // namespace karl

@@ -338,5 +338,118 @@ TEST(LinearBoundProperty, RandomIntervalsSandwichProfiles) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Auditor coverage: the KARL_AUDIT_BOUNDS runtime auditor must (a) stay
+// silent on correct bounds and (b) abort on deliberately broken ones.
+// ---------------------------------------------------------------------
+
+// Swaps the real lower/upper bounds — the classic sign error in the
+// linear-bound construction the auditor exists to catch.
+class InvertedBounds final : public core::BoundFunction {
+ public:
+  explicit InvertedBounds(std::unique_ptr<core::BoundFunction> inner)
+      : inner_(std::move(inner)) {}
+
+  void NodeBounds(const index::TreeIndex& tree, index::NodeId id,
+                  const core::QueryContext& ctx, double* lb,
+                  double* ub) const override {
+    inner_->NodeBounds(tree, id, ctx, ub, lb);  // Swapped outputs.
+  }
+
+ private:
+  std::unique_ptr<core::BoundFunction> inner_;
+};
+
+// Keeps lb <= ub but shifts the interval above the exact aggregate, so
+// only the exact-enclosure audit (not the inversion audit) can catch it.
+class ShiftedBounds final : public core::BoundFunction {
+ public:
+  explicit ShiftedBounds(std::unique_ptr<core::BoundFunction> inner)
+      : inner_(std::move(inner)) {}
+
+  void NodeBounds(const index::TreeIndex& tree, index::NodeId id,
+                  const core::QueryContext& ctx, double* lb,
+                  double* ub) const override {
+    inner_->NodeBounds(tree, id, ctx, lb, ub);
+    const double shift = 10.0 * (1.0 + std::abs(*ub));
+    *lb += shift;
+    *ub += shift;
+  }
+
+ private:
+  std::unique_ptr<core::BoundFunction> inner_;
+};
+
+struct AuditFixture {
+  data::Matrix pts;
+  std::vector<double> weights;
+  std::unique_ptr<index::TreeIndex> tree;
+  KernelParams kernel = KernelParams::Gaussian(4.0);
+
+  AuditFixture() {
+    util::Rng rng(7);
+    pts = data::SampleClustered(200, 3, 2, 0.08, rng);
+    weights.assign(200, 1.0);
+    tree = index::KdTree::Build(pts, weights, 16).ValueOrDie();
+  }
+
+  core::Evaluator MakeEvaluator(
+      std::unique_ptr<core::BoundFunction> bounds) const {
+    core::Evaluator::Options options;
+    options.audit_bounds = true;
+    return core::Evaluator::CreateWithBounds(tree.get(), nullptr, kernel,
+                                             options, std::move(bounds))
+        .ValueOrDie();
+  }
+};
+
+TEST(BoundAuditProperty, AuditorSilentOnCorrectBounds) {
+  AuditFixture fx;
+  auto ev = fx.MakeEvaluator(
+      core::MakeBoundFunction(fx.kernel, BoundKind::kKarl).ValueOrDie());
+  const std::vector<double> q(3, 0.5);
+  const double exact = core::ExactAggregate(fx.pts, fx.weights, fx.kernel, q);
+  EXPECT_EQ(ev.QueryThreshold(q, 0.5 * exact), true);
+  EXPECT_EQ(ev.QueryThreshold(q, 2.0 * exact), false);
+  EXPECT_NEAR(ev.QueryApproximate(q, 0.1), exact, 0.1 * exact + 1e-9);
+}
+
+TEST(BoundAuditProperty, AuditorSilentOnTypeThreeEngine) {
+  util::Rng rng(11);
+  const data::Matrix pts = data::SampleClustered(150, 3, 2, 0.08, rng);
+  std::vector<double> weights(150);
+  for (auto& w : weights) {
+    w = rng.Uniform(-1.0, 1.0);
+    if (w == 0.0) w = 0.5;
+  }
+  EngineOptions options;
+  options.kernel = KernelParams::Gaussian(4.0);
+  options.audit_bounds = true;
+  auto engine = Engine::Build(pts, weights, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_EQ(engine.value().weighting_type(), WeightingType::kTypeIII);
+  const std::vector<double> q(3, 0.4);
+  const double exact = engine.value().Exact(q);
+  EXPECT_EQ(engine.value().Tkaq(q, exact - 0.5), true);
+  EXPECT_EQ(engine.value().Tkaq(q, exact + 0.5), false);
+}
+
+TEST(BoundAuditDeathTest, AuditorDetectsInvertedBounds) {
+  AuditFixture fx;
+  auto ev = fx.MakeEvaluator(std::make_unique<InvertedBounds>(
+      core::MakeBoundFunction(fx.kernel, BoundKind::kKarl).ValueOrDie()));
+  const std::vector<double> q(3, 0.5);
+  EXPECT_DEATH((void)ev.QueryThreshold(q, 1.0), "inverted node bounds");
+}
+
+TEST(BoundAuditDeathTest, AuditorDetectsBoundsExcludingExact) {
+  AuditFixture fx;
+  auto ev = fx.MakeEvaluator(std::make_unique<ShiftedBounds>(
+      core::MakeBoundFunction(fx.kernel, BoundKind::kKarl).ValueOrDie()));
+  const std::vector<double> q(3, 0.5);
+  EXPECT_DEATH((void)ev.QueryThreshold(q, 1.0),
+               "node bounds exclude the exact aggregate");
+}
+
 }  // namespace
 }  // namespace karl
