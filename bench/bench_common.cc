@@ -8,6 +8,7 @@
 #include "core/evaluator.h"
 #include "data/normalize.h"
 #include "ml/kde.h"
+#include "telemetry/metrics.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -153,6 +154,33 @@ Workload MakePolynomialWorkload(const std::string& name, int weighting_type,
   return w;
 }
 
+void RecordBenchMetric(const std::string& name, double value) {
+  std::string metric = "karl_bench_" + name;
+  for (char& ch : metric) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    if (!ok) ch = '_';
+  }
+  telemetry::GlobalRegistry().GetGauge(metric)->Set(value);
+
+  const char* path = std::getenv("KARL_BENCH_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  static const bool armed = [] {
+    std::atexit(+[] {
+      const char* out = std::getenv("KARL_BENCH_METRICS_OUT");
+      if (out == nullptr || *out == '\0') return;
+      if (auto st = telemetry::WriteMetricsFile(telemetry::GlobalRegistry(),
+                                                out);
+          !st.ok()) {
+        std::fprintf(stderr, "bench metrics sidecar write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    });
+    return true;
+  }();
+  (void)armed;
+}
+
 EngineOptions DefaultOptions(const Workload& w) {
   EngineOptions options;
   options.kernel = w.kernel;
@@ -173,8 +201,10 @@ double MeasureScanThroughput(const Workload& w, const core::QuerySpec& spec) {
                : f;
   }
   (void)sink;
-  return static_cast<double>(w.queries.rows()) /
-         std::max(timer.ElapsedSeconds(), 1e-9);
+  const double qps = static_cast<double>(w.queries.rows()) /
+                     std::max(timer.ElapsedSeconds(), 1e-9);
+  RecordBenchMetric("scan_qps_" + w.dataset, qps);
+  return qps;
 }
 
 double MeasureLibsvmThroughput(const Workload& w,
@@ -191,8 +221,10 @@ double MeasureLibsvmThroughput(const Workload& w,
     sink = f > spec.tau ? 1.0 : -1.0;
   }
   (void)sink;
-  return static_cast<double>(w.queries.rows()) /
-         std::max(timer.ElapsedSeconds(), 1e-9);
+  const double qps = static_cast<double>(w.queries.rows()) /
+                     std::max(timer.ElapsedSeconds(), 1e-9);
+  RecordBenchMetric("libsvm_qps_" + w.dataset, qps);
+  return qps;
 }
 
 double MeasureEngineThroughput(const Workload& w, const core::QuerySpec& spec,
@@ -216,6 +248,10 @@ double MeasureBestOverGrid(const Workload& w, const core::QuerySpec& spec,
     options.leaf_capacity = config.leaf_capacity;
     best = std::max(best, MeasureEngineThroughput(w, spec, options));
   }
+  RecordBenchMetric(
+      (bounds == core::BoundKind::kKarl ? "karl_best_qps_" : "sota_best_qps_") +
+          w.dataset,
+      best);
   return best;
 }
 
@@ -238,7 +274,9 @@ double MeasureKarlAuto(const Workload& w, const core::QuerySpec& spec) {
   EngineOptions options = DefaultOptions(w);
   options.index_kind = tuned.value().best.kind;
   options.leaf_capacity = tuned.value().best.leaf_capacity;
-  return MeasureEngineThroughput(w, spec, options);
+  const double qps = MeasureEngineThroughput(w, spec, options);
+  RecordBenchMetric("karl_auto_qps_" + w.dataset, qps);
+  return qps;
 }
 
 core::IndexConfig TuneConfigOnce(const Workload& w,

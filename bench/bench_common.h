@@ -4,8 +4,14 @@
 // KARL_auto), and table printing.
 //
 // Environment knobs:
-//   KARL_BENCH_SCALE    multiplies every dataset cardinality (default 1.0)
-//   KARL_BENCH_QUERIES  query-set size per workload (default 150)
+//   KARL_BENCH_SCALE        multiplies every dataset cardinality (default 1.0)
+//   KARL_BENCH_QUERIES      query-set size per workload (default 150)
+//   KARL_BENCH_METRICS_OUT  when set, the process writes the telemetry
+//                           registry (every metric recorded via
+//                           RecordBenchMetric plus any engine-level
+//                           instrumentation) to this path at exit —
+//                           a machine-readable sidecar next to the
+//                           human-readable tables on stdout
 
 #ifndef KARL_BENCH_BENCH_COMMON_H_
 #define KARL_BENCH_BENCH_COMMON_H_
@@ -102,6 +108,14 @@ std::string FormatQps(double qps);
 /// The base EngineOptions every method shares (kernel filled per
 /// workload).
 EngineOptions DefaultOptions(const Workload& w);
+
+/// Records a benchmark result as gauge "karl_bench_<name>" (characters
+/// outside [A-Za-z0-9_] are mapped to '_') in the global telemetry
+/// registry. When KARL_BENCH_METRICS_OUT is set, the first call arms an
+/// atexit hook that dumps the registry to that path, so bench binaries
+/// emit a machine-readable metrics sidecar without any per-binary
+/// plumbing. The Measure* runners call this automatically.
+void RecordBenchMetric(const std::string& name, double value);
 
 }  // namespace karl::bench
 

@@ -14,6 +14,7 @@
 #include "data/synthetic.h"
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -127,6 +128,26 @@ void BM_TkaqQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_TkaqQuery<BoundKind::kSota>)->Arg(100000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_TkaqQuery<BoundKind::kKarl>)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+// Same query with the telemetry registry attached — compare against
+// BM_TkaqQuery<kKarl> to see the cost of the enabled instrumentation
+// path (the disabled path is what BM_TkaqQuery itself measures).
+void BM_TkaqQueryInstrumented(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(n, 18);
+  karl::telemetry::Registry registry;
+  karl::EngineOptions options;
+  options.kernel = KernelParams::Gaussian(8.0);
+  options.bounds = BoundKind::kKarl;
+  options.metrics = &registry;
+  auto engine = karl::Engine::BuildUniform(pts, 1.0, options).ValueOrDie();
+  const std::vector<double> q(18, 0.5);
+  const double tau = engine.Exact(q) * 1.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Tkaq(q, tau));
+  }
+}
+BENCHMARK(BM_TkaqQueryInstrumented)->Arg(100000)->Unit(benchmark::kMicrosecond);
 
 void BM_ExactScan(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -1,9 +1,13 @@
 #include "core/dynamic_engine.h"
 
 #include <cmath>
+#include <optional>
 
 #include "core/evaluator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 
 namespace karl::core {
 
@@ -20,7 +24,28 @@ util::Result<DynamicEngine> DynamicEngine::Create(size_t dimensions,
   DynamicEngine engine;
   engine.options_ = options;
   engine.dimensions_ = dimensions;
+  if (options.engine.metrics != nullptr) {
+    telemetry::Registry& reg = *options.engine.metrics;
+    engine.instruments_.delta_points =
+        reg.GetGauge("karl_dynamic_delta_points");
+    engine.instruments_.tombstones = reg.GetGauge("karl_dynamic_tombstones");
+    engine.instruments_.live_points =
+        reg.GetGauge("karl_dynamic_live_points");
+    engine.instruments_.inserts = reg.GetCounter("karl_dynamic_inserts_total");
+    engine.instruments_.removes = reg.GetCounter("karl_dynamic_removes_total");
+    engine.instruments_.rebuilds =
+        reg.GetCounter("karl_dynamic_rebuilds_total");
+    engine.instruments_.rebuild_usec =
+        reg.GetHistogram("karl_dynamic_rebuild_usec");
+  }
   return engine;
+}
+
+void DynamicEngine::UpdateGauges() const {
+  if (instruments_.delta_points == nullptr) return;
+  instruments_.delta_points->Set(static_cast<double>(buffer_ids_.size()));
+  instruments_.tombstones->Set(static_cast<double>(tombstones_.size()));
+  instruments_.live_points->Set(static_cast<double>(live_count_));
 }
 
 util::Result<PointId> DynamicEngine::Insert(std::span<const double> point,
@@ -43,7 +68,9 @@ util::Result<PointId> DynamicEngine::Insert(std::span<const double> point,
   points_.emplace(id, std::move(stored));
   buffer_ids_.push_back(id);
   ++live_count_;
+  if (instruments_.inserts != nullptr) instruments_.inserts->Increment();
   MaybeRebuild();
+  UpdateGauges();
   return id;
 }
 
@@ -69,11 +96,14 @@ util::Status DynamicEngine::Remove(PointId id) {
     }
     points_.erase(it);
   }
+  if (instruments_.removes != nullptr) instruments_.removes->Increment();
   MaybeRebuild();
+  UpdateGauges();
   return util::Status::OK();
 }
 
-double DynamicEngine::DeltaAggregate(std::span<const double> q) const {
+double DynamicEngine::DeltaAggregate(std::span<const double> q,
+                                     EvalStats* stats) const {
   util::KahanAccumulator acc;
   const auto& kernel = options_.engine.kernel;
   for (const PointId id : buffer_ids_) {
@@ -84,27 +114,33 @@ double DynamicEngine::DeltaAggregate(std::span<const double> q) const {
     const StoredPoint& p = points_.at(id);
     acc.Add(-p.weight * KernelValue(kernel, q, p.values));
   }
+  if (stats != nullptr) {
+    stats->kernel_evals += buffer_ids_.size() + tombstones_.size();
+  }
   return acc.Total();
 }
 
-bool DynamicEngine::Tkaq(std::span<const double> q, double tau) const {
+bool DynamicEngine::Tkaq(std::span<const double> q, double tau,
+                         EvalStats* stats) const {
   // F = F_indexed + delta, computed exactly for the delta; the indexed
   // part answers the shifted threshold.
-  const double delta = DeltaAggregate(q);
+  const double delta = DeltaAggregate(q, stats);
   if (snapshot_ == nullptr) return delta > tau;
-  return snapshot_->Tkaq(q, tau - delta);
+  return snapshot_->Tkaq(q, tau - delta, stats);
 }
 
-double DynamicEngine::Ekaq(std::span<const double> q, double eps) const {
-  const double delta = DeltaAggregate(q);
+double DynamicEngine::Ekaq(std::span<const double> q, double eps,
+                           EvalStats* stats) const {
+  const double delta = DeltaAggregate(q, stats);
   if (snapshot_ == nullptr) return delta;
-  return snapshot_->Ekaq(q, eps) + delta;
+  return snapshot_->Ekaq(q, eps, stats) + delta;
 }
 
-double DynamicEngine::Exact(std::span<const double> q) const {
-  const double delta = DeltaAggregate(q);
+double DynamicEngine::Exact(std::span<const double> q,
+                            EvalStats* stats) const {
+  const double delta = DeltaAggregate(q, stats);
   if (snapshot_ == nullptr) return delta;
-  return snapshot_->Exact(q) + delta;
+  return snapshot_->Exact(q, stats) + delta;
 }
 
 void DynamicEngine::MaybeRebuild() {
@@ -121,6 +157,15 @@ void DynamicEngine::MaybeRebuild() {
 
 void DynamicEngine::Rebuild() {
   if (live_count_ < options_.min_index_size) return;
+
+  std::optional<util::Stopwatch> rebuild_timer;
+  if (instruments_.rebuilds != nullptr ||
+      options_.engine.tracer != nullptr) {
+    rebuild_timer.emplace();
+  }
+  const uint64_t trace_start = options_.engine.tracer != nullptr
+                                   ? options_.engine.tracer->NowMicros()
+                                   : 0;
 
   data::Matrix points(0, dimensions_);
   std::vector<double> weights;
@@ -148,6 +193,19 @@ void DynamicEngine::Rebuild() {
   snapshot_ = std::make_unique<Engine>(std::move(engine).ValueOrDie());
   snapshot_size_ = weights.size();
   ++rebuild_count_;
+
+  if (instruments_.rebuilds != nullptr) {
+    instruments_.rebuilds->Increment();
+    instruments_.rebuild_usec->Record(rebuild_timer->ElapsedSeconds() * 1e6);
+  }
+  if (options_.engine.tracer != nullptr) {
+    telemetry::TraceRecorder& tracer = *options_.engine.tracer;
+    tracer.CompleteEvent(
+        "dynamic_rebuild", trace_start, tracer.NowMicros() - trace_start,
+        {{"indexed_points", static_cast<double>(snapshot_size_)},
+         {"rebuild_count", static_cast<double>(rebuild_count_)}});
+  }
+  UpdateGauges();
 }
 
 }  // namespace karl::core

@@ -52,16 +52,20 @@ class DynamicEngine {
   /// already removed.
   util::Status Remove(PointId id);
 
-  /// TKAQ over the current multiset: F(q) > tau?
-  bool Tkaq(std::span<const double> q, double tau) const;
+  /// TKAQ over the current multiset: F(q) > tau? `stats` (optional)
+  /// accumulates the work done, counting every delta-buffer and
+  /// tombstone kernel evaluation alongside the indexed refinement work.
+  bool Tkaq(std::span<const double> q, double tau,
+            EvalStats* stats = nullptr) const;
 
   /// εKAQ over the current multiset. The delta buffer and tombstones are
   /// aggregated exactly, so the relative-error guarantee applies to the
   /// indexed portion (the exact delta adds no error of its own).
-  double Ekaq(std::span<const double> q, double eps) const;
+  double Ekaq(std::span<const double> q, double eps,
+              EvalStats* stats = nullptr) const;
 
   /// Exact F(q) over the current multiset.
-  double Exact(std::span<const double> q) const;
+  double Exact(std::span<const double> q, EvalStats* stats = nullptr) const;
 
   /// Number of live points.
   size_t size() const { return live_count_; }
@@ -84,14 +88,31 @@ class DynamicEngine {
     bool indexed = false;  // Lives in the current snapshot engine.
   };
 
+  // Metric handles resolved at Create from options.engine.metrics; all
+  // null when telemetry is disabled. The snapshot Engine carries the
+  // same registry pointer, so indexed-query work lands in the shared
+  // evaluator metrics automatically.
+  struct Instruments {
+    telemetry::Gauge* delta_points = nullptr;
+    telemetry::Gauge* tombstones = nullptr;
+    telemetry::Gauge* live_points = nullptr;
+    telemetry::Counter* inserts = nullptr;
+    telemetry::Counter* removes = nullptr;
+    telemetry::Counter* rebuilds = nullptr;
+    telemetry::Histogram* rebuild_usec = nullptr;
+  };
+
   // Exact aggregate of the un-indexed delta: + buffered inserts,
   // − tombstoned snapshot points.
-  double DeltaAggregate(std::span<const double> q) const;
+  double DeltaAggregate(std::span<const double> q, EvalStats* stats) const;
 
   // Rebuilds the snapshot engine over all live points if the delta has
   // outgrown the configured fraction.
   void MaybeRebuild();
   void Rebuild();
+
+  // Refreshes the delta/tombstone/live gauges (no-op when disabled).
+  void UpdateGauges() const;
 
   Options options_;
   size_t dimensions_ = 0;
@@ -104,6 +125,7 @@ class DynamicEngine {
   std::vector<PointId> buffer_ids_;      // Live, not yet indexed.
   std::vector<PointId> tombstones_;      // Removed but still indexed.
   size_t rebuild_count_ = 0;
+  Instruments instruments_;
 };
 
 }  // namespace karl::core

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 
 namespace karl::core {
 
@@ -63,7 +67,53 @@ util::Result<Evaluator> Evaluator::CreateWithBounds(
   ev.bound_fn_ = options.audit_bounds
                      ? MakeAuditingBoundFunction(std::move(bound_fn), kernel)
                      : std::move(bound_fn);
+  if (options.metrics != nullptr) {
+    telemetry::Registry& reg = *options.metrics;
+    ev.instruments_.latency_usec = reg.GetHistogram("karl_query_latency_usec");
+    ev.instruments_.prune_ratio = reg.GetHistogram("karl_query_prune_ratio");
+    ev.instruments_.queries_tkaq = reg.GetCounter("karl_tkaq_queries_total");
+    ev.instruments_.queries_ekaq = reg.GetCounter("karl_ekaq_queries_total");
+    ev.instruments_.queries_exact = reg.GetCounter("karl_exact_queries_total");
+    ev.instruments_.iterations = reg.GetCounter("karl_refine_iterations_total");
+    ev.instruments_.nodes_expanded =
+        reg.GetCounter("karl_nodes_expanded_total");
+    ev.instruments_.kernel_evals = reg.GetCounter("karl_kernel_evals_total");
+    ev.instruments_.scan_point_evals =
+        reg.GetCounter("karl_scan_point_evals_total");
+    ev.instruments_.overall_prune_ratio = reg.GetGauge("karl_prune_ratio");
+    ev.instrumented_ = true;
+  }
   return ev;
+}
+
+size_t Evaluator::TotalPoints() const {
+  size_t total = plus_tree_->points().rows();
+  if (minus_tree_ != nullptr) total += minus_tree_->points().rows();
+  return total;
+}
+
+void Evaluator::RecordQueryMetrics(telemetry::Counter* query_counter,
+                                   const EvalStats& work,
+                                   double elapsed_usec) const {
+  query_counter->Increment();
+  instruments_.iterations->Add(work.iterations);
+  instruments_.nodes_expanded->Add(work.nodes_expanded);
+  instruments_.kernel_evals->Add(work.kernel_evals);
+  const size_t total = TotalPoints();
+  instruments_.scan_point_evals->Add(total);
+  instruments_.latency_usec->Record(elapsed_usec);
+  if (total > 0) {
+    const double per_query =
+        1.0 - static_cast<double>(work.kernel_evals) /
+                  static_cast<double>(total);
+    instruments_.prune_ratio->Record(std::clamp(per_query, 0.0, 1.0));
+    const double scanned =
+        static_cast<double>(instruments_.scan_point_evals->value());
+    const double evaluated =
+        static_cast<double>(instruments_.kernel_evals->value());
+    instruments_.overall_prune_ratio->Set(
+        std::clamp(1.0 - evaluated / scanned, 0.0, 1.0));
+  }
 }
 
 double Evaluator::LeafAggregate(const index::TreeIndex& tree, uint32_t begin,
@@ -86,6 +136,9 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
   double lb = 0.0;
   double ub = 0.0;
   size_t iterations = 0;
+  size_t nodes_expanded = 0;
+  size_t kernel_evals = 0;
+  telemetry::TraceRecorder* const tracer = options_.tracer;
 
   // Bound-invariant auditor state (Options::audit_bounds). The exact
   // answer is the ground truth every global [lb, ub] must enclose; the
@@ -126,7 +179,7 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
       const auto& nd = tree.node(id);
       const double exact =
           static_cast<double>(side) * LeafAggregate(tree, nd.begin, nd.end, q);
-      if (stats != nullptr) stats->kernel_evals += nd.count();
+      kernel_evals += nd.count();
       lb += exact;
       ub += exact;
       return;
@@ -185,10 +238,25 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
     audit_prev_ub = ub;
   };
 
+  // Streams the refinement state to an attached trace recorder as two
+  // counter tracks: the bound interval and the cumulative work.
+  const auto emit_trace_counters = [&]() {
+    if (tracer == nullptr) return;
+    const uint64_t now = tracer->NowMicros();
+    tracer->CounterEvent("karl.bounds", now,
+                         {{"lb", lb}, {"ub", ub}, {"gap", ub - lb}});
+    tracer->CounterEvent(
+        "karl.work", now,
+        {{"iteration", static_cast<double>(iterations)},
+         {"nodes_expanded", static_cast<double>(nodes_expanded)},
+         {"kernel_evals", static_cast<double>(kernel_evals)}});
+  };
+
   admit(*plus_tree_, +1, plus_tree_->root());
   if (minus_tree_ != nullptr) admit(*minus_tree_, -1, minus_tree_->root());
   if (audit) audit_globals();
   if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
+  emit_trace_counters();
 
   while (!frontier.empty() && !stop(lb, ub)) {
     const Entry top = frontier.top();
@@ -202,15 +270,20 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
     const auto& nd = tree.node(top.node);
     KARL_DCHECK(!nd.is_leaf())
         << ": leaf node " << top.node << " reached the frontier";
-    if (stats != nullptr) ++stats->nodes_expanded;
+    ++nodes_expanded;
     admit(tree, top.side, nd.left);
     admit(tree, top.side, nd.right);
 
     if (audit) audit_globals();
     if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
+    emit_trace_counters();
   }
 
-  if (stats != nullptr) stats->iterations += iterations;
+  if (stats != nullptr) {
+    stats->iterations += iterations;
+    stats->nodes_expanded += nodes_expanded;
+    stats->kernel_evals += kernel_evals;
+  }
   // Drained frontier means [lb, ub] collapsed to the exact value (modulo
   // floating-point accumulation); guard against a tiny inversion.
   if (frontier.empty() && lb > ub) lb = ub = 0.5 * (lb + ub);
@@ -220,19 +293,66 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
 
 bool Evaluator::QueryThreshold(std::span<const double> q, double tau,
                                EvalStats* stats, const TraceFn* trace) const {
+  telemetry::TraceRecorder* const tracer = options_.tracer;
+  const bool observed = instrumented_ || tracer != nullptr;
+  // The sinks need this query's work even when the caller passed no
+  // stats; when the caller did, snapshot so only the delta is recorded.
+  EvalStats local;
+  EvalStats* work = stats != nullptr ? stats : (observed ? &local : nullptr);
+  const EvalStats before = work != nullptr ? *work : EvalStats{};
+  std::optional<util::Stopwatch> timer;
+  if (instrumented_) timer.emplace();
+  const uint64_t trace_start = tracer != nullptr ? tracer->NowMicros() : 0;
+
   double lb = 0.0, ub = 0.0;
   const StopFn stop = [tau](double l, double u) { return l > tau || u <= tau; };
-  Refine(q, stop, &lb, &ub, stats, trace);
-  if (lb > tau) return true;
-  if (ub <= tau) return false;
-  // Frontier drained without a decision: lb ≈ ub ≈ exact value.
-  return 0.5 * (lb + ub) > tau;
+  Refine(q, stop, &lb, &ub, work, trace);
+  bool result;
+  if (lb > tau) {
+    result = true;
+  } else if (ub <= tau) {
+    result = false;
+  } else {
+    // Frontier drained without a decision: lb ≈ ub ≈ exact value.
+    result = 0.5 * (lb + ub) > tau;
+  }
+
+  if (observed) {
+    const EvalStats delta{work->iterations - before.iterations,
+                          work->nodes_expanded - before.nodes_expanded,
+                          work->kernel_evals - before.kernel_evals};
+    if (instrumented_) {
+      RecordQueryMetrics(instruments_.queries_tkaq, delta,
+                         timer->ElapsedSeconds() * 1e6);
+    }
+    if (tracer != nullptr) {
+      tracer->CompleteEvent(
+          "tkaq", trace_start, tracer->NowMicros() - trace_start,
+          {{"tau", tau},
+           {"result", result ? 1.0 : 0.0},
+           {"lb", lb},
+           {"ub", ub},
+           {"iterations", static_cast<double>(delta.iterations)},
+           {"nodes_expanded", static_cast<double>(delta.nodes_expanded)},
+           {"kernel_evals", static_cast<double>(delta.kernel_evals)}});
+    }
+  }
+  return result;
 }
 
 double Evaluator::QueryApproximate(std::span<const double> q, double eps,
                                    EvalStats* stats,
                                    const TraceFn* trace) const {
   KARL_CHECK(eps > 0.0) << ": eKAQ needs a positive epsilon, got " << eps;
+  telemetry::TraceRecorder* const tracer = options_.tracer;
+  const bool observed = instrumented_ || tracer != nullptr;
+  EvalStats local;
+  EvalStats* work = stats != nullptr ? stats : (observed ? &local : nullptr);
+  const EvalStats before = work != nullptr ? *work : EvalStats{};
+  std::optional<util::Stopwatch> timer;
+  if (instrumented_) timer.emplace();
+  const uint64_t trace_start = tracer != nullptr ? tracer->NowMicros() : 0;
+
   double lb = 0.0, ub = 0.0;
   // Terminate when ub <= (1+ε)·lb (paper §II-B); returning lb then
   // guarantees (1−ε)F <= lb <= (1+ε)F given lb <= F <= ub. The mirrored
@@ -246,22 +366,65 @@ double Evaluator::QueryApproximate(std::span<const double> q, double eps,
     if (u <= 0.0 && l >= (1.0 + eps) * u) return true;
     return u <= 1e-300 && l >= -1e-300;
   };
-  Refine(q, stop, &lb, &ub, stats, trace);
-  if (lb >= 0.0 && ub <= (1.0 + eps) * lb) return lb;
-  if (ub <= 0.0 && lb >= (1.0 + eps) * ub) return ub;
-  return 0.5 * (lb + ub);
+  Refine(q, stop, &lb, &ub, work, trace);
+  double result;
+  if (lb >= 0.0 && ub <= (1.0 + eps) * lb) {
+    result = lb;
+  } else if (ub <= 0.0 && lb >= (1.0 + eps) * ub) {
+    result = ub;
+  } else {
+    result = 0.5 * (lb + ub);
+  }
+
+  if (observed) {
+    const EvalStats delta{work->iterations - before.iterations,
+                          work->nodes_expanded - before.nodes_expanded,
+                          work->kernel_evals - before.kernel_evals};
+    if (instrumented_) {
+      RecordQueryMetrics(instruments_.queries_ekaq, delta,
+                         timer->ElapsedSeconds() * 1e6);
+    }
+    if (tracer != nullptr) {
+      tracer->CompleteEvent(
+          "ekaq", trace_start, tracer->NowMicros() - trace_start,
+          {{"eps", eps},
+           {"value", result},
+           {"iterations", static_cast<double>(delta.iterations)},
+           {"nodes_expanded", static_cast<double>(delta.nodes_expanded)},
+           {"kernel_evals", static_cast<double>(delta.kernel_evals)}});
+    }
+  }
+  return result;
 }
 
 double Evaluator::QueryExact(std::span<const double> q,
                              EvalStats* stats) const {
+  telemetry::TraceRecorder* const tracer = options_.tracer;
+  std::optional<util::Stopwatch> timer;
+  if (instrumented_) timer.emplace();
+  const uint64_t trace_start = tracer != nullptr ? tracer->NowMicros() : 0;
+
   double total = LeafAggregate(*plus_tree_, 0,
                                static_cast<uint32_t>(plus_tree_->points().rows()), q);
-  if (stats != nullptr) stats->kernel_evals += plus_tree_->points().rows();
+  size_t evals = plus_tree_->points().rows();
   if (minus_tree_ != nullptr) {
     total -= LeafAggregate(
         *minus_tree_, 0, static_cast<uint32_t>(minus_tree_->points().rows()),
         q);
-    if (stats != nullptr) stats->kernel_evals += minus_tree_->points().rows();
+    evals += minus_tree_->points().rows();
+  }
+  if (stats != nullptr) stats->kernel_evals += evals;
+
+  if (instrumented_) {
+    EvalStats delta;
+    delta.kernel_evals = evals;
+    RecordQueryMetrics(instruments_.queries_exact, delta,
+                       timer->ElapsedSeconds() * 1e6);
+  }
+  if (tracer != nullptr) {
+    tracer->CompleteEvent(
+        "exact", trace_start, tracer->NowMicros() - trace_start,
+        {{"value", total}, {"kernel_evals", static_cast<double>(evals)}});
   }
   return total;
 }

@@ -26,6 +26,14 @@
 #include "index/tree_index.h"
 #include "util/status.h"
 
+namespace karl::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+class TraceRecorder;
+}  // namespace karl::telemetry
+
 namespace karl::core {
 
 /// Per-query work counters.
@@ -63,6 +71,19 @@ class Evaluator {
 #else
     bool audit_bounds = false;
 #endif
+    /// Metrics registry recording per-query work: a latency histogram
+    /// (karl_query_latency_usec), iteration / node-expansion /
+    /// kernel-eval counters, and the prune ratio versus a full scan
+    /// (karl_query_prune_ratio histogram + karl_prune_ratio gauge).
+    /// Non-owning and runtime-only; must outlive the evaluator. Null
+    /// disables metrics — the cost of the disabled path is one branch
+    /// per query, nothing per refinement iteration.
+    telemetry::Registry* metrics = nullptr;
+    /// Trace recorder receiving one Chrome-trace complete event per
+    /// query plus per-iteration counter events tracking lb / ub / gap
+    /// and cumulative expansions / kernel evals. Non-owning and
+    /// runtime-only; null disables tracing.
+    telemetry::TraceRecorder* tracer = nullptr;
   };
 
   /// Creates an evaluator. `plus_tree` is required and must carry positive
@@ -121,6 +142,22 @@ class Evaluator {
   // Termination decision callback: examines (lb, ub), returns true to stop.
   using StopFn = std::function<bool(double lb, double ub)>;
 
+  // Metric handles resolved once at creation when Options::metrics is
+  // set; all null (and instrumented_ false) otherwise, so the disabled
+  // path never touches the registry.
+  struct Instruments {
+    telemetry::Histogram* latency_usec = nullptr;
+    telemetry::Histogram* prune_ratio = nullptr;
+    telemetry::Counter* queries_tkaq = nullptr;
+    telemetry::Counter* queries_ekaq = nullptr;
+    telemetry::Counter* queries_exact = nullptr;
+    telemetry::Counter* iterations = nullptr;
+    telemetry::Counter* nodes_expanded = nullptr;
+    telemetry::Counter* kernel_evals = nullptr;
+    telemetry::Counter* scan_point_evals = nullptr;
+    telemetry::Gauge* overall_prune_ratio = nullptr;
+  };
+
   // Runs the refinement loop; outputs the final bounds.
   void Refine(std::span<const double> q, const StopFn& stop, double* lb,
               double* ub, EvalStats* stats, const TraceFn* trace) const;
@@ -129,11 +166,20 @@ class Evaluator {
   double LeafAggregate(const index::TreeIndex& tree, uint32_t begin,
                        uint32_t end, std::span<const double> q) const;
 
+  // Points across both trees — the work a full scan would do per query.
+  size_t TotalPoints() const;
+
+  // Flushes one finished query's deltas into the metrics registry.
+  void RecordQueryMetrics(telemetry::Counter* query_counter,
+                          const EvalStats& work, double elapsed_usec) const;
+
   const index::TreeIndex* plus_tree_ = nullptr;
   const index::TreeIndex* minus_tree_ = nullptr;  // May be null.
   KernelParams kernel_;
   Options options_;
   std::unique_ptr<BoundFunction> bound_fn_;
+  Instruments instruments_;
+  bool instrumented_ = false;  // True iff options_.metrics != nullptr.
 };
 
 /// Exact F_P(q) = Σ w_i K(q, p_i) by sequential scan over raw data

@@ -1,10 +1,14 @@
 #include "core/karl.h"
 
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/stopwatch.h"
 
 namespace karl {
 
@@ -63,6 +67,13 @@ util::Result<Engine> Engine::Build(const data::Matrix& points,
   }
   KARL_RETURN_NOT_OK(options.kernel.Validate());
 
+  std::optional<util::Stopwatch> build_timer;
+  if (options.metrics != nullptr || options.tracer != nullptr) {
+    build_timer.emplace();
+  }
+  const uint64_t trace_start =
+      options.tracer != nullptr ? options.tracer->NowMicros() : 0;
+
   // Split into positive and negative sides (§IV-A2); the minus tree
   // stores |w_i| so both trees carry positive weights.
   std::vector<size_t> pos_rows, neg_rows;
@@ -104,6 +115,8 @@ util::Result<Engine> Engine::Build(const data::Matrix& points,
   eval_options.bounds = options.bounds;
   eval_options.max_level = options.max_level;
   eval_options.audit_bounds = options.audit_bounds;
+  eval_options.metrics = options.metrics;
+  eval_options.tracer = options.tracer;
   auto evaluator =
       core::Evaluator::Create(engine.plus_tree_.get(),
                               engine.minus_tree_.get(), options.kernel,
@@ -111,6 +124,38 @@ util::Result<Engine> Engine::Build(const data::Matrix& points,
   if (!evaluator.ok()) return evaluator.status();
   engine.evaluator_ = std::make_unique<core::Evaluator>(
       std::move(evaluator).ValueOrDie());
+
+  if (options.metrics != nullptr) {
+    telemetry::Registry& reg = *options.metrics;
+    reg.GetCounter("karl_engine_builds_total")->Increment();
+    reg.GetHistogram("karl_engine_build_usec")
+        ->Record(build_timer->ElapsedSeconds() * 1e6);
+    reg.GetGauge("karl_engine_index_bytes")
+        ->Set(static_cast<double>(engine.MemoryUsageBytes()));
+    reg.GetGauge("karl_engine_points")
+        ->Set(static_cast<double>(pos_rows.size() + neg_rows.size()));
+    switch (engine.weighting_type_) {
+      case WeightingType::kTypeI:
+        reg.GetCounter("karl_engine_weighting_type_i_total")->Increment();
+        break;
+      case WeightingType::kTypeII:
+        reg.GetCounter("karl_engine_weighting_type_ii_total")->Increment();
+        break;
+      case WeightingType::kTypeIII:
+        reg.GetCounter("karl_engine_weighting_type_iii_total")->Increment();
+        break;
+    }
+  }
+  if (options.tracer != nullptr) {
+    options.tracer->CompleteEvent(
+        "engine_build", trace_start,
+        options.tracer->NowMicros() - trace_start,
+        {{"points",
+          static_cast<double>(pos_rows.size() + neg_rows.size())},
+         {"index_bytes", static_cast<double>(engine.MemoryUsageBytes())},
+         {"weighting_type",
+          static_cast<double>(static_cast<int>(engine.weighting_type_))}});
+  }
   return engine;
 }
 

@@ -58,6 +58,12 @@ struct EngineOptions {
 #else
   bool audit_bounds = false;
 #endif
+  /// Telemetry sinks, forwarded to the evaluator and also fed by
+  /// Engine::Build itself (build time, index memory, weighting-type
+  /// counts). Non-owning, runtime-only — engine_io does not serialize
+  /// them — and null disables instrumentation entirely.
+  telemetry::Registry* metrics = nullptr;
+  telemetry::TraceRecorder* tracer = nullptr;
 };
 
 /// A built kernel-aggregation engine: indexes + evaluator over one
@@ -92,8 +98,9 @@ class Engine {
   }
 
   /// Exact F_P(q) by full scan.
-  double Exact(std::span<const double> q) const {
-    return evaluator_->QueryExact(q);
+  double Exact(std::span<const double> q,
+               core::EvalStats* stats = nullptr) const {
+    return evaluator_->QueryExact(q, stats);
   }
 
   /// The detected weighting type.

@@ -1,0 +1,331 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "util/check.h"
+
+namespace karl::telemetry {
+
+namespace {
+
+// Shortest round-trippable formatting; JSON has no Inf/NaN literals, so
+// non-finite values degrade to null.
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out->append(buffer);
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out->append(buffer);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int HistogramBucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // Non-positives and NaN underflow.
+  const double log2v = std::log2(value);
+  if (log2v < kHistogramMinPow2) return 0;
+  if (log2v >= kHistogramMaxPow2) return kHistogramBuckets - 1;
+  const int sub = static_cast<int>(
+      std::floor((log2v - kHistogramMinPow2) *
+                 static_cast<double>(kHistogramSubBucketsPerOctave)));
+  return 1 + std::clamp(sub, 0, kHistogramBuckets - 3);
+}
+
+double HistogramBucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kHistogramBuckets - 1) {
+    return std::exp2(static_cast<double>(kHistogramMaxPow2));
+  }
+  return std::exp2(static_cast<double>(kHistogramMinPow2) +
+                   static_cast<double>(index - 1) /
+                       static_cast<double>(kHistogramSubBucketsPerOctave));
+}
+
+double HistogramBucketUpperBound(int index) {
+  if (index >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return HistogramBucketLowerBound(index + 1);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Fractional 1-based rank of the requested order statistic.
+  const double target = q * static_cast<double>(count - 1) + 1.0;
+  uint64_t cum = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= target) {
+      // Interpolate geometrically inside the bucket, trimmed to the
+      // observed [min, max] so single-bucket histograms stay tight.
+      const double lo = std::max(HistogramBucketLowerBound(i), min);
+      const double hi = std::min(HistogramBucketUpperBound(i), max);
+      if (!(hi > lo)) return std::clamp(lo, min, max);
+      // Position the 1-based in-bucket rank so the bucket's first item
+      // maps to `lo` and its last to `hi` (a single item maps to `lo`,
+      // which the [min, max] trim has already tightened).
+      const double in_bucket = target - static_cast<double>(cum) - 1.0;
+      const double frac =
+          c > 1 ? std::clamp(in_bucket / static_cast<double>(c - 1), 0.0, 1.0)
+                : 0.0;
+      const double v = lo > 0.0 ? lo * std::pow(hi / lo, frac)
+                                : lo + (hi - lo) * frac;
+      return std::clamp(v, min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
+void Histogram::Record(double value) {
+  counts_[static_cast<size_t>(HistogramBucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snap.max = snap.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Registry::RegisterKind(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  KARL_CHECK(it->second == kind)
+      << ": telemetry metric '" << name << "' reused with a different kind";
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegisterKind(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegisterKind(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegisterKind(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+Registry& GlobalRegistry() {
+  static Registry* const kRegistry = new Registry();  // Never destroyed.
+  return *kRegistry;
+}
+
+std::string DumpText(const Registry& registry) {
+  const RegistrySnapshot snap = registry.Snapshot();
+  std::string out;
+  char line[160];
+  for (const auto& [name, value] : snap.counters) {
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(line, sizeof(line), " %llu\n",
+                  static_cast<unsigned long long>(value));
+    out += name + line;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "# TYPE " + name + " gauge\n" + name + " ";
+    AppendNumber(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += "# TYPE " + name + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0", h.min},          {"0.5", h.Quantile(0.5)},
+        {"0.95", h.Quantile(0.95)}, {"0.99", h.Quantile(0.99)},
+        {"1", h.max}};
+    for (const auto& [q, value] : quantiles) {
+      out += name + "{quantile=\"" + q + "\"} ";
+      AppendNumber(&out, value);
+      out += "\n";
+    }
+    out += name + "_sum ";
+    AppendNumber(&out, h.sum);
+    out += "\n";
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += line;
+  }
+  return out;
+}
+
+std::string DumpJson(const Registry& registry) {
+  const RegistrySnapshot snap = registry.Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "\": %llu",
+                  static_cast<unsigned long long>(value));
+    out += buffer;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    AppendNumber(&out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "\": {\"count\": %llu, \"sum\": ",
+                  static_cast<unsigned long long>(h.count));
+    out += buffer;
+    AppendNumber(&out, h.sum);
+    const std::pair<const char*, double> fields[] = {
+        {"min", h.min},           {"max", h.max},
+        {"p50", h.Quantile(0.5)}, {"p95", h.Quantile(0.95)},
+        {"p99", h.Quantile(0.99)}};
+    for (const auto& [key, value] : fields) {
+      out += std::string(", \"") + key + "\": ";
+      AppendNumber(&out, value);
+    }
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const uint64_t c = h.buckets[static_cast<size_t>(i)];
+      if (c == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[";
+      AppendNumber(&out, HistogramBucketLowerBound(i));
+      std::snprintf(buffer, sizeof(buffer), ", %llu]",
+                    static_cast<unsigned long long>(c));
+      out += buffer;
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+util::Status WriteMetricsFile(const Registry& registry,
+                              const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open metrics file '" + path + "'");
+  }
+  const std::string body = json ? DumpJson(registry) : DumpText(registry);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) {
+    return util::Status::IOError("failed writing metrics file '" + path +
+                                 "'");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace karl::telemetry

@@ -1,0 +1,174 @@
+// Thread-safe metrics layer: monotonic counters, gauges, and log-bucketed
+// latency histograms with quantile estimation, collected in a named
+// registry and exported as Prometheus-style text or JSON.
+//
+// Cost model: metric *lookup* (Registry::GetX) takes a mutex and is meant
+// for construction time; the returned handles are stable for the life of
+// the registry, and every mutation on them is a handful of relaxed
+// atomics — safe from any number of threads, no locks on the hot path.
+// The engines reference telemetry through nullable pointers
+// (`EngineOptions::metrics` etc.), so the disabled path is a single
+// null-pointer test and the default-constructed system never allocates a
+// metric at all.
+
+#ifndef KARL_TELEMETRY_METRICS_H_
+#define KARL_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace karl::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous level (queue depths, byte counts, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram bucket layout: geometric buckets growing by 2^(1/4) (≈19% per
+// bucket, so quantile estimates carry at most ~9% mid-bucket relative
+// error), spanning [2^-40, 2^40) ≈ [9.1e-13, 1.1e12) — microsecond
+// latencies from sub-nanosecond to days, or any other positive quantity —
+// plus an underflow bucket (index 0, everything ≤ 2^-40 including
+// non-positives) and an overflow bucket.
+inline constexpr int kHistogramSubBucketsPerOctave = 4;
+inline constexpr int kHistogramMinPow2 = -40;
+inline constexpr int kHistogramMaxPow2 = 40;
+inline constexpr int kHistogramBuckets =
+    (kHistogramMaxPow2 - kHistogramMinPow2) * kHistogramSubBucketsPerOctave +
+    2;
+
+/// Bucket index a value lands in; total order consistent with the value
+/// order. Exposed (with the bound functions) so tests can pin the layout.
+int HistogramBucketIndex(double value);
+
+/// Inclusive lower bound of bucket `index` (0 for the underflow bucket).
+double HistogramBucketLowerBound(int index);
+
+/// Exclusive upper bound of bucket `index` (+inf for the overflow bucket).
+double HistogramBucketUpperBound(int index);
+
+/// A point-in-time copy of a histogram's state, with quantile estimation.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0.
+  double max = 0.0;
+
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Estimates the q-quantile (q in [0, 1]) by geometric interpolation
+  /// within the containing bucket, clamped to the exact [min, max].
+  /// Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+};
+
+/// Log-bucketed distribution of a positive quantity. Recording is a few
+/// relaxed atomic operations; snapshots and quantiles are taken off the
+/// hot path.
+class Histogram {
+ public:
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Extremes only meaningful while count_ > 0; snapshots report 0 for an
+  // empty histogram.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// All metric values of one registry, copied at a point in time. Names are
+/// sorted, so exposition output is deterministic.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Named metric store. Get* returns the existing metric or creates it;
+/// the returned pointer stays valid for the registry's lifetime. A name
+/// identifies exactly one metric kind — reusing it with a different kind
+/// is a programming error and aborts.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  // Records the name→kind binding; aborts on a kind clash. mu_ held.
+  void RegisterKind(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide default registry (what the CLI flags and the bench
+/// sidecar expose).
+Registry& GlobalRegistry();
+
+/// Prometheus-style text exposition: counters and gauges as single
+/// samples, histograms as summaries with {quantile="0|0.5|0.95|0.99|1"}
+/// plus _sum and _count.
+std::string DumpText(const Registry& registry);
+
+/// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{name:
+/// {count,sum,min,max,p50,p95,p99,buckets:[[lower_bound,count],...]}}}.
+/// Always valid JSON (non-finite numbers are emitted as null).
+std::string DumpJson(const Registry& registry);
+
+/// Writes the registry to `path`: JSON when the path ends in ".json",
+/// Prometheus text otherwise.
+util::Status WriteMetricsFile(const Registry& registry,
+                              const std::string& path);
+
+}  // namespace karl::telemetry
+
+#endif  // KARL_TELEMETRY_METRICS_H_

@@ -1,0 +1,179 @@
+#include "telemetry/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace karl::telemetry {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out->append(buffer);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out->append(buffer);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Add(Event event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  event.tid = TidLocked();
+  events_.push_back(std::move(event));
+}
+
+int TraceRecorder::TidLocked() {
+  const auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(),
+                    static_cast<int>(tids_.size()) + 1);
+  return it->second;
+}
+
+void TraceRecorder::CompleteEvent(std::string name, uint64_t ts_us,
+                                  uint64_t dur_us, TraceArgs args) {
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  Add(std::move(event));
+}
+
+void TraceRecorder::CounterEvent(std::string name, uint64_t ts_us,
+                                 TraceArgs args) {
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'C';
+  event.ts_us = ts_us;
+  event.args = std::move(args);
+  Add(std::move(event));
+}
+
+void TraceRecorder::InstantEvent(std::string name, uint64_t ts_us,
+                                 TraceArgs args) {
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'i';
+  event.ts_us = ts_us;
+  event.args = std::move(args);
+  Add(std::move(event));
+}
+
+size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\": [";
+  char buffer[96];
+  bool first = true;
+  for (const Event& event : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    AppendEscaped(&out, event.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\", \"ph\": \"%c\", \"ts\": %llu, \"pid\": 1, "
+                  "\"tid\": %d",
+                  event.phase,
+                  static_cast<unsigned long long>(event.ts_us), event.tid);
+    out += buffer;
+    if (event.phase == 'X') {
+      std::snprintf(buffer, sizeof(buffer), ", \"dur\": %llu",
+                    static_cast<unsigned long long>(event.dur_us));
+      out += buffer;
+    }
+    if (event.phase == 'i') {
+      out += ", \"s\": \"t\"";  // Thread-scoped instant marker.
+    }
+    if (!event.args.empty()) {
+      out += ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out += ", ";
+        first_arg = false;
+        out += "\"";
+        AppendEscaped(&out, key);
+        out += "\": ";
+        AppendNumber(&out, value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += first ? "],\n" : "\n],\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "\"displayTimeUnit\": \"ms\", \"droppedEvents\": %llu}\n",
+                static_cast<unsigned long long>(dropped_));
+  out += buffer;
+  return out;
+}
+
+util::Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open trace file '" + path + "'");
+  }
+  const std::string body = ToJson();
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) {
+    return util::Status::IOError("failed writing trace file '" + path + "'");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace karl::telemetry

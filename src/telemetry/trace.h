@@ -1,0 +1,98 @@
+// Per-query trace recorder producing Chrome trace-event JSON ("trace
+// event format"), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// The engines emit three event shapes:
+//   - complete events ("ph":"X"): one span per query or rebuild, with
+//     duration and summary args (iterations, kernel evals, result);
+//   - counter events ("ph":"C"): per-refinement-iteration tracks of
+//     lb / ub / gap and cumulative node expansions / kernel evals,
+//     rendered by Perfetto as stacked counter tracks;
+//   - instant events ("ph":"i"): singular moments such as an index
+//     rebuild trigger.
+//
+// The recorder is thread-safe (one mutex around an event vector; threads
+// are mapped to stable small tids) and bounded: past `max_events` new
+// events are counted as dropped instead of stored, so an accidental
+// trace of a huge run degrades instead of exhausting memory. Timestamps
+// are microseconds on the steady clock since recorder construction.
+
+#ifndef KARL_TELEMETRY_TRACE_H_
+#define KARL_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace karl::telemetry {
+
+/// Key/value payload attached to a trace event; values are numbers.
+using TraceArgs = std::vector<std::pair<std::string, double>>;
+
+/// Bounded, thread-safe Chrome-trace-event collector.
+class TraceRecorder {
+ public:
+  /// `max_events`: hard cap on stored events; later events are dropped
+  /// (and counted) rather than stored.
+  explicit TraceRecorder(size_t max_events = 1u << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since recorder construction (steady clock) — the `ts`
+  /// domain of every event.
+  uint64_t NowMicros() const;
+
+  /// Adds a complete ("X") event covering [ts_us, ts_us + dur_us].
+  void CompleteEvent(std::string name, uint64_t ts_us, uint64_t dur_us,
+                     TraceArgs args);
+
+  /// Adds a counter ("C") event; each arg becomes one counter series.
+  void CounterEvent(std::string name, uint64_t ts_us, TraceArgs args);
+
+  /// Adds an instant ("i") event.
+  void InstantEvent(std::string name, uint64_t ts_us, TraceArgs args);
+
+  /// Events stored so far.
+  size_t size() const;
+
+  /// Events rejected because the cap was reached.
+  size_t dropped() const;
+
+  /// Renders {"traceEvents":[...]} JSON. Always syntactically valid.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  util::Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    char phase = 'i';
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;  // Complete events only.
+    int tid = 0;
+    TraceArgs args;
+  };
+
+  void Add(Event event);
+  int TidLocked();  // Stable small id for the calling thread; mu_ held.
+
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  size_t dropped_ = 0;
+  std::map<std::thread::id, int> tids_;
+};
+
+}  // namespace karl::telemetry
+
+#endif  // KARL_TELEMETRY_TRACE_H_

@@ -16,8 +16,17 @@ util::Result<ParsedArgs> ParsedArgs::Parse(int argc,
         return util::Status::InvalidArgument("bare '--' is not a valid flag");
       }
       const std::string name = token.substr(2);
-      // Value = next token unless it is another flag or absent.
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // --name=value binds inline; otherwise the value is the next token
+      // unless it is another flag or absent.
+      if (const size_t eq = name.find('='); eq != std::string::npos) {
+        if (eq == 0) {
+          return util::Status::InvalidArgument("flag '" + token +
+                                               "' has an empty name");
+        }
+        parsed.flags_[name.substr(0, eq)] = name.substr(eq + 1);
+        i += 1;
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         parsed.flags_[name] = argv[i + 1];
         i += 2;
       } else {

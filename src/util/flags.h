@@ -16,9 +16,11 @@ namespace karl::util {
 /// bare --switches.
 class ParsedArgs {
  public:
-  /// Parses argv[1..). Flags start with "--"; a flag followed by another
-  /// flag (or nothing) is a boolean switch. The first non-flag token is
-  /// the subcommand; later non-flag tokens are positional arguments.
+  /// Parses argv[1..). Flags start with "--" and bind their value either
+  /// inline ("--name=value") or from the next token ("--name value"); a
+  /// flag followed by another flag (or nothing) is a boolean switch. The
+  /// first non-flag token is the subcommand; later non-flag tokens are
+  /// positional arguments.
   static util::Result<ParsedArgs> Parse(int argc, const char* const* argv);
 
   /// The subcommand ("" if none).

@@ -11,6 +11,7 @@
 #include "core/dynamic_engine.h"
 #include "core/evaluator.h"
 #include "data/synthetic.h"
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 
 namespace karl::core {
@@ -182,6 +183,77 @@ TEST(DynamicEngineTest, RemoveEverythingThenQuery) {
   const std::vector<double> q{0.5, 0.5};
   EXPECT_NEAR(engine.Exact(q), 0.0, 1e-9);
   EXPECT_FALSE(engine.Tkaq(q, 0.5));
+}
+
+TEST(DynamicEngineTest, EvalStatsAccumulateAcrossQueries) {
+  auto options = SmallOptions();
+  options.min_index_size = 64;
+  auto engine = DynamicEngine::Create(2, options).ValueOrDie();
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    engine.Insert(p, 1.0).ValueOrDie();
+  }
+  ASSERT_GE(engine.rebuild_count(), 1u);
+  const std::vector<double> q{0.5, 0.5};
+
+  // Exact counts the delta scan plus every indexed point.
+  EvalStats exact_stats;
+  (void)engine.Exact(q, &exact_stats);
+  EXPECT_EQ(exact_stats.kernel_evals, 200u);
+
+  // Tkaq goes through the refinement loop: some work must be recorded,
+  // and pruning means at most the full-point-set of evals.
+  EvalStats tkaq_stats;
+  const double truth = engine.Exact(q);
+  (void)engine.Tkaq(q, truth * 0.9, &tkaq_stats);
+  EXPECT_GT(tkaq_stats.iterations + tkaq_stats.kernel_evals, 0u);
+  EXPECT_LE(tkaq_stats.kernel_evals, 200u);
+
+  // Stats accumulate rather than reset: a second query adds to the same
+  // struct.
+  EvalStats both = exact_stats;
+  (void)engine.Exact(q, &both);
+  EXPECT_EQ(both.kernel_evals, 2 * exact_stats.kernel_evals);
+
+  // Ekaq also reports work.
+  EvalStats ekaq_stats;
+  (void)engine.Ekaq(q, 0.2, &ekaq_stats);
+  EXPECT_GT(ekaq_stats.kernel_evals, 0u);
+
+  // Null stats (the default) stays supported.
+  (void)engine.Exact(q);
+  (void)engine.Tkaq(q, truth);
+}
+
+TEST(DynamicEngineTest, TelemetryGaugesTrackDeltaState) {
+  telemetry::Registry registry;
+  auto options = SmallOptions();
+  options.min_index_size = 64;
+  options.engine.metrics = &registry;
+  auto engine = DynamicEngine::Create(2, options).ValueOrDie();
+  util::Rng rng(8);
+  std::vector<PointId> ids;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    ids.push_back(engine.Insert(p, 1.0).ValueOrDie());
+  }
+  EXPECT_EQ(registry.GetCounter("karl_dynamic_inserts_total")->value(), 200u);
+  EXPECT_EQ(registry.GetCounter("karl_dynamic_rebuilds_total")->value(),
+            engine.rebuild_count());
+  EXPECT_DOUBLE_EQ(registry.GetGauge("karl_dynamic_live_points")->value(),
+                   200.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("karl_dynamic_delta_points")->value(),
+                   static_cast<double>(engine.delta_size()));
+  EXPECT_EQ(registry.GetHistogram("karl_dynamic_rebuild_usec")->count(),
+            engine.rebuild_count());
+
+  // Removing an indexed point shows up as a tombstone until the next
+  // rebuild folds it in.
+  ASSERT_TRUE(engine.Remove(ids[0]).ok());
+  EXPECT_EQ(registry.GetCounter("karl_dynamic_removes_total")->value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("karl_dynamic_live_points")->value(),
+                   199.0);
 }
 
 TEST(DynamicEngineTest, LaplacianKernelWorksToo) {

@@ -73,6 +73,32 @@ TEST(FlagsTest, NegativeNumberAsValue) {
   EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0.0).value(), -1.5);
 }
 
+TEST(FlagsTest, InlineEqualsBindsValue) {
+  const auto args = ParseVec({"query", "--metrics-out=metrics.json",
+                              "--tau=1.5", "--label=a=b"});
+  EXPECT_EQ(args.GetString("metrics-out"), "metrics.json");
+  EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0.0).value(), 1.5);
+  // Only the first '=' splits; the rest belongs to the value.
+  EXPECT_EQ(args.GetString("label"), "a=b");
+}
+
+TEST(FlagsTest, InlineEqualsEmptyValueIsNotASwitchValue) {
+  // "--out=" binds the empty string explicitly and must not consume the
+  // following token, which stays positional.
+  const auto args = ParseVec({"query", "--out=", "extra"});
+  EXPECT_TRUE(args.Has("out"));
+  EXPECT_EQ(args.GetString("out", "unset"), "");
+  EXPECT_EQ(args.command(), "query");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "extra");
+}
+
+TEST(FlagsTest, InlineEqualsEmptyNameRejected) {
+  std::vector<const char*> argv{"karl", "--=value"};
+  auto parsed = ParsedArgs::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(parsed.ok());
+}
+
 TEST(FlagsTest, BareDoubleDashRejected) {
   std::vector<const char*> argv{"karl", "--"};
   auto parsed = ParsedArgs::Parse(static_cast<int>(argv.size()), argv.data());

@@ -1,0 +1,423 @@
+// Unit tests for the telemetry subsystem: counter/gauge semantics,
+// histogram bucket layout and quantile accuracy, registry behavior,
+// concurrent mutation (run under the debug-tsan preset to prove the hot
+// path is race-free), trace recording, and exposition-format validity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace karl::telemetry {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker — enough to assert the
+// exposition strings are well-formed without an external parser.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (ch == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Add(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.25);
+  g.Set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST(HistogramLayoutTest, BoundsBracketTheirValues) {
+  // Every sampled value must land in a bucket whose [lower, upper) range
+  // contains it, and the index must be monotone in the value.
+  const std::vector<double> samples = {1e-9, 0.001, 0.5,  1.0,   1.5,
+                                       2.0,  100.0, 1e6,  1e9,   3e11};
+  int prev = -1;
+  for (const double v : samples) {
+    const int idx = HistogramBucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, kHistogramBuckets);
+    EXPECT_LE(HistogramBucketLowerBound(idx), v) << "value " << v;
+    EXPECT_LT(v, HistogramBucketUpperBound(idx)) << "value " << v;
+    EXPECT_GE(idx, prev) << "index not monotone at value " << v;
+    prev = idx;
+  }
+}
+
+TEST(HistogramLayoutTest, EdgeValuesUseSentinelBuckets) {
+  // Non-positive and sub-range values fall in the underflow bucket 0;
+  // values at or beyond 2^40 in the overflow bucket.
+  EXPECT_EQ(HistogramBucketIndex(0.0), 0);
+  EXPECT_EQ(HistogramBucketIndex(-5.0), 0);
+  EXPECT_EQ(HistogramBucketIndex(std::ldexp(1.0, kHistogramMinPow2 - 1)), 0);
+  EXPECT_EQ(HistogramBucketIndex(std::ldexp(1.0, kHistogramMaxPow2)),
+            kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketIndex(1e300), kHistogramBuckets - 1);
+  EXPECT_DOUBLE_EQ(HistogramBucketLowerBound(0), 0.0);
+  EXPECT_TRUE(std::isinf(HistogramBucketUpperBound(kHistogramBuckets - 1)));
+}
+
+TEST(HistogramLayoutTest, OctaveBoundariesAreExactPowersOfTwo) {
+  // 1.0 = 2^0 starts a bucket, and each octave spans exactly
+  // kHistogramSubBucketsPerOctave buckets.
+  const int one = HistogramBucketIndex(1.0);
+  EXPECT_DOUBLE_EQ(HistogramBucketLowerBound(one), 1.0);
+  const int two = HistogramBucketIndex(2.0);
+  EXPECT_EQ(two - one, kHistogramSubBucketsPerOctave);
+  EXPECT_DOUBLE_EQ(HistogramBucketLowerBound(two), 2.0);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  h.Record(2.0);
+  h.Record(8.0);
+  h.Record(4.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.0);
+  EXPECT_DOUBLE_EQ(snap.min, 2.0);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  const HistogramSnapshot snap = Histogram().Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantilesOfKnownDistribution) {
+  // Uniform 1..1000: with ~19%-wide buckets and geometric interpolation
+  // the mid-range quantiles must land within ~15% of the exact order
+  // statistics; the extremes are tracked exactly.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 1000.0);
+  EXPECT_NEAR(snap.Quantile(0.5), 500.0, 0.15 * 500.0);
+  EXPECT_NEAR(snap.Quantile(0.95), 950.0, 0.15 * 950.0);
+  EXPECT_NEAR(snap.Quantile(0.99), 990.0, 0.15 * 990.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.Quantile(0.5), snap.Quantile(0.95));
+  EXPECT_LE(snap.Quantile(0.95), snap.Quantile(0.99));
+}
+
+TEST(HistogramTest, SingleValueQuantilesCollapse) {
+  Histogram h;
+  h.Record(7.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 7.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  Registry registry;
+  Counter* c1 = registry.GetCounter("events_total");
+  Counter* c2 = registry.GetCounter("events_total");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(registry.GetGauge("depth"), nullptr);
+  EXPECT_NE(registry.GetHistogram("latency"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  Registry registry;
+  registry.GetCounter("zeta_total")->Add(3);
+  registry.GetCounter("alpha_total")->Add(1);
+  registry.GetGauge("depth")->Set(4.0);
+  registry.GetHistogram("latency")->Record(2.0);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha_total");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "zeta_total");
+  EXPECT_EQ(snap.counters[1].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 4.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(RegistryTest, ConcurrentMutationIsExact) {
+  // 8 threads hammer one counter, one gauge, and one histogram through
+  // shared handles; totals must come out exact. Under debug-tsan this is
+  // also the data-race proof for the hot path.
+  Registry registry;
+  Counter* counter = registry.GetCounter("hits_total");
+  Gauge* gauge = registry.GetGauge("level");
+  Histogram* histogram = registry.GetHistogram("latency");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        histogram->Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(gauge->value(), static_cast<double>(kThreads) * kIters);
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kThreads));
+}
+
+TEST(ExpositionTest, DumpTextHasTypesAndQuantiles) {
+  Registry registry;
+  registry.GetCounter("requests_total")->Add(5);
+  registry.GetGauge("depth")->Set(2.5);
+  for (int i = 1; i <= 100; ++i) {
+    registry.GetHistogram("latency_usec")->Record(static_cast<double>(i));
+  }
+  const std::string text = DumpText(registry);
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("latency_usec{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("latency_usec_count 100"), std::string::npos);
+  EXPECT_NE(text.find("latency_usec_sum"), std::string::npos);
+}
+
+TEST(ExpositionTest, DumpJsonIsValidJson) {
+  Registry registry;
+  registry.GetCounter("a_total")->Add(1);
+  registry.GetGauge("g")->Set(-0.5);
+  registry.GetHistogram("h")->Record(3.0);
+  const std::string json = DumpJson(registry);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ExpositionTest, EmptyRegistryDumpsAreValid) {
+  Registry registry;
+  EXPECT_TRUE(JsonChecker(DumpJson(registry)).Valid());
+  EXPECT_EQ(DumpText(registry), "");
+}
+
+TEST(ExpositionTest, WriteMetricsFilePicksFormatByExtension) {
+  Registry registry;
+  registry.GetCounter("writes_total")->Increment();
+  const std::string json_path =
+      ::testing::TempDir() + "/telemetry_test_metrics.json";
+  const std::string text_path =
+      ::testing::TempDir() + "/telemetry_test_metrics.prom";
+  ASSERT_TRUE(WriteMetricsFile(registry, json_path).ok());
+  ASSERT_TRUE(WriteMetricsFile(registry, text_path).ok());
+  const std::string json = ReadFile(json_path);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(ReadFile(text_path).find("# TYPE writes_total counter"),
+            std::string::npos);
+  std::remove(json_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(TraceRecorderTest, RecordsAllEventShapes) {
+  TraceRecorder recorder;
+  const uint64_t t0 = recorder.NowMicros();
+  recorder.CompleteEvent("query", t0, 12, {{"iterations", 3.0}});
+  recorder.CounterEvent("karl.bounds", t0 + 1, {{"lb", 0.5}, {"ub", 1.5}});
+  recorder.InstantEvent("rebuild", t0 + 2, {});
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, CapDropsInsteadOfGrowing) {
+  TraceRecorder recorder(2);
+  for (int i = 0; i < 5; ++i) {
+    recorder.InstantEvent("e", static_cast<uint64_t>(i), {});
+  }
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"droppedEvents\": 3"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteJsonRoundTripsThroughDisk) {
+  TraceRecorder recorder;
+  recorder.CompleteEvent("query", 0, 5, {{"result", 1.0}});
+  const std::string path = ::testing::TempDir() + "/telemetry_test_trace.json";
+  ASSERT_TRUE(recorder.WriteJson(path).ok());
+  const std::string json = ReadFile(path);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GlobalRegistryTest, IsASingleton) {
+  EXPECT_EQ(&GlobalRegistry(), &GlobalRegistry());
+}
+
+}  // namespace
+}  // namespace karl::telemetry

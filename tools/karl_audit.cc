@@ -10,6 +10,13 @@
 // means zero violations over the whole sweep.
 //
 // Usage: karl_audit [--trials N] [--seed S] [--max-n N] [--verbose]
+//                   [--metrics-out <file[.json]>] [--trace-out <file.json>]
+//
+// --metrics-out dumps the telemetry registry after the sweep (per-query
+// latency/iteration/kernel-eval metrics across every audited engine);
+// --trace-out records the sweep as Chrome trace-event JSON (bounded by
+// the recorder's event cap, so long sweeps truncate rather than grow
+// without bound).
 
 #include <cstdio>
 #include <string>
@@ -17,6 +24,8 @@
 
 #include "core/karl.h"
 #include "data/synthetic.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -78,10 +87,13 @@ int main(int argc, char** argv) {
   const int64_t seed = args.GetInt("seed", 1).value();
   const int64_t max_n = args.GetInt("max-n", 260).value();
   const bool verbose = args.Has("verbose");
+  const std::string metrics_out = args.GetString("metrics-out");
+  const std::string trace_out = args.GetString("trace-out");
   if (trials <= 0 || max_n < 32) {
     std::fprintf(stderr, "need --trials > 0 and --max-n >= 32\n");
     return 2;
   }
+  karl::telemetry::TraceRecorder tracer;
 
   karl::util::Rng rng(static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL +
                       1);
@@ -104,6 +116,10 @@ int main(int argc, char** argv) {
                              : karl::index::IndexKind::kBallTree;
     options.leaf_capacity = 2 + rng.UniformInt(30);
     options.audit_bounds = true;
+    if (!metrics_out.empty()) {
+      options.metrics = &karl::telemetry::GlobalRegistry();
+    }
+    if (!trace_out.empty()) options.tracer = &tracer;
 
     auto engine = Engine::Build(points, weights, options);
     if (!engine.ok()) {
@@ -145,6 +161,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!metrics_out.empty()) {
+    if (auto st = karl::telemetry::WriteMetricsFile(
+            karl::telemetry::GlobalRegistry(), metrics_out);
+        !st.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    if (auto st = tracer.WriteJson(trace_out); !st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
   std::printf(
       "karl_audit: %lld trials, %zu audited queries, 0 invariant "
       "violations\n",

@@ -11,8 +11,12 @@
 //       and saves it.
 //   query     --model <model.bin> --queries <file.csv>
 //             (--tau T | --eps E) [--limit N]
-//       Runs TKAQ or eKAQ over every query row; prints results and
-//       throughput.
+//             [--metrics-out <file[.json]>] [--trace-out <file.json>]
+//       Runs TKAQ or eKAQ over every query row; prints results,
+//       throughput, and a per-query latency histogram summary.
+//       --metrics-out dumps the telemetry registry (JSON when the path
+//       ends in .json, Prometheus text otherwise); --trace-out writes a
+//       Chrome trace-event JSON loadable in Perfetto.
 //   tune      --model <model.bin> --queries <file.csv> (--tau T | --eps E)
 //       Offline-tunes the index configuration and reports the grid.
 //
@@ -27,6 +31,8 @@
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "ml/kde.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -180,8 +186,23 @@ int RunQuery(const ParsedArgs& args) {
   const auto eps = args.GetDouble("eps", 0.1);
   if (!tau.ok()) return Fail(tau.status().ToString());
   if (!eps.ok()) return Fail(eps.status().ToString());
+  const std::string metrics_out = args.GetString("metrics-out");
+  const std::string trace_out = args.GetString("trace-out");
 
-  auto engine = karl::core::LoadEngine(model_path);
+  // Load the model and build the engine here (instead of LoadEngine) so
+  // the telemetry sinks can be attached to the build options.
+  auto model = karl::core::LoadEngineModel(model_path);
+  if (!model.ok()) return Fail(model.status().ToString());
+  karl::telemetry::TraceRecorder tracer;
+  if (!metrics_out.empty()) {
+    model.value().options.metrics = &karl::telemetry::GlobalRegistry();
+  }
+  if (!trace_out.empty()) {
+    model.value().options.tracer = &tracer;
+  }
+  auto engine = karl::Engine::Build(model.value().points,
+                                    model.value().weights,
+                                    model.value().options);
   if (!engine.ok()) return Fail(engine.status().ToString());
   auto queries = karl::data::ReadCsvFile(query_path);
   if (!queries.ok()) return Fail(queries.status().ToString());
@@ -193,19 +214,50 @@ int RunQuery(const ParsedArgs& args) {
       std::min<size_t>(queries.value().rows(),
                        static_cast<size_t>(std::max<int64_t>(0, limit.value())));
 
+  karl::telemetry::Histogram latency;
   karl::util::Stopwatch timer;
+  karl::util::Stopwatch query_timer;
   for (size_t i = 0; i < count; ++i) {
     const auto q = queries.value().Row(i);
     if (threshold_mode) {
-      std::printf("%zu\t%s\n", i,
-                  engine.value().Tkaq(q, tau.value()) ? "above" : "below");
+      query_timer.Restart();
+      const bool above = engine.value().Tkaq(q, tau.value());
+      latency.Record(query_timer.ElapsedSeconds() * 1e6);
+      std::printf("%zu\t%s\n", i, above ? "above" : "below");
     } else {
-      std::printf("%zu\t%.12g\n", i, engine.value().Ekaq(q, eps.value()));
+      query_timer.Restart();
+      const double value = engine.value().Ekaq(q, eps.value());
+      latency.Record(query_timer.ElapsedSeconds() * 1e6);
+      std::printf("%zu\t%.12g\n", i, value);
     }
   }
   const double elapsed = timer.ElapsedSeconds();
   std::fprintf(stderr, "%zu queries in %.3fs (%.0f q/s)\n", count, elapsed,
                count / std::max(elapsed, 1e-9));
+  const auto h = latency.Snapshot();
+  if (h.count > 0) {
+    std::fprintf(stderr,
+                 "latency usec: min=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                 "max=%.1f\n",
+                 h.min, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99),
+                 h.max);
+  }
+
+  if (!metrics_out.empty()) {
+    if (auto st = karl::telemetry::WriteMetricsFile(
+            karl::telemetry::GlobalRegistry(), metrics_out);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (auto st = tracer.WriteJson(trace_out); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                 trace_out.c_str(), tracer.size());
+  }
   return 0;
 }
 
