@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/evaluator.h"
 #include "data/normalize.h"
@@ -12,6 +13,7 @@
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace karl::bench {
 
@@ -83,6 +85,12 @@ size_t BenchQueries() {
   static const size_t kQueries = static_cast<size_t>(
       std::max(1.0, EnvDouble("KARL_BENCH_QUERIES", 150.0)));
   return kQueries;
+}
+
+size_t BenchThreads() {
+  static const size_t kThreads = static_cast<size_t>(
+      std::max(1.0, EnvDouble("KARL_BENCH_THREADS", 1.0)));
+  return kThreads;
 }
 
 Workload MakeTypeIWorkload(const std::string& name, size_t num_queries) {
@@ -236,6 +244,36 @@ double MeasureEngineThroughput(const Workload& w, const core::QuerySpec& spec,
     std::abort();
   }
   return core::MeasureThroughput(engine.value(), w.queries, spec);
+}
+
+double MeasureBatchThroughput(const Workload& w, const core::QuerySpec& spec,
+                              const EngineOptions& options, size_t threads) {
+  auto engine = Engine::Build(w.points, w.weights, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  // threads == 1 runs the serial batch path (no pool, no scheduling
+  // overhead) — the honest single-thread baseline for scaling ratios.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  util::Stopwatch timer;
+  if (spec.kind == core::QuerySpec::Kind::kThreshold) {
+    const auto out =
+        engine.value().TkaqBatch(w.queries, spec.tau, pool.get());
+    (void)out;
+  } else {
+    const auto out =
+        engine.value().EkaqBatch(w.queries, spec.eps, pool.get());
+    (void)out;
+  }
+  const double qps = static_cast<double>(w.queries.rows()) /
+                     std::max(timer.ElapsedSeconds(), 1e-9);
+  RecordBenchMetric(
+      "batch_qps_" + w.dataset + "_threads_" + std::to_string(threads), qps);
+  return qps;
 }
 
 double MeasureBestOverGrid(const Workload& w, const core::QuerySpec& spec,

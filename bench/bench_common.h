@@ -6,6 +6,9 @@
 // Environment knobs:
 //   KARL_BENCH_SCALE        multiplies every dataset cardinality (default 1.0)
 //   KARL_BENCH_QUERIES      query-set size per workload (default 150)
+//   KARL_BENCH_THREADS      worker-thread count for batch runners
+//                           (default 1 = serial; tools also accept
+//                           --threads=N which takes precedence)
 //   KARL_BENCH_METRICS_OUT  when set, the process writes the telemetry
 //                           registry (every metric recorded via
 //                           RecordBenchMetric plus any engine-level
@@ -45,6 +48,9 @@ double BenchScale();
 /// Query count from KARL_BENCH_QUERIES (default 150).
 size_t BenchQueries();
 
+/// Batch worker-thread count from KARL_BENCH_THREADS (default 1).
+size_t BenchThreads();
+
 /// Builds the Type-I (KDE) workload for a registry dataset: uniform
 /// weights 1/n, Scott's-rule γ, queries sampled from the data,
 /// τ = μ = mean F over the probe sample.
@@ -75,6 +81,14 @@ double MeasureLibsvmThroughput(const Workload& w,
 /// Runs the query set through an engine built with `options`.
 double MeasureEngineThroughput(const Workload& w, const core::QuerySpec& spec,
                                const EngineOptions& options);
+
+/// Runs the query set through Engine::TkaqBatch / EkaqBatch fanned over
+/// `threads` pool workers (1 = serial batch path, no pool). Records
+/// gauge "karl_bench_batch_qps_<dataset>_threads_<N>". Results are
+/// bit-identical to MeasureEngineThroughput's serial loop, so the two
+/// are directly comparable.
+double MeasureBatchThroughput(const Workload& w, const core::QuerySpec& spec,
+                              const EngineOptions& options, size_t threads);
 
 /// Best throughput over the paper's index grid for the given bound kind —
 /// the SOTA_best / KARL_best columns. Measures each config on the full

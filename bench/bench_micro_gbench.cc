@@ -2,10 +2,17 @@
 // kernel evaluation, node-bound computation (SOTA vs KARL), tree
 // construction, and single queries. Not a paper table — these guard
 // against performance regressions in the building blocks.
+//
+// Custom main (instead of benchmark_main): strips a leading --threads=N
+// flag, which adds a BM_BatchTkaq instance at that worker count on top
+// of the built-in {1, 2, 8} sweep.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/bounds.h"
@@ -16,6 +23,7 @@
 #include "index/kd_tree.h"
 #include "telemetry/metrics.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -163,4 +171,63 @@ void BM_ExactScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactScan)->Arg(100000)->Unit(benchmark::kMicrosecond);
 
+// Parallel batch engine: one query block fanned over a worker pool.
+// Arg = worker-thread count (1 = serial batch path, no pool); items/s is
+// queries per second, so the ratio across args is the batch speedup.
+void BM_BatchTkaq(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const auto pts = MakePoints(50000, 18);
+  karl::EngineOptions options;
+  options.kernel = KernelParams::Gaussian(8.0);
+  auto engine = karl::Engine::BuildUniform(pts, 1.0, options).ValueOrDie();
+  karl::util::Rng rng(17);
+  karl::data::Matrix queries(128, 18);
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    for (double& v : queries.MutableRow(i)) v = rng.Uniform(0.0, 1.0);
+  }
+  const std::vector<double> probe(18, 0.5);
+  const double tau = engine.Exact(probe) * 1.2;
+
+  std::unique_ptr<karl::util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<karl::util::ThreadPool>(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.TkaqBatch(queries, tau, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.rows()));
+}
+BENCHMARK(BM_BatchTkaq)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+// benchmark_main replacement so the binary accepts --threads=N (an
+// extra BM_BatchTkaq instance at that count) before handing the rest of
+// the command line to google-benchmark, which rejects unknown flags.
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  passthrough.push_back(argv[0]);
+  long extra_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      extra_threads = std::atol(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      extra_threads = std::atol(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (extra_threads > 0) {
+    benchmark::RegisterBenchmark("BM_BatchTkaq/requested", BM_BatchTkaq)
+        ->Arg(extra_threads)
+        ->Unit(benchmark::kMillisecond);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,12 +13,19 @@
 //
 // The paper's datasets are simulated (scaled) — see DESIGN.md; compare
 // method ORDER and speedup factors, not absolute numbers.
+//
+// A trailing "Batch scaling" section measures the parallel batch engine
+// (Engine::TkaqBatch over a worker pool) on the Type-I Gaussian "home"
+// workload at 1 thread vs --threads=N (or KARL_BENCH_THREADS; default
+// 1 skips the section) and reports the speedup.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -51,7 +58,21 @@ void RunRow(const std::string& type_label, const Workload& w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto parsed = karl::util::ParsedArgs::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto threads_flag = parsed.value().GetInt(
+      "threads", static_cast<int64_t>(karl::bench::BenchThreads()));
+  if (!threads_flag.ok()) {
+    std::fprintf(stderr, "%s\n", threads_flag.status().ToString().c_str());
+    return 1;
+  }
+  const size_t batch_threads =
+      static_cast<size_t>(std::max<int64_t>(1, threads_flag.value()));
+
   const size_t nq = karl::bench::BenchQueries();
   std::printf("Table VII: query throughput (queries/s), %zu queries per "
               "cell, scale %.2f\n\n",
@@ -94,6 +115,31 @@ int main() {
     spec.kind = QuerySpec::Kind::kThreshold;
     spec.tau = w.tau;
     RunRow("III-tau", w, spec, /*libsvm=*/true, /*scikit=*/false);
+  }
+
+  // Batch scaling: the parallel batch engine on the Type-I Gaussian
+  // threshold workload, serial batch vs an N-worker pool. Identical
+  // results by construction (see core/batch.h), so the ratio is pure
+  // scheduling/throughput.
+  if (batch_threads > 1) {
+    std::printf("\nBatch scaling (TkaqBatch, Type I Gaussian, \"home\")\n\n");
+    karl::bench::PrintTableHeader(
+        {"dataset", "threads=1", "threads=N", "N", "speedup"});
+    const Workload w = karl::bench::MakeTypeIWorkload("home", nq);
+    QuerySpec spec;
+    spec.kind = QuerySpec::Kind::kThreshold;
+    spec.tau = w.tau;
+    const karl::EngineOptions options = karl::bench::DefaultOptions(w);
+    const double serial =
+        karl::bench::MeasureBatchThroughput(w, spec, options, 1);
+    const double parallel =
+        karl::bench::MeasureBatchThroughput(w, spec, options, batch_threads);
+    const double speedup = serial > 0.0 ? parallel / serial : 0.0;
+    karl::bench::RecordBenchMetric("batch_speedup_home", speedup);
+    karl::bench::PrintTableRow({w.dataset, FormatQps(serial),
+                                FormatQps(parallel),
+                                std::to_string(batch_threads),
+                                FormatQps(speedup) + "x"});
   }
 
   return 0;

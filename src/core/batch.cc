@@ -1,0 +1,172 @@
+#include "core/batch.h"
+
+#include <optional>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace karl::core {
+
+void BatchEvaluator::ResolveInstruments(telemetry::Registry* registry) {
+  if (registry == nullptr) return;
+  instruments_.batches = registry->GetCounter("karl_batch_batches_total");
+  instruments_.queries = registry->GetCounter("karl_batch_queries_total");
+  instruments_.batch_usec = registry->GetHistogram("karl_batch_usec");
+  instruments_.executors = registry->GetGauge("karl_batch_executors");
+}
+
+BatchEvaluator::BatchEvaluator(const Engine& engine,
+                               const BatchOptions& options)
+    : engine_(&engine), options_(options) {
+  ResolveInstruments(engine.options().metrics);
+}
+
+BatchEvaluator::BatchEvaluator(const DynamicEngine& engine,
+                               const BatchOptions& options)
+    : dynamic_(&engine), options_(options) {
+  ResolveInstruments(engine.options().engine.metrics);
+}
+
+template <typename T, typename PerQuery>
+std::vector<T> BatchEvaluator::Run(const data::Matrix& queries,
+                                   EvalStats* stats,
+                                   const PerQuery& per_query) const {
+  const size_t n = queries.rows();
+  std::vector<T> out(n);
+  std::optional<util::Stopwatch> timer;
+  if (instruments_.batches != nullptr) timer.emplace();
+
+  util::ThreadPool* const pool = options_.pool;
+  size_t executors = 1;
+  if (pool == nullptr) {
+    // Serial path: the caller's stats are the single accumulator, so a
+    // pool-less batch is operation-for-operation the plain query loop.
+    EvalStats local;
+    EvalStats* const work = stats != nullptr ? stats : &local;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = per_query(queries.Row(i), work);
+    }
+  } else {
+    // One EvalStats per executor slot: workers never share a work
+    // accumulator (sharing the caller's EvalStats across workers is a
+    // plain-integer data race), and the slot sums merge into the
+    // caller's stats exactly once per batch.
+    executors = pool->num_threads() + 1;
+    std::vector<EvalStats> slot_stats(executors);
+    pool->ParallelFor(
+        n, options_.chunk,
+        [&queries, &out, &slot_stats, &per_query](size_t begin, size_t end,
+                                                  size_t slot) {
+          EvalStats& local = slot_stats[slot];
+          for (size_t i = begin; i < end; ++i) {
+            out[i] = per_query(queries.Row(i), &local);
+          }
+        });
+    if (stats != nullptr) {
+      for (const EvalStats& s : slot_stats) {
+        stats->iterations += s.iterations;
+        stats->nodes_expanded += s.nodes_expanded;
+        stats->kernel_evals += s.kernel_evals;
+      }
+    }
+  }
+
+  if (instruments_.batches != nullptr) {
+    instruments_.batches->Increment();
+    instruments_.queries->Add(n);
+    instruments_.batch_usec->Record(timer->ElapsedSeconds() * 1e6);
+    instruments_.executors->Set(static_cast<double>(executors));
+  }
+  return out;
+}
+
+std::vector<uint8_t> BatchEvaluator::Tkaq(const data::Matrix& queries,
+                                          double tau,
+                                          EvalStats* stats) const {
+  const auto per_query = [this, tau](std::span<const double> q,
+                                     EvalStats* work) -> uint8_t {
+    const bool above = engine_ != nullptr ? engine_->Tkaq(q, tau, work)
+                                          : dynamic_->Tkaq(q, tau, work);
+    return above ? 1 : 0;
+  };
+  return Run<uint8_t>(queries, stats, per_query);
+}
+
+std::vector<double> BatchEvaluator::Ekaq(const data::Matrix& queries,
+                                         double eps,
+                                         EvalStats* stats) const {
+  const auto per_query = [this, eps](std::span<const double> q,
+                                     EvalStats* work) {
+    return engine_ != nullptr ? engine_->Ekaq(q, eps, work)
+                              : dynamic_->Ekaq(q, eps, work);
+  };
+  return Run<double>(queries, stats, per_query);
+}
+
+std::vector<double> BatchEvaluator::Exact(const data::Matrix& queries,
+                                          EvalStats* stats) const {
+  const auto per_query = [this](std::span<const double> q, EvalStats* work) {
+    return engine_ != nullptr ? engine_->Exact(q, work)
+                              : dynamic_->Exact(q, work);
+  };
+  return Run<double>(queries, stats, per_query);
+}
+
+std::vector<uint8_t> DynamicEngine::TkaqBatch(const data::Matrix& queries,
+                                              double tau,
+                                              util::ThreadPool* pool,
+                                              EvalStats* stats) const {
+  BatchOptions options;
+  options.pool = pool;
+  return BatchEvaluator(*this, options).Tkaq(queries, tau, stats);
+}
+
+std::vector<double> DynamicEngine::EkaqBatch(const data::Matrix& queries,
+                                             double eps,
+                                             util::ThreadPool* pool,
+                                             EvalStats* stats) const {
+  BatchOptions options;
+  options.pool = pool;
+  return BatchEvaluator(*this, options).Ekaq(queries, eps, stats);
+}
+
+std::vector<double> DynamicEngine::ExactBatch(const data::Matrix& queries,
+                                              util::ThreadPool* pool,
+                                              EvalStats* stats) const {
+  BatchOptions options;
+  options.pool = pool;
+  return BatchEvaluator(*this, options).Exact(queries, stats);
+}
+
+}  // namespace karl::core
+
+namespace karl {
+
+std::vector<uint8_t> Engine::TkaqBatch(const data::Matrix& queries,
+                                       double tau, util::ThreadPool* pool,
+                                       core::EvalStats* stats) const {
+  core::BatchOptions options;
+  options.pool = pool;
+  return core::BatchEvaluator(*this, options).Tkaq(queries, tau, stats);
+}
+
+std::vector<double> Engine::EkaqBatch(const data::Matrix& queries, double eps,
+                                      util::ThreadPool* pool,
+                                      core::EvalStats* stats) const {
+  core::BatchOptions options;
+  options.pool = pool;
+  return core::BatchEvaluator(*this, options).Ekaq(queries, eps, stats);
+}
+
+std::vector<double> Engine::ExactBatch(const data::Matrix& queries,
+                                       util::ThreadPool* pool,
+                                       core::EvalStats* stats) const {
+  core::BatchOptions options;
+  options.pool = pool;
+  return core::BatchEvaluator(*this, options).Exact(queries, stats);
+}
+
+}  // namespace karl

@@ -1,0 +1,99 @@
+// Parallel batch-query execution over a shared engine.
+//
+// KARL's per-query refinement (paper §V) is embarrassingly parallel
+// across query points: a built Engine (and the const query surface of
+// DynamicEngine) is immutable, so a batch of queries fans out across a
+// work-stealing thread pool with zero coordination on the hot path.
+//
+// Determinism contract: each query runs the identical single-threaded
+// refinement it would run in a serial loop, and results are stored by
+// query index — so batch output is bit-identical to the serial loop for
+// every thread count and chunk size.
+//
+// Stats & telemetry: each executor accumulates work counters into its
+// own slot-local EvalStats and the slots are summed once per batch into
+// the caller's EvalStats. Fanning one caller-supplied EvalStats pointer
+// across workers instead would be a data race (plain size_t increments;
+// TSan flags it) — the slot-local merge is the supported pattern, and
+// batch_evaluator_test pins it under TSan. Batch-level metrics
+// (karl_batch_*) land in the engine's registry once per batch, never per
+// query.
+
+#ifndef KARL_CORE_BATCH_H_
+#define KARL_CORE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamic_engine.h"
+#include "core/karl.h"
+
+namespace karl::util {
+class ThreadPool;
+}  // namespace karl::util
+
+namespace karl::core {
+
+/// How a batch is scheduled.
+struct BatchOptions {
+  /// Pool to fan queries across; null runs the batch serially on the
+  /// calling thread (still through the same code path, so serial and
+  /// parallel results are directly comparable). Non-owning.
+  util::ThreadPool* pool = nullptr;
+  /// Queries per dynamically-scheduled chunk; 0 picks ~8 chunks per
+  /// executor. Chunking only affects scheduling, never results.
+  size_t chunk = 0;
+};
+
+/// Batch-query front end over one engine. Cheap to construct (resolves
+/// telemetry handles once); the engine must outlive it. Safe to use from
+/// one thread at a time; the engine itself may be shared by any number
+/// of BatchEvaluators.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const Engine& engine,
+                          const BatchOptions& options = {});
+  explicit BatchEvaluator(const DynamicEngine& engine,
+                          const BatchOptions& options = {});
+
+  /// TKAQ per row of `queries`: out[i] = (F(q_i) > tau). uint8_t instead
+  /// of bool so rows can be written concurrently (std::vector<bool> bits
+  /// share bytes — a data race under concurrent writers).
+  std::vector<uint8_t> Tkaq(const data::Matrix& queries, double tau,
+                            EvalStats* stats = nullptr) const;
+
+  /// eKAQ per row: out[i] = F̂(q_i) within relative error eps
+  /// (Type I/II weighting only, as in the serial API).
+  std::vector<double> Ekaq(const data::Matrix& queries, double eps,
+                           EvalStats* stats = nullptr) const;
+
+  /// Exact F(q_i) per row by full scan.
+  std::vector<double> Exact(const data::Matrix& queries,
+                            EvalStats* stats = nullptr) const;
+
+ private:
+  // Shared fan-out skeleton: runs `per_query(q, slot_stats)` for every
+  // row, writing by index; merges slot stats; records batch metrics.
+  template <typename T, typename PerQuery>
+  std::vector<T> Run(const data::Matrix& queries, EvalStats* stats,
+                     const PerQuery& per_query) const;
+
+  // Batch-level metric handles; null when the engine has no registry.
+  struct Instruments {
+    telemetry::Counter* batches = nullptr;
+    telemetry::Counter* queries = nullptr;
+    telemetry::Histogram* batch_usec = nullptr;
+    telemetry::Gauge* executors = nullptr;
+  };
+
+  void ResolveInstruments(telemetry::Registry* registry);
+
+  const Engine* engine_ = nullptr;          // Exactly one of these two
+  const DynamicEngine* dynamic_ = nullptr;  // is non-null.
+  BatchOptions options_;
+  Instruments instruments_;
+};
+
+}  // namespace karl::core
+
+#endif  // KARL_CORE_BATCH_H_

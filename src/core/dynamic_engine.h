@@ -12,6 +12,7 @@
 #ifndef KARL_CORE_DYNAMIC_ENGINE_H_
 #define KARL_CORE_DYNAMIC_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -19,12 +20,23 @@
 #include "core/karl.h"
 #include "util/status.h"
 
+namespace karl::util {
+class ThreadPool;
+}  // namespace karl::util
+
 namespace karl::core {
 
 /// Stable identifier of an inserted point.
 using PointId = uint64_t;
 
 /// Mutable engine over a weighted point multiset.
+///
+/// Thread safety: the const query methods (Tkaq/Ekaq/Exact and their
+/// *Batch forms) only read, so any number of threads may query
+/// concurrently — but Insert/Remove mutate the snapshot and delta state
+/// and require exclusive access (no queries in flight). As with Engine,
+/// one EvalStats object must not be shared across concurrent callers;
+/// the *Batch methods merge per-worker accumulators instead.
 class DynamicEngine {
  public:
   struct Options {
@@ -66,6 +78,26 @@ class DynamicEngine {
 
   /// Exact F(q) over the current multiset.
   double Exact(std::span<const double> q, EvalStats* stats = nullptr) const;
+
+  /// Batch TKAQ over every row of `queries`, fanned across `pool` (null
+  /// runs serially); bit-identical to the serial loop for any thread
+  /// count. See core::BatchEvaluator (core/batch.h).
+  std::vector<uint8_t> TkaqBatch(const data::Matrix& queries, double tau,
+                                 util::ThreadPool* pool = nullptr,
+                                 EvalStats* stats = nullptr) const;
+
+  /// Batch eKAQ over the current multiset.
+  std::vector<double> EkaqBatch(const data::Matrix& queries, double eps,
+                                util::ThreadPool* pool = nullptr,
+                                EvalStats* stats = nullptr) const;
+
+  /// Batch exact aggregation over the current multiset.
+  std::vector<double> ExactBatch(const data::Matrix& queries,
+                                 util::ThreadPool* pool = nullptr,
+                                 EvalStats* stats = nullptr) const;
+
+  /// Options the engine was created with.
+  const Options& options() const { return options_; }
 
   /// Number of live points.
   size_t size() const { return live_count_; }

@@ -15,14 +15,20 @@
 #ifndef KARL_CORE_KARL_H_
 #define KARL_CORE_KARL_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "core/kernel.h"
 #include "index/tree_index.h"
 #include "util/status.h"
+
+namespace karl::util {
+class ThreadPool;
+}  // namespace karl::util
 
 namespace karl {
 
@@ -68,6 +74,13 @@ struct EngineOptions {
 
 /// A built kernel-aggregation engine: indexes + evaluator over one
 /// weighted dataset.
+///
+/// Thread safety: an Engine is immutable after Build, and every const
+/// query method (Tkaq/Ekaq/Exact and their *Batch forms) is safe to call
+/// concurrently from any number of threads. Concurrent callers must not
+/// share one EvalStats object across threads (its counters are plain
+/// integers); the *Batch methods handle this with per-worker
+/// accumulators merged once per batch.
 class Engine {
  public:
   /// Builds indexes over `points` with per-point `weights` (any weighting
@@ -102,6 +115,25 @@ class Engine {
                core::EvalStats* stats = nullptr) const {
     return evaluator_->QueryExact(q, stats);
   }
+
+  /// Batch TKAQ over every row of `queries`, fanned across `pool`
+  /// (null runs serially): out[i] = (F(q_i) > tau). Results are
+  /// bit-identical to the serial loop for any thread count; see
+  /// core::BatchEvaluator (core/batch.h) for chunk control and the
+  /// determinism/stats contract.
+  std::vector<uint8_t> TkaqBatch(const data::Matrix& queries, double tau,
+                                 util::ThreadPool* pool = nullptr,
+                                 core::EvalStats* stats = nullptr) const;
+
+  /// Batch eKAQ: out[i] = F̂(q_i) within relative error eps.
+  std::vector<double> EkaqBatch(const data::Matrix& queries, double eps,
+                                util::ThreadPool* pool = nullptr,
+                                core::EvalStats* stats = nullptr) const;
+
+  /// Batch exact aggregation by full scan per query.
+  std::vector<double> ExactBatch(const data::Matrix& queries,
+                                 util::ThreadPool* pool = nullptr,
+                                 core::EvalStats* stats = nullptr) const;
 
   /// The detected weighting type.
   WeightingType weighting_type() const { return weighting_type_; }

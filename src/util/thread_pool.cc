@@ -1,0 +1,172 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/check.h"
+
+namespace karl::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t count = std::max<size_t>(1, num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+  KARL_DCHECK(pending_.load(std::memory_order_relaxed) == 0)
+      << ": thread pool destroyed with undrained tasks";
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  KARL_DCHECK(task != nullptr) << ": null task submitted to thread pool";
+  const size_t queue =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    const std::lock_guard<std::mutex> lock(workers_[queue]->mu);
+    workers_[queue]->tasks.push_back(std::move(task));
+  }
+  {
+    // Increment under wake_mu_ so it cannot slip between a worker's
+    // sleep-predicate check and its wait (lost wakeup).
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::NextTask(size_t self) {
+  // Own deque first, newest task first: the task most likely still warm
+  // in this core's cache.
+  {
+    Worker& own = *workers_[self];
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  // Steal oldest-first from siblings, starting after self so victims
+  // rotate instead of piling onto worker 0.
+  for (size_t i = 1; i < workers_.size(); ++i) {
+    Worker& victim = *workers_[(self + i) % workers_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (std::function<void()> task = NextTask(self); task != nullptr) {
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+    wake_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+    // Either shutdown began with tasks still queued (drain them) or new
+    // work arrived; loop back and scan the deques again.
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t chunk, const LoopBody& body) {
+  if (n == 0) return;
+  const size_t executors = num_threads() + 1;  // Workers + calling thread.
+  if (chunk == 0) {
+    chunk = std::max<size_t>(1, n / (executors * 8));
+  }
+
+  // Heap-shared loop state: a dispatched helper task may not get CPU
+  // time until after this call returned (see the wait below), so the
+  // cursor, the body copy, and the bookkeeping must outlive the caller's
+  // stack frame. The shared_ptr held by each helper keeps it alive.
+  struct LoopState {
+    LoopState(size_t n, size_t chunk, const LoopBody& body)
+        : n(n), chunk(chunk), body(body) {}
+
+    const size_t n;
+    const size_t chunk;
+    const LoopBody body;  // Owned copy; helpers may outlive the caller's.
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t active = 0;         // Helpers inside RunSlot. Guarded by mu.
+    std::exception_ptr error;  // Guarded by mu; first one wins.
+
+    void RunSlot(size_t slot) {
+      try {
+        for (size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+             begin < n;
+             begin = next.fetch_add(chunk, std::memory_order_relaxed)) {
+          body(begin, std::min(begin + chunk, n), slot);
+        }
+      } catch (...) {
+        // Cancel the remaining chunks (best effort) and record the
+        // first exception for the caller to rethrow.
+        next.store(n, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(mu);
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+  };
+  auto state = std::make_shared<LoopState>(n, chunk, body);
+
+  // One loop task per worker, at most one per chunk beyond the caller's.
+  const size_t chunks = (n + chunk - 1) / chunk;
+  const size_t helpers = std::min(num_threads(), chunks - 1);
+  for (size_t slot = 1; slot <= helpers; ++slot) {
+    Submit([state, slot] {
+      {
+        const std::lock_guard<std::mutex> lock(state->mu);
+        ++state->active;
+      }
+      state->RunSlot(slot);
+      const std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->active == 0) state->done_cv.notify_all();
+    });
+  }
+
+  state->RunSlot(0);
+
+  // The caller returning from RunSlot(0) means the cursor is exhausted,
+  // so every chunk was claimed by the caller or by a *started* helper.
+  // Wait only for those started helpers: a helper still sitting in a
+  // queue can never claim a chunk and simply no-ops whenever a worker
+  // eventually runs it (possibly after this call returned). Waiting on
+  // never-started helpers would deadlock nested ParallelFor calls —
+  // with every worker blocked in an outer body's inner wait, queued
+  // inner helpers would never get a thread.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->active == 0; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
+}
+
+}  // namespace karl::util

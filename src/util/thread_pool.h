@@ -1,0 +1,99 @@
+// Work-stealing thread pool for batch-parallel query execution.
+//
+// A fixed set of worker threads each own a deque of tasks: a worker pops
+// its own deque LIFO (cache-warm), and when empty steals FIFO from a
+// sibling (oldest task first, minimising contention with the victim's
+// own LIFO end). External submissions are distributed round-robin.
+//
+// Scheduling model for data-parallel loops: ParallelFor splits [0, n)
+// into chunks handed out dynamically from a shared cursor (chunked
+// dynamic scheduling), so uneven per-item cost — the norm for KARL
+// queries, where refinement work varies per query point — still load-
+// balances. The calling thread participates as slot 0, which guarantees
+// forward progress even when every worker is busy (and makes nested
+// ParallelFor calls from inside a task deadlock-free).
+//
+// Shutdown is cooperative and draining: the destructor wakes every
+// worker, lets them finish all queued tasks (including tasks enqueued by
+// running tasks), then joins. Submitting from outside the pool after the
+// destructor has begun is undefined.
+//
+// Exceptions thrown by a ParallelFor body are caught, the remaining
+// chunks are cancelled (best effort), and the first exception is
+// rethrown on the calling thread once every dispatched task has
+// finished. Fire-and-forget Submit tasks must not throw.
+
+#ifndef KARL_UTIL_THREAD_POOL_H_
+#define KARL_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace karl::util {
+
+/// Fixed-size work-stealing thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains every queued task, then joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads (excluding callers participating in
+  /// ParallelFor).
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), or 1 when unknown.
+  static size_t DefaultThreadCount();
+
+  /// Enqueues a fire-and-forget task. The task must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Loop body for ParallelFor: processes [begin, end). `slot` is a
+  /// stable per-executor index in [0, num_threads()] — one executor runs
+  /// exactly one slot for the whole call, so slot-indexed accumulators
+  /// need no synchronisation.
+  using LoopBody = std::function<void(size_t begin, size_t end, size_t slot)>;
+
+  /// Runs body over [0, n) split into chunks of `chunk` iterations
+  /// (0 = automatic: ~8 chunks per executor), handed out dynamically.
+  /// The calling thread executes slot 0; up to num_threads() workers
+  /// take the remaining slots. Blocks until every chunk completed or was
+  /// cancelled by a thrown exception, which is rethrown here.
+  void ParallelFor(size_t n, size_t chunk, const LoopBody& body);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Pops from the worker's own deque (LIFO) or steals from a sibling
+  // (FIFO). Returns an empty function when every deque is empty.
+  std::function<void()> NextTask(size_t self);
+
+  void WorkerLoop(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<size_t> next_queue_{0};  // Round-robin submission cursor.
+  std::atomic<size_t> pending_{0};     // Tasks enqueued, not yet popped.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;  // Guarded by wake_mu_.
+};
+
+}  // namespace karl::util
+
+#endif  // KARL_UTIL_THREAD_POOL_H_

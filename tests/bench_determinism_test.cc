@@ -1,0 +1,90 @@
+// Bench fixture determinism guard: the workload generators in
+// bench_common must be seed-stable — two generations of the same
+// workload in one process (and across processes, since every seed is
+// derived from the dataset name) produce byte-identical points, weights
+// and queries. The batch-scaling benchmark compares --threads=1 vs
+// --threads=N throughput on "the same" workload; this test is what
+// makes that comparison meaningful.
+
+#include "bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace karl::bench {
+namespace {
+
+// BenchScale()/BenchQueries() cache their environment variables in
+// static locals on first call, so the override must be installed before
+// any test (or gtest infrastructure) touches them. A file-scope
+// initializer runs early enough; 0.02 keeps the scaled datasets at the
+// max(1000, n*scale) floor so the test stays fast.
+const bool kEnvReady = [] {
+  setenv("KARL_BENCH_SCALE", "0.02", /*overwrite=*/1);
+  setenv("KARL_BENCH_QUERIES", "20", /*overwrite=*/1);
+  return true;
+}();
+
+void ExpectWorkloadsIdentical(const Workload& a, const Workload& b) {
+  ASSERT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.weighting_type, b.weighting_type);
+  // Byte-for-byte: == on doubles, no tolerance anywhere.
+  ASSERT_EQ(a.points.rows(), b.points.rows());
+  ASSERT_EQ(a.points.cols(), b.points.cols());
+  EXPECT_EQ(a.points.values(), b.points.values());
+  EXPECT_EQ(a.weights, b.weights);
+  ASSERT_EQ(a.queries.rows(), b.queries.rows());
+  EXPECT_EQ(a.queries.values(), b.queries.values());
+  EXPECT_EQ(a.tau, b.tau);
+  EXPECT_EQ(a.mu, b.mu);
+  EXPECT_EQ(a.sigma, b.sigma);
+  EXPECT_EQ(a.kernel.gamma, b.kernel.gamma);
+  EXPECT_EQ(a.kernel.beta, b.kernel.beta);
+  EXPECT_EQ(a.kernel.degree, b.kernel.degree);
+}
+
+TEST(BenchDeterminismTest, EnvOverridesAreActive) {
+  ASSERT_TRUE(kEnvReady);
+  EXPECT_EQ(BenchScale(), 0.02);
+  EXPECT_EQ(BenchQueries(), 20u);
+}
+
+TEST(BenchDeterminismTest, TypeIWorkloadIsSeedStable) {
+  const Workload a = MakeTypeIWorkload("home", BenchQueries());
+  const Workload b = MakeTypeIWorkload("home", BenchQueries());
+  ExpectWorkloadsIdentical(a, b);
+  EXPECT_EQ(a.weighting_type, 1);
+}
+
+TEST(BenchDeterminismTest, TypeIIWorkloadIsSeedStable) {
+  const Workload a = MakeTypeIIWorkload("nsl-kdd", BenchQueries());
+  const Workload b = MakeTypeIIWorkload("nsl-kdd", BenchQueries());
+  ExpectWorkloadsIdentical(a, b);
+  EXPECT_EQ(a.weighting_type, 2);
+}
+
+TEST(BenchDeterminismTest, TypeIIIWorkloadIsSeedStable) {
+  const Workload a = MakeTypeIIIWorkload("ijcnn1", BenchQueries());
+  const Workload b = MakeTypeIIIWorkload("ijcnn1", BenchQueries());
+  ExpectWorkloadsIdentical(a, b);
+  EXPECT_EQ(a.weighting_type, 3);
+}
+
+TEST(BenchDeterminismTest, PolynomialWorkloadIsSeedStable) {
+  const Workload a = MakePolynomialWorkload("ijcnn1", 2, BenchQueries());
+  const Workload b = MakePolynomialWorkload("ijcnn1", 2, BenchQueries());
+  ExpectWorkloadsIdentical(a, b);
+}
+
+TEST(BenchDeterminismTest, DistinctDatasetsGetDistinctSeeds) {
+  // The FNV name-seeding must actually differentiate datasets —
+  // identical fixtures across datasets would silently invalidate every
+  // cross-dataset table.
+  const Workload a = MakeTypeIWorkload("home", BenchQueries());
+  const Workload b = MakeTypeIWorkload("susy", BenchQueries());
+  EXPECT_NE(a.points.values(), b.points.values());
+}
+
+}  // namespace
+}  // namespace karl::bench

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/bounds.h"
 #include "core/evaluator.h"
 #include "core/karl.h"
@@ -24,6 +25,7 @@
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace karl {
 namespace {
@@ -334,6 +336,101 @@ TEST(LinearBoundProperty, RandomIntervalsSandwichProfiles) {
       ASSERT_GE(upper.At(x), f - tol)
           << core::KernelTypeToString(k.type) << " deg=" << k.degree
           << " [" << lo << "," << hi << "] x=" << x;
+    }
+  }
+}
+
+// P6: randomised batch cross-check. Fuzzes (kernel, γ/β/degree, τ or ε,
+// thread count) and verifies the *parallel batch* answers against
+// brute-force exact aggregation: TkaqBatch == (exact > τ) outside the
+// refinement noise floor, EkaqBatch within (1±ε), and ExactBatch equal
+// to brute force up to accumulation-order tolerance. This closes the
+// loop the deterministic suites can't: batch correctness on parameter
+// combinations nobody hand-picked.
+TEST(BatchQueryProperty, RandomisedBatchMatchesBruteForce) {
+  util::Rng rng(20260806);
+  for (int trial = 0; trial < 9; ++trial) {
+    const size_t d = 2 + static_cast<size_t>(rng.Uniform(0.0, 4.0));
+    const size_t n = 120 + static_cast<size_t>(rng.Uniform(0.0, 180.0));
+    const data::Matrix pts = data::SampleClustered(n, d, 3, 0.08, rng);
+
+    // Random kernel with random parameters.
+    KernelParams kernel;
+    switch (trial % 4) {
+      case 0:
+        kernel = KernelParams::Gaussian(rng.Uniform(0.5, 10.0));
+        break;
+      case 1:
+        kernel = KernelParams::Laplacian(rng.Uniform(0.5, 6.0));
+        break;
+      case 2:
+        kernel = KernelParams::Polynomial(
+            rng.Uniform(0.1, 1.0), rng.Uniform(-0.2, 0.2),
+            2 + static_cast<int>(rng.Uniform(0.0, 3.0)));
+        break;
+      default:
+        kernel = KernelParams::Sigmoid(rng.Uniform(0.05, 0.5),
+                                       rng.Uniform(-0.1, 0.1));
+        break;
+    }
+
+    // Random weighting type.
+    const int weighting = 1 + static_cast<int>(rng.Uniform(0.0, 3.0));
+    std::vector<double> weights(n);
+    for (auto& w : weights) {
+      w = weighting == 1   ? 0.7
+          : weighting == 2 ? rng.Uniform(0.05, 1.5)
+                           : rng.Uniform(-1.0, 1.0);
+      if (w == 0.0) w = 0.5;
+    }
+
+    EngineOptions options;
+    options.kernel = kernel;
+    auto engine = Engine::Build(pts, weights, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    data::Matrix queries(12, d);
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      for (double& v : queries.MutableRow(i)) v = rng.Uniform(-0.1, 1.1);
+    }
+    std::vector<double> exact(queries.rows());
+    for (size_t i = 0; i < queries.rows(); ++i) {
+      exact[i] =
+          core::ExactAggregate(pts, weights, kernel, queries.Row(i));
+    }
+
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      util::ThreadPool pool(threads);
+
+      // Random τ around the exact values of this batch.
+      const double tau = exact[static_cast<size_t>(
+                             rng.Uniform(0.0, 11.99))] *
+                         rng.Uniform(0.6, 1.4);
+      const auto tkaq = engine.value().TkaqBatch(queries, tau, &pool);
+      for (size_t i = 0; i < queries.rows(); ++i) {
+        const double noise_floor = 1e-12 * (1.0 + std::abs(exact[i]));
+        if (std::abs(exact[i] - tau) <= noise_floor) continue;
+        EXPECT_EQ(tkaq[i] != 0, exact[i] > tau)
+            << "trial=" << trial << " threads=" << threads << " i=" << i
+            << " tau=" << tau << " exact=" << exact[i];
+      }
+
+      const auto brute = engine.value().ExactBatch(queries, &pool);
+      for (size_t i = 0; i < queries.rows(); ++i) {
+        EXPECT_NEAR(brute[i], exact[i], 1e-9 * (1.0 + std::abs(exact[i])))
+            << "trial=" << trial << " threads=" << threads << " i=" << i;
+      }
+
+      if (weighting != 3) {
+        const double eps = rng.Uniform(0.05, 0.4);
+        const auto ekaq = engine.value().EkaqBatch(queries, eps, &pool);
+        for (size_t i = 0; i < queries.rows(); ++i) {
+          EXPECT_LE(std::abs(ekaq[i] - exact[i]),
+                    eps * std::abs(exact[i]) + 1e-10)
+              << "trial=" << trial << " threads=" << threads << " i=" << i
+              << " eps=" << eps;
+        }
+      }
     }
   }
 }

@@ -10,13 +10,17 @@
 //       Builds an engine model from data (libsvm labels become weights)
 //       and saves it.
 //   query     --model <model.bin> --queries <file.csv>
-//             (--tau T | --eps E) [--limit N]
+//             (--tau T | --eps E) [--limit N] [--threads N]
 //             [--metrics-out <file[.json]>] [--trace-out <file.json>]
 //       Runs TKAQ or eKAQ over every query row; prints results,
 //       throughput, and a per-query latency histogram summary.
-//       --metrics-out dumps the telemetry registry (JSON when the path
-//       ends in .json, Prometheus text otherwise); --trace-out writes a
-//       Chrome trace-event JSON loadable in Perfetto.
+//       --threads > 1 fans the queries across a worker pool via the
+//       batch engine — output is bit-identical to the serial loop, in
+//       the same order (per-query latency lines are then omitted; the
+//       batch has no per-query timings). --metrics-out dumps the
+//       telemetry registry (JSON when the path ends in .json,
+//       Prometheus text otherwise); --trace-out writes a Chrome
+//       trace-event JSON loadable in Perfetto.
 //   tune      --model <model.bin> --queries <file.csv> (--tau T | --eps E)
 //       Offline-tunes the index configuration and reports the grid.
 //
@@ -25,6 +29,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/batch.h"
 #include "core/engine_io.h"
 #include "core/tuning.h"
 #include "data/csv_io.h"
@@ -35,6 +40,7 @@
 #include "telemetry/trace.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -213,27 +219,56 @@ int RunQuery(const ParsedArgs& args) {
   const size_t count =
       std::min<size_t>(queries.value().rows(),
                        static_cast<size_t>(std::max<int64_t>(0, limit.value())));
+  const auto threads_flag = args.GetInt("threads", 1);
+  if (!threads_flag.ok()) return Fail(threads_flag.status().ToString());
+  const size_t threads =
+      static_cast<size_t>(std::max<int64_t>(1, threads_flag.value()));
 
   karl::telemetry::Histogram latency;
   karl::util::Stopwatch timer;
-  karl::util::Stopwatch query_timer;
-  for (size_t i = 0; i < count; ++i) {
-    const auto q = queries.value().Row(i);
+  if (threads > 1) {
+    // Batch path: fan the query block across a worker pool. Results are
+    // bit-identical to the serial loop below and printed in the same
+    // index order.
+    karl::data::Matrix block = std::move(queries).ValueOrDie();
+    if (count < block.rows()) {
+      std::vector<size_t> head(count);
+      for (size_t i = 0; i < count; ++i) head[i] = i;
+      block = block.SelectRows(head);
+    }
+    karl::util::ThreadPool pool(threads);
     if (threshold_mode) {
-      query_timer.Restart();
-      const bool above = engine.value().Tkaq(q, tau.value());
-      latency.Record(query_timer.ElapsedSeconds() * 1e6);
-      std::printf("%zu\t%s\n", i, above ? "above" : "below");
+      const auto out = engine.value().TkaqBatch(block, tau.value(), &pool);
+      for (size_t i = 0; i < out.size(); ++i) {
+        std::printf("%zu\t%s\n", i, out[i] != 0 ? "above" : "below");
+      }
     } else {
-      query_timer.Restart();
-      const double value = engine.value().Ekaq(q, eps.value());
-      latency.Record(query_timer.ElapsedSeconds() * 1e6);
-      std::printf("%zu\t%.12g\n", i, value);
+      const auto out = engine.value().EkaqBatch(block, eps.value(), &pool);
+      for (size_t i = 0; i < out.size(); ++i) {
+        std::printf("%zu\t%.12g\n", i, out[i]);
+      }
+    }
+  } else {
+    karl::util::Stopwatch query_timer;
+    for (size_t i = 0; i < count; ++i) {
+      const auto q = queries.value().Row(i);
+      if (threshold_mode) {
+        query_timer.Restart();
+        const bool above = engine.value().Tkaq(q, tau.value());
+        latency.Record(query_timer.ElapsedSeconds() * 1e6);
+        std::printf("%zu\t%s\n", i, above ? "above" : "below");
+      } else {
+        query_timer.Restart();
+        const double value = engine.value().Ekaq(q, eps.value());
+        latency.Record(query_timer.ElapsedSeconds() * 1e6);
+        std::printf("%zu\t%.12g\n", i, value);
+      }
     }
   }
   const double elapsed = timer.ElapsedSeconds();
-  std::fprintf(stderr, "%zu queries in %.3fs (%.0f q/s)\n", count, elapsed,
-               count / std::max(elapsed, 1e-9));
+  std::fprintf(stderr, "%zu queries in %.3fs (%.0f q/s, %zu thread%s)\n",
+               count, elapsed, count / std::max(elapsed, 1e-9), threads,
+               threads == 1 ? "" : "s");
   const auto h = latency.Snapshot();
   if (h.count > 0) {
     std::fprintf(stderr,
