@@ -1,0 +1,210 @@
+#include "server/coalescer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "util/stopwatch.h"
+
+namespace karl::server {
+
+Coalescer::Coalescer(const Engine& engine, util::ThreadPool* pool,
+                     size_t max_pending_rows, CompletionSink sink,
+                     telemetry::Registry* metrics)
+    : engine_(engine),
+      evaluator_(engine, core::BatchOptions{pool, 0}),
+      sink_(std::move(sink)),
+      max_pending_rows_(max_pending_rows) {
+  if (metrics != nullptr) {
+    groups_total_ = metrics->GetCounter("karl_server_batches_total");
+    queries_total_ = metrics->GetCounter("karl_server_queries_total");
+    group_rows_ = metrics->GetHistogram("karl_server_coalesced_rows");
+    group_usec_ = metrics->GetHistogram("karl_server_batch_usec");
+    pending_gauge_ = metrics->GetGauge("karl_server_pending_rows");
+  }
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Coalescer::~Coalescer() {
+  BeginDrain();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+bool Coalescer::Enqueue(WorkItem item) {
+  const size_t rows = item.queries.rows();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return false;
+    if (queued_rows_ + rows > max_pending_rows_) return false;
+    queued_rows_ += rows;
+    if (pending_gauge_ != nullptr) {
+      pending_gauge_->Set(static_cast<double>(queued_rows_));
+    }
+    queue_.push_back(std::move(item));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void Coalescer::BeginDrain() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    paused_ = false;  // A paused coalescer must still drain.
+  }
+  work_cv_.notify_all();
+}
+
+bool Coalescer::Idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && !in_flight_;
+}
+
+size_t Coalescer::pending_rows() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queued_rows_;
+}
+
+void Coalescer::Pause() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Coalescer::Resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void Coalescer::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+
+    // Pop the oldest item; when it is a single query, sweep every other
+    // queued single with the same (kind, param) into the group, in
+    // arrival order. Different-parameter items stay queued for a later
+    // group of their own.
+    std::vector<WorkItem> group;
+    group.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    size_t rows = group.front().queries.rows();
+    if (!group.front().is_batch) {
+      const QueryKind kind = group.front().kind;
+      const double param = group.front().param;
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (!it->is_batch && it->kind == kind && it->param == param) {
+          rows += it->queries.rows();
+          group.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    queued_rows_ -= rows;
+    if (pending_gauge_ != nullptr) {
+      pending_gauge_->Set(static_cast<double>(queued_rows_));
+    }
+    in_flight_ = true;
+
+    lock.unlock();
+    RunGroup(std::move(group));
+    lock.lock();
+
+    in_flight_ = false;
+  }
+}
+
+void Coalescer::RunGroup(std::vector<WorkItem> group) {
+  const QueryKind kind = group.front().kind;
+  const double param = group.front().param;
+
+  // One matrix for the whole group; item i owns rows [offset_i,
+  // offset_i + rows_i).
+  size_t total_rows = 0;
+  for (const WorkItem& item : group) total_rows += item.queries.rows();
+  const data::Matrix* queries = &group.front().queries;
+  data::Matrix merged;
+  if (group.size() > 1) {
+    const size_t cols = group.front().queries.cols();
+    merged = data::Matrix(total_rows, cols);
+    size_t row = 0;
+    for (const WorkItem& item : group) {
+      for (size_t r = 0; r < item.queries.rows(); ++r, ++row) {
+        std::span<double> dst = merged.MutableRow(row);
+        std::span<const double> src = item.queries.Row(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    queries = &merged;
+  }
+
+  util::Stopwatch timer;
+  std::vector<uint8_t> bools;
+  std::vector<double> values;
+  switch (kind) {
+    case QueryKind::kTkaq:
+      bools = evaluator_.Tkaq(*queries, param);
+      break;
+    case QueryKind::kEkaq:
+      values = evaluator_.Ekaq(*queries, param);
+      break;
+    case QueryKind::kExact:
+      values = evaluator_.Exact(*queries);
+      break;
+  }
+  const double usec = timer.ElapsedSeconds() * 1e6;
+  if (groups_total_ != nullptr) {
+    groups_total_->Increment();
+    queries_total_->Add(total_rows);
+    group_rows_->Record(static_cast<double>(total_rows));
+    group_usec_->Record(usec);
+  }
+
+  // Slice results back out per item, preserving per-request identity.
+  std::vector<Completion> completions;
+  completions.reserve(group.size());
+  size_t offset = 0;
+  for (const WorkItem& item : group) {
+    const size_t rows = item.queries.rows();
+    std::string response;
+    if (item.is_batch) {
+      if (kind == QueryKind::kTkaq) {
+        response = OkBoolsResponse(
+            item.request_id,
+            {bools.begin() + static_cast<ptrdiff_t>(offset),
+             bools.begin() + static_cast<ptrdiff_t>(offset + rows)});
+      } else {
+        response = OkValuesResponse(
+            item.request_id,
+            {values.begin() + static_cast<ptrdiff_t>(offset),
+             values.begin() + static_cast<ptrdiff_t>(offset + rows)});
+      }
+    } else {
+      if (kind == QueryKind::kTkaq) {
+        response = OkBoolResponse(item.request_id, bools[offset] != 0);
+      } else {
+        response = OkValueResponse(item.request_id, values[offset]);
+      }
+    }
+    completions.push_back({item.conn_id, std::move(response)});
+    offset += rows;
+  }
+  sink_(std::move(completions));
+}
+
+}  // namespace karl::server

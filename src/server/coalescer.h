@@ -1,0 +1,138 @@
+// Batch coalescer: the bridge between the server's event loop and the
+// evaluation threads.
+//
+// The event loop enqueues WorkItems (one per query/batch request) into
+// a bounded queue; a dedicated dispatcher thread drains it. Each drain
+// gathers every queued *single* query with the same (kind, parameter)
+// into one core::BatchEvaluator call fanned across the work-stealing
+// ThreadPool — so a flood of concurrent single-query clients is served
+// with batch efficiency while each response keeps its per-request
+// identity (connection + echoed id). Explicit batch requests dispatch
+// as their own evaluator call. While one group runs, newly arriving
+// queries accumulate and form the next group: coalescing emerges from
+// backpressure rather than from a timer, adding no idle latency.
+//
+// Admission control: the queue is bounded by total queued query *rows*
+// (the actual memory bound). Enqueue refuses instead of buffering
+// without limit; the server turns a refusal into an explicit
+// `overloaded` response. A single batch larger than the cap is always
+// refused — size --max-pending to the largest batch you accept.
+//
+// Determinism: BatchEvaluator answers are bit-identical to the serial
+// Engine loop (see core/batch.h), so coalescing is invisible to
+// clients beyond latency.
+
+#ifndef KARL_SERVER_COALESCER_H_
+#define KARL_SERVER_COALESCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "server/protocol.h"
+
+namespace karl::server {
+
+/// One admitted evaluation request.
+struct WorkItem {
+  /// Connection the response belongs to (server-assigned).
+  uint64_t conn_id = 0;
+  /// Client correlation token, echoed on the response ("" = none).
+  std::string request_id;
+  QueryKind kind = QueryKind::kTkaq;
+  /// tau or eps; 0 for exact.
+  double param = 0.0;
+  /// True for an op=batch request (responds with an array; never merged
+  /// with other items).
+  bool is_batch = false;
+  data::Matrix queries;
+};
+
+/// A finished response addressed back to a connection.
+struct Completion {
+  uint64_t conn_id = 0;
+  /// Fully formatted newline-terminated response line.
+  std::string response;
+};
+
+/// See file comment. Construction spawns the dispatcher thread;
+/// destruction drains the queue and joins. The engine and pool must
+/// outlive the coalescer.
+class Coalescer {
+ public:
+  /// Called on the dispatcher thread with every completion of one
+  /// dispatched group; must be thread-safe and must not block on the
+  /// dispatcher (the server's sink appends to a mutex-guarded vector
+  /// and signals an eventfd).
+  using CompletionSink = std::function<void(std::vector<Completion>)>;
+
+  Coalescer(const Engine& engine, util::ThreadPool* pool,
+            size_t max_pending_rows, CompletionSink sink,
+            telemetry::Registry* metrics);
+  ~Coalescer();
+
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  /// Admits `item` unless the queue is full (by rows) or draining.
+  /// Returns false to shed; the caller owns the refusal response.
+  bool Enqueue(WorkItem item);
+
+  /// Stops admission; already queued items still complete. Idempotent.
+  void BeginDrain();
+
+  /// True when the queue is empty and no group is being evaluated —
+  /// i.e. every completion this coalescer will ever emit has been
+  /// handed to the sink. The drain loop polls this.
+  bool Idle() const;
+
+  /// Queued rows not yet dispatched (also exported as the
+  /// karl_server_pending_rows gauge).
+  size_t pending_rows() const;
+
+  /// Freezes/unfreezes dispatch while admission keeps running — lets
+  /// tests (and operators) deterministically build up a coalescable
+  /// backlog. BeginDrain resumes a paused coalescer.
+  void Pause();
+  void Resume();
+
+ private:
+  void DispatchLoop();
+  // Evaluates one group of same-(kind,param) items and emits their
+  // completions. Runs on the dispatcher thread.
+  void RunGroup(std::vector<WorkItem> group);
+
+  const Engine& engine_;
+  core::BatchEvaluator evaluator_;
+  CompletionSink sink_;
+  const size_t max_pending_rows_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Queue/pause/stop transitions.
+  std::deque<WorkItem> queue_;
+  size_t queued_rows_ = 0;  // Sum of queue_ rows. Guarded by mu_.
+  bool in_flight_ = false;  // Dispatcher inside RunGroup. Guarded by mu_.
+  bool paused_ = false;
+  bool draining_ = false;
+  bool stop_ = false;
+
+  // Telemetry (null when no registry): dispatched groups, coalesced
+  // rows per group, evaluation latency, queue level.
+  telemetry::Counter* groups_total_ = nullptr;
+  telemetry::Counter* queries_total_ = nullptr;
+  telemetry::Histogram* group_rows_ = nullptr;
+  telemetry::Histogram* group_usec_ = nullptr;
+  telemetry::Gauge* pending_gauge_ = nullptr;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace karl::server
+
+#endif  // KARL_SERVER_COALESCER_H_

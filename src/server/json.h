@@ -1,0 +1,86 @@
+// Minimal dependency-free JSON value: parse, build, and compact
+// single-line serialization. This backs the server's newline-delimited
+// JSON wire protocol (see server/protocol.h), so it deliberately stays
+// small: doubles only (no 64-bit integer preservation), object members
+// in insertion order (deterministic output), and a parser hardened
+// against malformed and deeply nested input — wire bytes are untrusted.
+//
+// Number fidelity: numbers serialize with %.17g, so a double round-trips
+// bit-exactly through Dump() + Parse(). The server relies on this for
+// its "responses are bit-identical to a local Engine" contract.
+
+#ifndef KARL_SERVER_JSON_H_
+#define KARL_SERVER_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace karl::server {
+
+/// One JSON value: null, bool, number, string, array, or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructs null.
+  Json() = default;
+
+  /// Leaf factories.
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Str(std::string value);
+
+  /// Container factories (empty; fill with Append/Set).
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error.
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<Json>& items() const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Object lookup; nullptr when absent (or not an object). Objects on
+  /// this protocol are tiny, so lookup is a linear scan.
+  const Json* Find(std::string_view key) const;
+
+  /// Appends `value` to an array; returns *this for chaining.
+  Json& Append(Json value);
+
+  /// Sets an object member (replacing an existing key); returns *this.
+  Json& Set(std::string key, Json value);
+
+  /// Compact single-line serialization (no spaces, no trailing newline).
+  /// Strings escape `"`/`\`/control characters, so the output never
+  /// contains a raw newline — safe to frame line-delimited.
+  std::string Dump() const;
+
+  /// Parses exactly one JSON document (trailing garbage rejected).
+  /// Rejects non-finite numbers and nesting deeper than 64 levels.
+  static util::Result<Json> Parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace karl::server
+
+#endif  // KARL_SERVER_JSON_H_

@@ -1,0 +1,82 @@
+// Wire protocol of the KARL query server: newline-delimited JSON, one
+// request object per line, one response object per line.
+//
+// Requests (all fields lowercase):
+//   {"op":"query","kind":"tkaq","q":[...],"tau":T,"id":"a1"}
+//   {"op":"query","kind":"ekaq","q":[...],"eps":E}
+//   {"op":"query","kind":"exact","q":[...]}
+//   {"op":"batch","kind":"ekaq","queries":[[...],[...]],"eps":E}
+//   {"op":"health"}
+//   {"op":"metrics"}
+//
+// Responses always carry "ok". On success:
+//   tkaq:   {"ok":true,"above":true}            (batch: "above":[...])
+//   ekaq /
+//   exact:  {"ok":true,"value":V}               (batch: "values":[...])
+//   health: {"ok":true,"status":"serving"}      (or "draining")
+//   metrics:{"ok":true,"metrics":"<Prometheus text, JSON-escaped>"}
+// On failure: {"ok":false,"error":"<code>","detail":"..."} with codes
+// "bad_request", "overloaded", "shutting_down", "internal".
+// A request "id" (string) is echoed verbatim on its response, so
+// clients that pipeline can match answers to questions; responses to
+// coalesced queries may complete out of request order.
+//
+// Determinism: numbers travel as %.17g text (see server/json.h), so a
+// query round-trips bit-exactly and server answers are bit-identical
+// to calling the local Engine.
+
+#ifndef KARL_SERVER_PROTOCOL_H_
+#define KARL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/matrix.h"
+#include "util/status.h"
+
+namespace karl::server {
+
+/// Which aggregation query a request runs (paper §II problem forms).
+enum class QueryKind { kTkaq, kEkaq, kExact };
+
+/// Wire name of a query kind ("tkaq" / "ekaq" / "exact").
+std::string_view QueryKindToString(QueryKind kind);
+
+/// One parsed request line.
+struct Request {
+  enum class Op { kQuery, kBatch, kHealth, kMetrics };
+
+  Op op = Op::kHealth;
+  QueryKind kind = QueryKind::kTkaq;
+  /// tau for TKAQ, eps for eKAQ; unused for exact.
+  double param = 0.0;
+  /// Query rows: exactly one for op=query, any count for op=batch.
+  data::Matrix queries;
+  /// Optional client-chosen correlation token, echoed on the response.
+  std::string id;
+};
+
+/// Parses one request line. Validates shape and values (finite query
+/// coordinates, finite tau, positive finite eps, rectangular batch);
+/// the caller still checks engine-dependent constraints
+/// (dimensionality, weighting type).
+util::Result<Request> ParseRequest(std::string_view line);
+
+/// Response builders; each returns one newline-terminated JSON line.
+/// `id` is attached when non-empty.
+std::string OkBoolResponse(const std::string& id, bool above);
+std::string OkValueResponse(const std::string& id, double value);
+std::string OkBoolsResponse(const std::string& id,
+                            const std::vector<uint8_t>& above);
+std::string OkValuesResponse(const std::string& id,
+                             const std::vector<double>& values);
+std::string OkStatusResponse(std::string_view status);
+std::string OkMetricsResponse(std::string_view prometheus_text);
+std::string ErrorResponse(const std::string& id, std::string_view code,
+                          std::string_view detail);
+
+}  // namespace karl::server
+
+#endif  // KARL_SERVER_PROTOCOL_H_

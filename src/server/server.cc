@@ -1,0 +1,494 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "util/check.h"
+
+namespace karl::server {
+namespace {
+
+// epoll user-data ids of the non-connection descriptors; connection ids
+// start at 16 (Server::next_conn_id_).
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+constexpr uint64_t kCompletionId = 2;
+
+util::Status Errno(const std::string& what) {
+  return util::Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void DrainEventFd(int fd) {
+  uint64_t value = 0;
+  [[maybe_unused]] const ssize_t n = ::read(fd, &value, sizeof(value));
+}
+
+void SignalEventFd(int fd) {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Router
+
+Router::Router(const Engine& engine, Coalescer* coalescer,
+               telemetry::Registry* metrics)
+    : engine_(engine),
+      coalescer_(coalescer),
+      metrics_(metrics),
+      dims_(engine.plus_tree().points().cols()) {
+  requests_total_ = metrics->GetCounter("karl_server_requests_total");
+  bad_request_total_ = metrics->GetCounter("karl_server_bad_request_total");
+  overload_total_ = metrics->GetCounter("karl_server_overload_total");
+}
+
+Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
+                               bool draining) {
+  Outcome outcome;
+  requests_total_->Increment();
+
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    bad_request_total_->Increment();
+    outcome.immediate_response =
+        ErrorResponse("", "bad_request", parsed.status().message());
+    return outcome;
+  }
+  Request request = std::move(parsed).ValueOrDie();
+
+  switch (request.op) {
+    case Request::Op::kHealth:
+      outcome.immediate_response =
+          OkStatusResponse(draining ? "draining" : "serving");
+      return outcome;
+    case Request::Op::kMetrics:
+      outcome.immediate_response = OkMetricsResponse(DumpText(*metrics_));
+      return outcome;
+    case Request::Op::kQuery:
+    case Request::Op::kBatch:
+      break;
+  }
+
+  if (draining) {
+    outcome.immediate_response =
+        ErrorResponse(request.id, "shutting_down", "server is draining");
+    return outcome;
+  }
+  if (request.queries.rows() == 0) {
+    // An empty batch needs no evaluation; answer in place.
+    outcome.immediate_response =
+        request.kind == QueryKind::kTkaq
+            ? OkBoolsResponse(request.id, {})
+            : OkValuesResponse(request.id, {});
+    return outcome;
+  }
+  if (request.queries.cols() != dims_) {
+    bad_request_total_->Increment();
+    outcome.immediate_response = ErrorResponse(
+        request.id, "bad_request",
+        "query dimensionality " + std::to_string(request.queries.cols()) +
+            " does not match the model (" + std::to_string(dims_) + ")");
+    return outcome;
+  }
+  if (request.kind == QueryKind::kEkaq &&
+      engine_.weighting_type() == WeightingType::kTypeIII) {
+    bad_request_total_->Increment();
+    outcome.immediate_response =
+        ErrorResponse(request.id, "bad_request",
+                      "ekaq supports Type I/II weighting only");
+    return outcome;
+  }
+
+  WorkItem item;
+  item.conn_id = conn_id;
+  item.request_id = std::move(request.id);
+  item.kind = request.kind;
+  item.param = request.param;
+  item.is_batch = request.op == Request::Op::kBatch;
+  item.queries = std::move(request.queries);
+  const std::string id = item.request_id;  // Enqueue consumes the item.
+  if (!coalescer_->Enqueue(std::move(item))) {
+    overload_total_->Increment();
+    outcome.immediate_response = ErrorResponse(
+        id, "overloaded", "pending-query limit reached; retry later");
+    return outcome;
+  }
+  outcome.enqueued = true;
+  return outcome;
+}
+
+// ---------------------------------------------------------------- Server
+
+util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
+                                                    ServerOptions options) {
+  std::unique_ptr<Server> server(new Server());
+  server->engine_ = &engine;
+  server->options_ = std::move(options);
+  server->registry_ = server->options_.metrics != nullptr
+                          ? server->options_.metrics
+                          : &telemetry::GlobalRegistry();
+
+  if (auto st = server->Bind(); !st.ok()) return st;
+
+  const size_t threads = server->options_.threads != 0
+                             ? server->options_.threads
+                             : util::ThreadPool::DefaultThreadCount();
+  server->pool_ = std::make_unique<util::ThreadPool>(threads);
+  server->pool_->AttachMetrics(server->registry_);
+
+  Server* raw = server.get();
+  server->coalescer_ = std::make_unique<Coalescer>(
+      engine, server->pool_.get(), server->options_.max_pending,
+      [raw](std::vector<Completion> completions) {
+        {
+          const std::lock_guard<std::mutex> lock(raw->completion_mu_);
+          for (auto& c : completions) {
+            raw->completions_.push_back(std::move(c));
+          }
+        }
+        SignalEventFd(raw->completion_fd_);
+      },
+      server->registry_);
+  server->router_ = std::make_unique<Router>(engine, server->coalescer_.get(),
+                                             server->registry_);
+
+  server->connections_total_ =
+      server->registry_->GetCounter("karl_server_connections_total");
+  server->dropped_slow_total_ =
+      server->registry_->GetCounter("karl_server_dropped_slow_total");
+  server->connections_active_ =
+      server->registry_->GetGauge("karl_server_connections_active");
+
+  server->loop_thread_ = std::thread([raw] { raw->Loop(); });
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  Wait();
+  // The loop closed every connection on its way out; the force-close
+  // path guarantees it even for stuck peers. Joining the coalescer
+  // (destruction) and the pool after the loop keeps the sink valid for
+  // any group still finishing past the drain deadline.
+  coalescer_.reset();
+  router_.reset();
+  pool_.reset();
+  for (auto& [id, conn] : connections_) ::close(conn.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (completion_fd_ >= 0) ::close(completion_fd_);
+}
+
+void Server::Shutdown() { SignalEventFd(wake_fd_); }
+
+void Server::Wait() {
+  const std::lock_guard<std::mutex> lock(wait_mu_);
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+util::Status Server::Bind() {
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("invalid listen address '" +
+                                         options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind " + options_.host + ":" +
+                 std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) < 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+  completion_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (completion_fd_ < 0) return Errno("eventfd");
+
+  const auto add = [this](int fd, uint64_t id) -> util::Status {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Errno("epoll_ctl add");
+    }
+    return util::Status::OK();
+  };
+  KARL_RETURN_NOT_OK(add(listen_fd_, kListenerId));
+  KARL_RETURN_NOT_OK(add(wake_fd_, kWakeId));
+  KARL_RETURN_NOT_OK(add(completion_fd_, kCompletionId));
+  return util::Status::OK();
+}
+
+void Server::Loop() {
+  epoll_event events[64];
+  while (true) {
+    // Pure event wait while serving; a short tick while draining so the
+    // deadline is enforced even with no socket activity.
+    const int timeout_ms = draining_ ? 10 : 1000;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      const uint32_t ev = events[i].events;
+      if (id == kListenerId) {
+        AcceptAll();
+        continue;
+      }
+      if (id == kWakeId) {
+        DrainEventFd(wake_fd_);
+        BeginShutdown();
+        continue;
+      }
+      if (id == kCompletionId) {
+        DrainEventFd(completion_fd_);
+        DrainCompletions();
+        continue;
+      }
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // Closed earlier this wake.
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(id);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) OnReadable(&it->second);
+      it = connections_.find(id);  // OnReadable may have closed it.
+      if (it == connections_.end()) continue;
+      if ((ev & EPOLLOUT) != 0) OnWritable(&it->second);
+    }
+
+    if (!draining_) continue;
+    DrainCompletions();
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) ids.push_back(id);
+    for (const uint64_t id : ids) {
+      if (auto it = connections_.find(id); it != connections_.end()) {
+        MaybeFinish(&it->second);
+      }
+    }
+    bool completions_pending;
+    {
+      const std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_pending = !completions_.empty();
+    }
+    if (connections_.empty() && coalescer_->Idle() && !completions_pending) {
+      break;  // Fully drained.
+    }
+    if (drain_watch_.ElapsedSeconds() * 1000.0 >
+        static_cast<double>(options_.drain_timeout_ms)) {
+      for (const uint64_t id : ids) CloseConnection(id);
+      break;  // Deadline: give up on stuck peers.
+    }
+  }
+}
+
+void Server::BeginShutdown() {
+  if (draining_) return;
+  draining_ = true;
+  drain_watch_.Restart();
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  coalescer_->BeginDrain();
+}
+
+void Server::AcceptAll() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (or transient accept failure): wait for epoll.
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const uint64_t id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.id = id;
+    conn.fd = fd;
+    conn.events = EPOLLIN;
+    connections_.emplace(id, std::move(conn));
+    connections_total_->Increment();
+    connections_active_->Add(1.0);
+  }
+}
+
+void Server::OnReadable(Connection* conn) {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      // Stop slurping once an oversized unterminated line is apparent;
+      // the check below answers and closes.
+      if (conn->in.size() > options_.max_line_bytes &&
+          conn->in.find('\n') == std::string::npos) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn->saw_eof = true;  // Peer half-closed; serve what we have.
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return;
+  }
+  ProcessLines(conn);
+  if (!conn->saw_eof && conn->in.size() > options_.max_line_bytes) {
+    conn->out += ErrorResponse(
+        "", "bad_request",
+        "request line exceeds " + std::to_string(options_.max_line_bytes) +
+            " bytes");
+    conn->saw_eof = true;  // Read side is done; flush, then close.
+    conn->in.clear();
+  }
+  if (conn->saw_eof) conn->in.clear();  // Drop any partial trailing line.
+  if (!FlushOut(conn)) return;
+  MaybeFinish(conn);
+}
+
+void Server::OnWritable(Connection* conn) {
+  if (!FlushOut(conn)) return;
+  MaybeFinish(conn);
+}
+
+void Server::ProcessLines(Connection* conn) {
+  size_t pos;
+  while ((pos = conn->in.find('\n')) != std::string::npos) {
+    // A complete-but-oversized line gets the same treatment as an
+    // unterminated one: answer bad_request, stop reading, close.
+    if (pos > options_.max_line_bytes) {
+      conn->out += ErrorResponse(
+          "", "bad_request",
+          "request line exceeds " + std::to_string(options_.max_line_bytes) +
+              " bytes");
+      conn->saw_eof = true;
+      conn->in.clear();
+      return;
+    }
+    std::string line = conn->in.substr(0, pos);
+    conn->in.erase(0, pos + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    Router::Outcome outcome = router_->Handle(conn->id, line, draining_);
+    if (outcome.enqueued) {
+      ++conn->in_flight;
+    } else {
+      conn->out += outcome.immediate_response;
+    }
+  }
+}
+
+bool Server::FlushOut(Connection* conn) {
+  while (!conn->out.empty()) {
+    const ssize_t n = ::write(conn->fd, conn->out.data(), conn->out.size());
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn->id);
+    return false;
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+void Server::UpdateInterest(Connection* conn) {
+  const uint32_t desired = (conn->saw_eof ? 0u : EPOLLIN) |
+                           (conn->out.empty() ? 0u : EPOLLOUT);
+  if (desired == conn->events) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->events = desired;
+  }
+}
+
+void Server::MaybeFinish(Connection* conn) {
+  if ((conn->saw_eof || draining_) && conn->in_flight == 0 &&
+      conn->out.empty()) {
+    CloseConnection(conn->id);
+  }
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  ::close(it->second.fd);
+  connections_.erase(it);
+  connections_active_->Add(-1.0);
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    const std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    auto it = connections_.find(c.conn_id);
+    if (it == connections_.end()) continue;  // Peer left; drop the answer.
+    Connection* conn = &it->second;
+    if (conn->in_flight > 0) --conn->in_flight;
+    conn->out += c.response;
+    if (conn->out.size() > options_.max_write_buffer_bytes) {
+      dropped_slow_total_->Increment();
+      CloseConnection(conn->id);
+      continue;
+    }
+    if (!FlushOut(conn)) continue;
+    MaybeFinish(conn);
+  }
+}
+
+}  // namespace karl::server

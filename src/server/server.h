@@ -1,0 +1,198 @@
+// Epoll-based TCP front end for a built KARL engine.
+//
+// Threading model (three kinds of threads, strict ownership):
+//   * one event-loop thread owns every socket, connection buffer, and
+//     the epoll set — no connection state is ever touched elsewhere;
+//   * one coalescer dispatcher thread groups admitted queries and runs
+//     them through core::BatchEvaluator (server/coalescer.h);
+//   * the work-stealing ThreadPool workers execute the batch fan-out.
+// The two sides meet at exactly two lock-protected hand-offs: the
+// coalescer's bounded admission queue (event loop -> dispatcher) and a
+// completion vector + eventfd (dispatcher -> event loop).
+//
+// Protocol: newline-delimited JSON over TCP (server/protocol.h).
+// Requests on one connection may be pipelined; coalesced answers can
+// complete out of order, so pipelining clients should tag requests
+// with "id".
+//
+// Backpressure, in order of the request path:
+//   * read side: a line longer than max_line_bytes is answered with
+//     `bad_request` and the connection is closed;
+//   * admission: when max_pending queued rows are waiting, new queries
+//     are answered immediately with `overloaded` — bounded memory, no
+//     silent buffering;
+//   * write side: a connection with more than max_write_buffer_bytes
+//     of unread responses is dropped (slow or dead consumer).
+//
+// Shutdown: Shutdown() (async-signal-safe: one eventfd write) stops
+// the listener, refuses new queries with `shutting_down`, lets every
+// admitted query finish, flushes every response, then closes. Wait()
+// returns once the drain (bounded by drain_timeout_ms) completed.
+
+#ifndef KARL_SERVER_SERVER_H_
+#define KARL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/karl.h"
+#include "server/coalescer.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace karl::server {
+
+/// Server construction parameters.
+struct ServerOptions {
+  /// Listen address; must be a numeric IPv4 address.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Evaluation pool size; 0 uses the hardware thread count.
+  size_t threads = 0;
+  /// Admission-queue bound in query rows (see server/coalescer.h).
+  size_t max_pending = 1024;
+  /// Longest accepted request line.
+  size_t max_line_bytes = 4u << 20;
+  /// Unread-response bytes before a slow consumer is dropped.
+  size_t max_write_buffer_bytes = 64u << 20;
+  /// Hard cap on the graceful-shutdown drain.
+  int drain_timeout_ms = 10000;
+  /// Metrics registry; null falls back to telemetry::GlobalRegistry()
+  /// (the /metrics op always has something to expose).
+  telemetry::Registry* metrics = nullptr;
+};
+
+/// Maps one parsed request to its action: answer health/metrics inline,
+/// validate query/batch requests against the engine (dimensionality,
+/// weighting type) and admit them to the coalescer. Owns no sockets —
+/// the Connection layer handles transport.
+class Router {
+ public:
+  Router(const Engine& engine, Coalescer* coalescer,
+         telemetry::Registry* metrics);
+
+  /// Outcome of routing one request line.
+  struct Outcome {
+    /// Response to send now; empty when the request was admitted to the
+    /// coalescer (its response arrives as a Completion).
+    std::string immediate_response;
+    /// True when the line was admitted (the connection gains one
+    /// in-flight request).
+    bool enqueued = false;
+  };
+
+  /// Routes one request line for connection `conn_id`. `draining`
+  /// refuses new evaluation work with `shutting_down`.
+  Outcome Handle(uint64_t conn_id, std::string_view line, bool draining);
+
+ private:
+  const Engine& engine_;
+  Coalescer* coalescer_;
+  telemetry::Registry* metrics_;
+  const size_t dims_;
+  telemetry::Counter* requests_total_ = nullptr;
+  telemetry::Counter* bad_request_total_ = nullptr;
+  telemetry::Counter* overload_total_ = nullptr;
+};
+
+/// The serving process: listener + event loop + coalescer + pool.
+class Server {
+ public:
+  /// Binds, spawns the event loop, and starts serving. The engine must
+  /// outlive the server.
+  static util::Result<std::unique_ptr<Server>> Start(const Engine& engine,
+                                                     ServerOptions options);
+
+  /// Triggers shutdown (if still running) and joins everything.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves port 0).
+  int port() const { return port_; }
+
+  /// Requests graceful shutdown. Async-signal-safe (a single eventfd
+  /// write), callable from any thread or a signal handler, idempotent.
+  void Shutdown();
+
+  /// Blocks until the event loop exited (drain finished).
+  void Wait();
+
+  /// Test hooks: freeze/unfreeze the coalescer dispatcher so tests can
+  /// deterministically pile up a coalescable backlog or fill the
+  /// admission queue. Never called on the serving path.
+  void PauseCoalescerForTest() { coalescer_->Pause(); }
+  void ResumeCoalescerForTest() { coalescer_->Resume(); }
+
+ private:
+  // Per-connection transport state; owned by the event-loop thread.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::string in;        // Bytes read, not yet framed into lines.
+    std::string out;       // Response bytes not yet written.
+    size_t in_flight = 0;  // Requests admitted, response pending.
+    bool saw_eof = false;  // Peer half-closed; flush then close.
+    uint32_t events = 0;   // Last epoll interest set registered.
+  };
+
+  Server() = default;
+
+  util::Status Bind();
+  void Loop();
+  void AcceptAll();
+  void BeginShutdown();
+  void OnReadable(Connection* conn);
+  void OnWritable(Connection* conn);
+  void ProcessLines(Connection* conn);
+  // Writes as much of conn->out as the socket accepts; arms EPOLLOUT
+  // for the rest. May close the connection (returns false then).
+  bool FlushOut(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void DrainCompletions();
+  // Close-when-done check: EOF'd or draining connections with nothing
+  // pending are closed.
+  void MaybeFinish(Connection* conn);
+
+  const Engine* engine_ = nullptr;
+  ServerOptions options_;
+  telemetry::Registry* registry_ = nullptr;
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<Coalescer> coalescer_;
+  std::unique_ptr<Router> router_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;        // Shutdown trigger (eventfd).
+  int completion_fd_ = -1;  // Dispatcher -> loop doorbell (eventfd).
+  int port_ = 0;
+
+  std::unordered_map<uint64_t, Connection> connections_;
+  uint64_t next_conn_id_ = 16;  // Ids below 16 name the special fds.
+  bool draining_ = false;        // Event-loop thread only.
+  util::Stopwatch drain_watch_;  // Restarted when the drain begins.
+
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;  // Guarded by completion_mu_.
+
+  telemetry::Counter* connections_total_ = nullptr;
+  telemetry::Counter* dropped_slow_total_ = nullptr;
+  telemetry::Gauge* connections_active_ = nullptr;
+
+  std::thread loop_thread_;
+  std::mutex wait_mu_;  // Serializes Wait()/join.
+};
+
+}  // namespace karl::server
+
+#endif  // KARL_SERVER_SERVER_H_

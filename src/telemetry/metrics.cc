@@ -1,5 +1,7 @@
 #include "telemetry/metrics.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -314,15 +316,28 @@ util::Status WriteMetricsFile(const Registry& registry,
                               const std::string& path) {
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return util::Status::IOError("cannot open metrics file '" + path + "'");
+  // Write-to-temp + rename so a concurrent scraper reading `path` always
+  // observes a complete old or new file, never a truncated one. The temp
+  // name is pid-qualified so concurrent processes scraping into the same
+  // path do not clobber each other's partial writes.
+  const std::string tmp = path + ".tmp-" + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return util::Status::IOError("cannot open metrics file '" + tmp + "'");
+    }
+    const std::string body = json ? DumpJson(registry) : DumpText(registry);
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return util::Status::IOError("failed writing metrics file '" + tmp +
+                                   "'");
+    }
   }
-  const std::string body = json ? DumpJson(registry) : DumpText(registry);
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  out.flush();
-  if (!out) {
-    return util::Status::IOError("failed writing metrics file '" + path +
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IOError("cannot rename '" + tmp + "' to '" + path +
                                  "'");
   }
   return util::Status::OK();

@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace karl::util {
@@ -36,6 +37,18 @@ size_t ThreadPool::DefaultThreadCount() {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+void ThreadPool::AttachMetrics(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    queue_depth_gauge_ = nullptr;
+    active_workers_gauge_ = nullptr;
+    return;
+  }
+  queue_depth_gauge_ = registry->GetGauge("karl_pool_queue_depth");
+  active_workers_gauge_ = registry->GetGauge("karl_pool_active_workers");
+  queue_depth_gauge_->Set(0.0);
+  active_workers_gauge_->Set(0.0);
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   KARL_DCHECK(task != nullptr) << ": null task submitted to thread pool";
   const size_t queue =
@@ -49,6 +62,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     // sleep-predicate check and its wait (lost wakeup).
     const std::lock_guard<std::mutex> lock(wake_mu_);
     pending_.fetch_add(1, std::memory_order_release);
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(
+        static_cast<double>(pending_.load(std::memory_order_relaxed)));
   }
   wake_cv_.notify_one();
 }
@@ -82,8 +99,20 @@ std::function<void()> ThreadPool::NextTask(size_t self) {
 void ThreadPool::WorkerLoop(size_t self) {
   while (true) {
     if (std::function<void()> task = NextTask(self); task != nullptr) {
-      pending_.fetch_sub(1, std::memory_order_acquire);
+      const size_t left = pending_.fetch_sub(1, std::memory_order_acquire) - 1;
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<double>(left));
+      }
+      const size_t running = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (active_workers_gauge_ != nullptr) {
+        active_workers_gauge_->Set(static_cast<double>(running));
+      }
       task();
+      const size_t now_running =
+          active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (active_workers_gauge_ != nullptr) {
+        active_workers_gauge_->Set(static_cast<double>(now_running));
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);

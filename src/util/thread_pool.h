@@ -36,6 +36,11 @@
 #include <thread>
 #include <vector>
 
+namespace karl::telemetry {
+class Gauge;
+class Registry;
+}  // namespace karl::telemetry
+
 namespace karl::util {
 
 /// Fixed-size work-stealing thread pool.
@@ -56,6 +61,14 @@ class ThreadPool {
 
   /// std::thread::hardware_concurrency(), or 1 when unknown.
   static size_t DefaultThreadCount();
+
+  /// Exports pool-saturation gauges into `registry` (null detaches):
+  /// `karl_pool_queue_depth` (tasks enqueued but not yet picked up) and
+  /// `karl_pool_active_workers` (workers currently running a task;
+  /// callers participating in ParallelFor are not counted). Updates are
+  /// single relaxed stores on the task hot path. Attach before
+  /// submitting work — not synchronized against in-flight tasks.
+  void AttachMetrics(telemetry::Registry* registry);
 
   /// Enqueues a fire-and-forget task. The task must not throw.
   void Submit(std::function<void()> task);
@@ -89,6 +102,9 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::atomic<size_t> next_queue_{0};  // Round-robin submission cursor.
   std::atomic<size_t> pending_{0};     // Tasks enqueued, not yet popped.
+  std::atomic<size_t> active_{0};      // Workers inside a task.
+  telemetry::Gauge* queue_depth_gauge_ = nullptr;    // See AttachMetrics.
+  telemetry::Gauge* active_workers_gauge_ = nullptr;
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   bool stop_ = false;  // Guarded by wake_mu_.

@@ -93,6 +93,31 @@ TEST(FlagsTest, InlineEqualsEmptyValueIsNotASwitchValue) {
   EXPECT_EQ(args.positional()[0], "extra");
 }
 
+TEST(FlagsTest, SpaceAndEqualsFormsAreEquivalent) {
+  // `--flag value` and `--flag=value` must parse identically — tools
+  // document both and scripts mix them freely.
+  const auto spaced =
+      ParseVec({"serve", "--model", "m.bin", "--port", "7070", "--eps",
+                "0.25"});
+  const auto inlined =
+      ParseVec({"serve", "--model=m.bin", "--port=7070", "--eps=0.25"});
+  for (const auto* args : {&spaced, &inlined}) {
+    EXPECT_EQ(args->GetString("model"), "m.bin");
+    EXPECT_EQ(args->GetInt("port", 0).value(), 7070);
+    EXPECT_DOUBLE_EQ(args->GetDouble("eps", 0.0).value(), 0.25);
+  }
+}
+
+TEST(FlagsTest, ValuelessTrailingFlag) {
+  // A flag at the end of the command line has nothing to consume: it is
+  // a switch, not an error, and must not eat a phantom value.
+  const auto args = ParseVec({"query", "--tau", "2.0", "--verbose"});
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_EQ(args.GetString("verbose", "unset"), "");
+  EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0.0).value(), 2.0);
+  EXPECT_TRUE(args.positional().empty());
+}
+
 TEST(FlagsTest, InlineEqualsEmptyNameRejected) {
   std::vector<const char*> argv{"karl", "--=value"};
   auto parsed = ParsedArgs::Parse(static_cast<int>(argv.size()), argv.data());

@@ -1,0 +1,440 @@
+// Loopback integration tests for the serving layer (src/server/):
+// protocol round trips, bit-identical coalesced answers, overload
+// shedding, malformed-request handling, and graceful drain. Every test
+// talks to a real epoll Server over 127.0.0.1 via server::Client.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/karl.h"
+#include "data/synthetic.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+
+namespace karl::server {
+namespace {
+
+constexpr double kEps = 0.05;
+constexpr double kTau = 40.0;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(7);
+    points_ = data::SampleClustered(400, 4, 3, 0.08, rng);
+    queries_ = data::SampleClustered(64, 4, 3, 0.10, rng);
+    EngineOptions options;
+    options.kernel = core::KernelParams::Gaussian(3.0);
+    options.leaf_capacity = 24;
+    auto built = Engine::BuildUniform(points_, 1.0, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    engine_.emplace(std::move(built).ValueOrDie());
+  }
+
+  // Starts a server on an ephemeral port with this test's registry.
+  void StartServer(size_t max_pending = 1024) {
+    ServerOptions options;
+    options.port = 0;
+    options.threads = 2;
+    options.max_pending = max_pending;
+    options.metrics = &registry_;
+    auto server = Server::Start(*engine_, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).ValueOrDie();
+  }
+
+  Client Dial() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).ValueOrDie();
+  }
+
+  double GaugeValue(const std::string& name) {
+    return registry_.GetGauge(name)->value();
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return registry_.GetCounter(name)->value();
+  }
+
+  // Spins until `gauge` reaches `at_least` (all queries admitted); the
+  // coalescer is paused, so the level cannot drop concurrently.
+  void WaitForPendingRows(double at_least) {
+    while (GaugeValue("karl_server_pending_rows") < at_least) {
+      std::this_thread::yield();
+    }
+  }
+
+  data::Matrix points_{0, 0};
+  data::Matrix queries_{0, 0};
+  std::optional<Engine> engine_;
+  telemetry::Registry registry_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, SingleQueriesMatchLocalEngineBitExactly) {
+  StartServer();
+  Client client = Dial();
+  for (size_t i = 0; i < 8; ++i) {
+    const auto q = queries_.Row(i);
+    auto above = client.Tkaq(q, kTau);
+    ASSERT_TRUE(above.ok()) << above.status().ToString();
+    EXPECT_EQ(above.value(), engine_->Tkaq(q, kTau));
+
+    auto approx = client.Ekaq(q, kEps);
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    EXPECT_EQ(approx.value(), engine_->Ekaq(q, kEps));  // Bit-identical.
+
+    auto exact = client.Exact(q);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    EXPECT_EQ(exact.value(), engine_->Exact(q));
+  }
+}
+
+TEST_F(ServerTest, BatchRequestMatchesLocalBatch) {
+  StartServer();
+  Client client = Dial();
+
+  auto above = client.TkaqBatch(queries_, kTau);
+  ASSERT_TRUE(above.ok()) << above.status().ToString();
+  EXPECT_EQ(above.value(), engine_->TkaqBatch(queries_, kTau));
+
+  auto approx = client.EkaqBatch(queries_, kEps);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_EQ(approx.value(), engine_->EkaqBatch(queries_, kEps));
+
+  auto exact = client.ExactBatch(queries_);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact.value(), engine_->ExactBatch(queries_));
+}
+
+// The acceptance-criteria test: many concurrent single-query clients,
+// dispatched as a handful of coalesced BatchEvaluator calls, must get
+// answers bit-identical to the serial Engine loop.
+TEST_F(ServerTest, CoalescedConcurrentQueriesAreBitIdenticalToSerial) {
+  StartServer();
+  const size_t n = 32;
+
+  // Freeze dispatch so every request is admitted into one backlog, then
+  // release: the dispatcher sweeps them into large same-(kind,param)
+  // groups. The pending-rows gauge says when all n are queued.
+  server_->PauseCoalescerForTest();
+  std::vector<Client> clients;
+  clients.reserve(n);
+  for (size_t i = 0; i < n; ++i) clients.push_back(Dial());
+  for (size_t i = 0; i < n; ++i) {
+    Json request = Json::Object()
+                       .Set("op", Json::Str("query"))
+                       .Set("kind", Json::Str("ekaq"))
+                       .Set("eps", Json::Number(kEps));
+    Json q = Json::Array();
+    for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
+    request.Set("q", std::move(q));
+    ASSERT_TRUE(clients[i].SendLine(request.Dump()).ok());
+  }
+  WaitForPendingRows(static_cast<double>(n));
+  server_->ResumeCoalescerForTest();
+
+  for (size_t i = 0; i < n; ++i) {
+    auto line = clients[i].ReceiveLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    auto response = Json::Parse(line.value());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const Json* value = response.value().Find("value");
+    ASSERT_NE(value, nullptr) << line.value();
+    // %.17g round-trips doubles exactly, so bit-identical equality holds
+    // across the wire.
+    EXPECT_EQ(value->number_value(), engine_->Ekaq(queries_.Row(i), kEps))
+        << "query " << i;
+  }
+
+  // All n queries were answered by fewer dispatch groups (coalescing
+  // actually happened, rather than n single-row batches).
+  EXPECT_EQ(CounterValue("karl_server_queries_total"), n);
+  EXPECT_LT(CounterValue("karl_server_batches_total"), n);
+}
+
+TEST_F(ServerTest, OverloadShedsWithExplicitErrorAndBoundedQueue) {
+  StartServer(/*max_pending=*/4);
+  server_->PauseCoalescerForTest();
+
+  Client client = Dial();
+  const size_t total = 10;
+  for (size_t i = 0; i < total; ++i) {
+    Json request = Json::Object()
+                       .Set("op", Json::Str("query"))
+                       .Set("kind", Json::Str("exact"))
+                       .Set("id", Json::Str("q" + std::to_string(i)));
+    Json q = Json::Array();
+    for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
+    request.Set("q", std::move(q));
+    ASSERT_TRUE(client.SendLine(request.Dump()).ok());
+  }
+
+  // First 4 fill the queue; 6 shed immediately. Collect all 10 responses
+  // (order mixes shed errors and, after resume, the admitted answers).
+  size_t overloaded = 0, answered = 0;
+  std::vector<std::string> lines;
+  for (size_t i = 0; i < total; ++i) {
+    if (i == 0) {
+      // The shed responses arrive while the dispatcher is still paused
+      // — admission stays bounded without dispatch making progress.
+      auto first = client.ReceiveLine();
+      ASSERT_TRUE(first.ok()) << first.status().ToString();
+      lines.push_back(first.value());
+      server_->ResumeCoalescerForTest();
+      continue;
+    }
+    auto line = client.ReceiveLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    lines.push_back(line.value());
+  }
+  for (const std::string& text : lines) {
+    auto response = Json::Parse(text);
+    ASSERT_TRUE(response.ok()) << text;
+    const Json* error = response.value().Find("error");
+    if (error != nullptr) {
+      EXPECT_EQ(error->string_value(), "overloaded") << text;
+      ++overloaded;
+    } else {
+      const Json* id = response.value().Find("id");
+      ASSERT_NE(id, nullptr) << text;
+      const size_t index = std::stoul(id->string_value().substr(1));
+      const Json* value = response.value().Find("value");
+      ASSERT_NE(value, nullptr) << text;
+      EXPECT_EQ(value->number_value(), engine_->Exact(queries_.Row(index)));
+      ++answered;
+    }
+  }
+  EXPECT_EQ(overloaded, 6u);
+  EXPECT_EQ(answered, 4u);
+  EXPECT_EQ(CounterValue("karl_server_overload_total"), 6u);
+}
+
+TEST_F(ServerTest, MalformedRequestsAreRejectedWithoutKillingConnection) {
+  StartServer();
+  Client client = Dial();
+  const std::vector<std::string> bad = {
+      "this is not json",
+      "{\"op\":\"launch\"}",
+      "{\"op\":\"query\",\"kind\":\"tkaq\",\"q\":[1,2,3,4]}",  // No tau.
+      "{\"op\":\"query\",\"kind\":\"ekaq\",\"eps\":-1,\"q\":[1,2,3,4]}",
+      "{\"op\":\"query\",\"kind\":\"exact\",\"q\":[1,2]}",  // Dim mismatch.
+      "{\"op\":\"query\",\"kind\":\"exact\",\"q\":[]}",
+      "{\"op\":\"batch\",\"kind\":\"exact\",\"queries\":[[1,2,3,4],[1,2]]}",
+  };
+  for (const std::string& line : bad) {
+    ASSERT_TRUE(client.SendLine(line).ok());
+    auto response = client.ReceiveLine();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    auto parsed = Json::Parse(response.value());
+    ASSERT_TRUE(parsed.ok()) << response.value();
+    const Json* error = parsed.value().Find("error");
+    ASSERT_NE(error, nullptr) << response.value();
+    EXPECT_EQ(error->string_value(), "bad_request") << line;
+  }
+  // The connection survived all of it and still answers queries.
+  auto exact = client.Exact(queries_.Row(0));
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact.value(), engine_->Exact(queries_.Row(0)));
+  EXPECT_EQ(CounterValue("karl_server_bad_request_total"), bad.size());
+}
+
+TEST_F(ServerTest, OversizedLineIsRejectedAndConnectionClosed) {
+  ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.max_line_bytes = 256;
+  options.metrics = &registry_;
+  auto server = Server::Start(*engine_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server_ = std::move(server).ValueOrDie();
+
+  Client client = Dial();
+  std::string huge(1024, 'x');
+  ASSERT_TRUE(client.SendLine(huge).ok());
+  auto response = client.ReceiveLine();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response.value().find("bad_request"), std::string::npos);
+  // Server closes after the error: next read sees EOF.
+  auto eof = client.ReceiveLine();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServerTest, GracefulShutdownDrainsAdmittedWork) {
+  StartServer();
+  server_->PauseCoalescerForTest();
+
+  Client client = Dial();
+  const size_t n = 8;
+  for (size_t i = 0; i < n; ++i) {
+    Json request = Json::Object()
+                       .Set("op", Json::Str("query"))
+                       .Set("kind", Json::Str("ekaq"))
+                       .Set("eps", Json::Number(kEps))
+                       .Set("id", Json::Str(std::to_string(i)));
+    Json q = Json::Array();
+    for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
+    request.Set("q", std::move(q));
+    ASSERT_TRUE(client.SendLine(request.Dump()).ok());
+  }
+  WaitForPendingRows(static_cast<double>(n));
+
+  // Shutdown with 8 admitted-but-undispatched queries: every one must
+  // still be answered (BeginDrain resumes the paused dispatcher).
+  server_->Shutdown();
+  size_t received = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto line = client.ReceiveLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    auto response = Json::Parse(line.value());
+    ASSERT_TRUE(response.ok()) << line.value();
+    const Json* id = response.value().Find("id");
+    ASSERT_NE(id, nullptr) << line.value();
+    const size_t index = std::stoul(id->string_value());
+    const Json* value = response.value().Find("value");
+    ASSERT_NE(value, nullptr) << line.value();
+    EXPECT_EQ(value->number_value(), engine_->Ekaq(queries_.Row(index), kEps));
+    ++received;
+  }
+  EXPECT_EQ(received, n);
+  // After the last response the server closes the connection and Wait()
+  // returns: the drain completed.
+  auto eof = client.ReceiveLine();
+  EXPECT_FALSE(eof.ok());
+  server_->Wait();
+}
+
+TEST_F(ServerTest, QueriesDuringDrainAreRefusedAsShuttingDown) {
+  StartServer();
+  server_->PauseCoalescerForTest();
+  Client holder = Dial();
+  Json request = Json::Object()
+                     .Set("op", Json::Str("query"))
+                     .Set("kind", Json::Str("exact"));
+  Json q = Json::Array();
+  for (const double v : queries_.Row(0)) q.Append(Json::Number(v));
+  request.Set("q", std::move(q));
+  ASSERT_TRUE(holder.SendLine(request.Dump()).ok());
+  WaitForPendingRows(1.0);
+
+  // A second connection dialed before Shutdown stays connected during
+  // the drain, but its new queries are refused.
+  Client late = Dial();
+  server_->Shutdown();
+  auto health = late.Health();
+  if (health.ok()) {
+    EXPECT_EQ(health.value(), "draining");
+  }  // Else the drain already closed the connection — also a valid race.
+
+  auto answer = holder.ReceiveLine();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_NE(answer.value().find("\"value\""), std::string::npos);
+  server_->Wait();
+}
+
+TEST_F(ServerTest, HealthAndMetricsRoundTrip) {
+  StartServer();
+  Client client = Dial();
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health.value(), "serving");
+
+  ASSERT_TRUE(client.Exact(queries_.Row(0)).ok());
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics.value().find("karl_server_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.value().find("karl_server_batches_total"),
+            std::string::npos);
+  // Satellite: the pool exports saturation gauges once attached.
+  EXPECT_NE(metrics.value().find("karl_pool_queue_depth"), std::string::npos);
+  EXPECT_NE(metrics.value().find("karl_pool_active_workers"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, EkaqOnTypeThreeWeightsIsRejectedUpFront) {
+  util::Rng rng(11);
+  std::vector<double> weights(points_.rows());
+  for (auto& w : weights) w = rng.Uniform(-1.0, 1.0);  // Mixed signs.
+  EngineOptions options;
+  options.kernel = core::KernelParams::Gaussian(3.0);
+  auto mixed = Engine::Build(points_, weights, options);
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  ASSERT_EQ(mixed.value().weighting_type(), WeightingType::kTypeIII);
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.threads = 2;
+  server_options.metrics = &registry_;
+  auto server = Server::Start(mixed.value(), server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server_ = std::move(server).ValueOrDie();
+
+  Client client = Dial();
+  auto approx = client.Ekaq(queries_.Row(0), kEps);
+  EXPECT_FALSE(approx.ok());
+  EXPECT_NE(approx.status().ToString().find("bad_request"),
+            std::string::npos);
+  // TKAQ still works on Type III.
+  auto above = client.Tkaq(queries_.Row(0), 0.0);
+  ASSERT_TRUE(above.ok()) << above.status().ToString();
+  EXPECT_EQ(above.value(), mixed.value().Tkaq(queries_.Row(0), 0.0));
+}
+
+TEST(ServerJsonTest, ParseRejectsGarbageAndRoundTripsValues) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{}extra").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1e999}").ok());  // Non-finite.
+  EXPECT_FALSE(Json::Parse("nulll").ok());
+
+  auto parsed = Json::Parse(
+      "{\"s\":\"a\\u00e9\\n\",\"n\":-1.25e2,\"b\":true,\"l\":[1,null]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& root = parsed.value();
+  EXPECT_EQ(root.Find("s")->string_value(), "a\xc3\xa9\n");
+  EXPECT_EQ(root.Find("n")->number_value(), -125.0);
+  EXPECT_TRUE(root.Find("b")->bool_value());
+  EXPECT_EQ(root.Find("l")->items().size(), 2u);
+
+  // Dump -> Parse round-trips doubles bit-exactly (%.17g).
+  const double tricky = 0.1 + 0.2;
+  Json value = Json::Object().Set("x", Json::Number(tricky));
+  auto back = Json::Parse(value.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().Find("x")->number_value(), tricky);
+}
+
+TEST(ServerProtocolTest, ParseRequestValidates) {
+  EXPECT_TRUE(ParseRequest("{\"op\":\"health\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"kind\":\"tkaq\"}").ok());  // No op.
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"query\",\"kind\":\"tkaq\",\"q\":[1]}").ok());
+  EXPECT_FALSE(
+      ParseRequest(
+          "{\"op\":\"query\",\"kind\":\"ekaq\",\"eps\":0,\"q\":[1]}")
+          .ok());
+
+  auto request = ParseRequest(
+      "{\"op\":\"batch\",\"kind\":\"tkaq\",\"tau\":2,"
+      "\"queries\":[[1,2],[3,4]],\"id\":\"z\"}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.value().op, Request::Op::kBatch);
+  EXPECT_EQ(request.value().kind, QueryKind::kTkaq);
+  EXPECT_EQ(request.value().param, 2.0);
+  EXPECT_EQ(request.value().queries.rows(), 2u);
+  EXPECT_EQ(request.value().queries.cols(), 2u);
+  EXPECT_EQ(request.value().id, "z");
+}
+
+}  // namespace
+}  // namespace karl::server

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -372,6 +375,43 @@ TEST(ExpositionTest, WriteMetricsFilePicksFormatByExtension) {
             std::string::npos);
   std::remove(json_path.c_str());
   std::remove(text_path.c_str());
+}
+
+TEST(ExpositionTest, WriteMetricsFileIsAtomicUnderConcurrentReads) {
+  // The writer publishes via temp-file + rename, so a concurrent reader
+  // must always see a complete, parseable document — never a torn or
+  // empty one.
+  Registry registry;
+  auto* counter = registry.GetCounter("atomic_writes_total");
+  const std::string path =
+      ::testing::TempDir() + "/telemetry_test_atomic.json";
+  ASSERT_TRUE(WriteMetricsFile(registry, path).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_reads{0};
+  std::atomic<int> good_reads{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string text = ReadFile(path);
+      if (text.empty() || !JsonChecker(text).Valid()) {
+        torn_reads.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        good_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    counter->Increment();
+    ASSERT_TRUE(WriteMetricsFile(registry, path).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn_reads.load(), 0);
+  EXPECT_GT(good_reads.load(), 0);
+  // The temp file never outlives a successful publish.
+  EXPECT_TRUE(ReadFile(path + ".tmp-" + std::to_string(::getpid())).empty());
+  std::remove(path.c_str());
 }
 
 TEST(TraceRecorderTest, RecordsAllEventShapes) {

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace karl::util {
 namespace {
 
@@ -231,6 +233,42 @@ TEST(ThreadPoolTest, ManySequentialParallelForsReuseWorkers) {
 
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, AttachMetricsExportsSaturationGauges) {
+  telemetry::Registry registry;
+  auto* queue_depth = registry.GetGauge("karl_pool_queue_depth");
+  auto* active = registry.GetGauge("karl_pool_active_workers");
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(2);
+    pool.AttachMetrics(&registry);
+
+    // Occupy both workers; each publishes the active gauge before its
+    // task body runs, so started==2 implies active==2 was observed.
+    for (int i = 0; i < 2; ++i) {
+      pool.Submit([&started, &release] {
+        started.fetch_add(1, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    while (started.load(std::memory_order_acquire) < 2) {
+      std::this_thread::yield();
+    }
+    EXPECT_DOUBLE_EQ(active->value(), 2.0);
+
+    // With every worker blocked, a third task must sit in the queue and
+    // show up in the depth gauge.
+    pool.Submit([] {});
+    EXPECT_DOUBLE_EQ(queue_depth->value(), 1.0);
+
+    release.store(true, std::memory_order_release);
+  }  // Destructor drains; the gauges must return to idle.
+  EXPECT_DOUBLE_EQ(queue_depth->value(), 0.0);
+  EXPECT_DOUBLE_EQ(active->value(), 0.0);
 }
 
 }  // namespace

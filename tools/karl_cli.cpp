@@ -23,6 +23,14 @@
 //       trace-event JSON loadable in Perfetto.
 //   tune      --model <model.bin> --queries <file.csv> (--tau T | --eps E)
 //       Offline-tunes the index configuration and reports the grid.
+//   remote-query  --port P [--host 127.0.0.1] --queries <file.csv>
+//                 (--tau T | --eps E | --exact) [--limit N] [--batch]
+//                 [--metrics-out <file>]
+//       Issues the query rows against a running karl_server (see
+//       tools/karl_server.cc) over the newline-delimited JSON
+//       protocol; output format matches the local `query` subcommand.
+//       --batch sends one batch request instead of per-row queries;
+//       --metrics-out scrapes the server's /metrics afterwards.
 //
 // Exit status: 0 on success, 1 on usage or runtime errors.
 
@@ -36,6 +44,7 @@
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "ml/kde.h"
+#include "server/client.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/flags.h"
@@ -54,7 +63,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: karl <generate|build|query|tune> [--flags]\n"
+               "usage: karl <generate|build|query|tune|remote-query> "
+               "[--flags]\n"
                "run with a subcommand to see its required flags\n");
   return 1;
 }
@@ -296,6 +306,101 @@ int RunQuery(const ParsedArgs& args) {
   return 0;
 }
 
+int RunRemoteQuery(const ParsedArgs& args) {
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const auto port = args.GetInt("port", 0);
+  const std::string query_path = args.GetString("queries");
+  if (!port.ok()) return Fail(port.status().ToString());
+  if (port.value() <= 0 || query_path.empty()) {
+    return Fail(
+        "remote-query requires --port <port> --queries <file.csv> and one "
+        "of --tau/--eps/--exact");
+  }
+  const bool threshold_mode = args.Has("tau");
+  const bool approx_mode = args.Has("eps");
+  const bool exact_mode = args.Has("exact");
+  if (static_cast<int>(threshold_mode) + static_cast<int>(approx_mode) +
+          static_cast<int>(exact_mode) !=
+      1) {
+    return Fail("remote-query requires exactly one of --tau, --eps, --exact");
+  }
+  const auto tau = args.GetDouble("tau", 0.0);
+  const auto eps = args.GetDouble("eps", 0.1);
+  if (!tau.ok()) return Fail(tau.status().ToString());
+  if (!eps.ok()) return Fail(eps.status().ToString());
+  const bool batch = args.Has("batch");
+  const std::string metrics_out = args.GetString("metrics-out");
+
+  auto queries = karl::data::ReadCsvFile(query_path);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+  const auto limit = args.GetInt(
+      "limit", static_cast<int64_t>(queries.value().rows()));
+  if (!limit.ok()) return Fail(limit.status().ToString());
+  const size_t count =
+      std::min<size_t>(queries.value().rows(),
+                       static_cast<size_t>(std::max<int64_t>(0, limit.value())));
+
+  auto client = karl::server::Client::Connect(
+      host, static_cast<int>(port.value()));
+  if (!client.ok()) return Fail(client.status().ToString());
+
+  karl::util::Stopwatch timer;
+  if (batch) {
+    karl::data::Matrix block = std::move(queries).ValueOrDie();
+    if (count < block.rows()) {
+      std::vector<size_t> head(count);
+      for (size_t i = 0; i < count; ++i) head[i] = i;
+      block = block.SelectRows(head);
+    }
+    if (threshold_mode) {
+      auto out = client.value().TkaqBatch(block, tau.value());
+      if (!out.ok()) return Fail(out.status().ToString());
+      for (size_t i = 0; i < out.value().size(); ++i) {
+        std::printf("%zu\t%s\n", i, out.value()[i] != 0 ? "above" : "below");
+      }
+    } else {
+      auto out = approx_mode ? client.value().EkaqBatch(block, eps.value())
+                             : client.value().ExactBatch(block);
+      if (!out.ok()) return Fail(out.status().ToString());
+      for (size_t i = 0; i < out.value().size(); ++i) {
+        std::printf("%zu\t%.12g\n", i, out.value()[i]);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      const auto q = queries.value().Row(i);
+      if (threshold_mode) {
+        auto above = client.value().Tkaq(q, tau.value());
+        if (!above.ok()) return Fail(above.status().ToString());
+        std::printf("%zu\t%s\n", i, above.value() ? "above" : "below");
+      } else {
+        auto value = approx_mode ? client.value().Ekaq(q, eps.value())
+                                 : client.value().Exact(q);
+        if (!value.ok()) return Fail(value.status().ToString());
+        std::printf("%zu\t%.12g\n", i, value.value());
+      }
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  std::fprintf(stderr, "%zu remote queries in %.3fs (%.0f q/s, %s)\n", count,
+               elapsed, count / std::max(elapsed, 1e-9),
+               batch ? "one batch request" : "per-row requests");
+
+  if (!metrics_out.empty()) {
+    auto metrics = client.value().Metrics();
+    if (!metrics.ok()) return Fail(metrics.status().ToString());
+    std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+    if (f == nullptr) {
+      return Fail("cannot open '" + metrics_out + "' for writing");
+    }
+    std::fwrite(metrics.value().data(), 1, metrics.value().size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "server metrics written to %s\n",
+                 metrics_out.c_str());
+  }
+  return 0;
+}
+
 int RunTune(const ParsedArgs& args) {
   const std::string model_path = args.GetString("model");
   const std::string query_path = args.GetString("queries");
@@ -355,6 +460,8 @@ int main(int argc, char** argv) {
     rc = RunQuery(args);
   } else if (args.command() == "tune") {
     rc = RunTune(args);
+  } else if (args.command() == "remote-query") {
+    rc = RunRemoteQuery(args);
   } else {
     return Usage();
   }

@@ -1,0 +1,110 @@
+// karl_server — network front end for a saved KARL engine model.
+//
+//   karl_server --model <model.bin> [--host 127.0.0.1] [--port 7070]
+//               [--threads N] [--max-pending R] [--metrics-out <file>]
+//
+// Loads the model, builds the engine (with the global telemetry
+// registry attached), and serves the newline-delimited JSON protocol
+// (src/server/protocol.h) until SIGINT/SIGTERM, then drains in-flight
+// work, optionally dumps the metrics registry to --metrics-out, and
+// exits 0. `--port 0` binds an ephemeral port; the chosen port is part
+// of the "listening on" line printed (and flushed) at startup, so
+// wrapper scripts can scrape it.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "core/engine_io.h"
+#include "server/server.h"
+#include "telemetry/metrics.h"
+#include "util/flags.h"
+
+namespace {
+
+karl::server::Server* g_server = nullptr;
+
+// Async-signal-safe: Server::Shutdown is a single eventfd write.
+void HandleSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "karl_server: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = karl::util::ParsedArgs::Parse(argc, argv);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const karl::util::ParsedArgs& args = parsed.value();
+
+  const std::string model_path = args.GetString("model");
+  if (model_path.empty()) {
+    return Fail(
+        "usage: karl_server --model <model.bin> [--host H] [--port P] "
+        "[--threads N] [--max-pending R] [--metrics-out <file>]");
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const auto port = args.GetInt("port", 7070);
+  const auto threads = args.GetInt("threads", 0);
+  const auto max_pending = args.GetInt("max-pending", 1024);
+  const std::string metrics_out = args.GetString("metrics-out");
+  if (!port.ok()) return Fail(port.status().ToString());
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  if (!max_pending.ok()) return Fail(max_pending.status().ToString());
+  if (port.value() < 0 || port.value() > 65535) {
+    return Fail("--port must be in [0, 65535]");
+  }
+  if (threads.value() < 0) return Fail("--threads must be >= 0");
+  if (max_pending.value() <= 0) return Fail("--max-pending must be > 0");
+  for (const auto& flag : args.UnusedFlags()) {
+    std::fprintf(stderr, "karl_server: warning: unused flag --%s\n",
+                 flag.c_str());
+  }
+
+  auto model = karl::core::LoadEngineModel(model_path);
+  if (!model.ok()) return Fail(model.status().ToString());
+  model.value().options.metrics = &karl::telemetry::GlobalRegistry();
+  auto engine = karl::Engine::Build(model.value().points,
+                                    model.value().weights,
+                                    model.value().options);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+
+  karl::server::ServerOptions options;
+  options.host = host;
+  options.port = static_cast<int>(port.value());
+  options.threads = static_cast<size_t>(threads.value());
+  options.max_pending = static_cast<size_t>(max_pending.value());
+  options.metrics = &karl::telemetry::GlobalRegistry();
+  auto server = karl::server::Server::Start(engine.value(), options);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  g_server = server.value().get();
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
+              host.c_str(), server.value()->port(), model_path.c_str(),
+              model.value().points.rows());
+  std::fflush(stdout);
+
+  server.value()->Wait();
+  g_server = nullptr;
+
+  if (!metrics_out.empty()) {
+    if (auto st = karl::telemetry::WriteMetricsFile(
+            karl::telemetry::GlobalRegistry(), metrics_out);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::fprintf(stderr, "karl_server: metrics written to %s\n",
+                 metrics_out.c_str());
+  }
+  std::printf("karl_server: drained and stopped\n");
+  return 0;
+}
