@@ -25,7 +25,11 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "telemetry/metrics.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -140,6 +144,74 @@ int main(int argc, char** argv) {
                                 FormatQps(parallel),
                                 std::to_string(batch_threads),
                                 FormatQps(speedup) + "x"});
+  }
+
+  // Serving stage breakdown: the Type-I Gaussian "home" workload pushed
+  // through the full network stack (epoll loop -> coalescer -> pool) on
+  // loopback, reported per pipeline stage from the server's stage
+  // histograms. Each quantile lands in the KARL_BENCH_METRICS_OUT
+  // sidecar, so CI can track where serving latency goes, not just how
+  // much there is.
+  {
+    std::printf("\nServing stage breakdown (single I-eps queries over "
+                "loopback, \"home\")\n\n");
+    const Workload w = karl::bench::MakeTypeIWorkload("home", nq);
+    auto engine = karl::Engine::Build(w.points, w.weights,
+                                      karl::bench::DefaultOptions(w));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    karl::telemetry::Registry registry;
+    karl::server::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.threads = std::max<size_t>(batch_threads, 2);
+    server_options.metrics = &registry;
+    auto server = karl::server::Server::Start(engine.value(), server_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+      return 1;
+    }
+    auto client =
+        karl::server::Client::Connect("127.0.0.1", server.value()->port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    karl::util::Stopwatch watch;
+    size_t answered = 0;
+    for (size_t i = 0; i < w.queries.rows(); ++i) {
+      if (client.value().Ekaq(w.queries.Row(i), 0.2).ok()) ++answered;
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    const double qps =
+        elapsed > 0.0 ? static_cast<double>(answered) / elapsed : 0.0;
+    karl::bench::RecordBenchMetric("serving_qps_home", qps);
+    std::printf("end-to-end: %s queries/s (%zu queries)\n\n",
+                FormatQps(qps).c_str(), answered);
+
+    karl::bench::PrintTableHeader({"stage", "p50_us", "p95_us"});
+    for (const char* stage :
+         {"read", "parse", "queue_wait", "coalesce_wait", "eval",
+          "serialize", "write", "total"}) {
+      const auto h =
+          registry
+              .GetHistogram(std::string("karl_server_") + stage + "_us")
+              ->Snapshot();
+      const double p50 = h.Quantile(0.5);
+      const double p95 = h.Quantile(0.95);
+      karl::bench::RecordBenchMetric(
+          std::string("serving_") + stage + "_p50_us", p50);
+      karl::bench::RecordBenchMetric(
+          std::string("serving_") + stage + "_p95_us", p95);
+      char p50_text[32];
+      char p95_text[32];
+      std::snprintf(p50_text, sizeof(p50_text), "%.1f", p50);
+      std::snprintf(p95_text, sizeof(p95_text), "%.1f", p95);
+      karl::bench::PrintTableRow({stage, p50_text, p95_text});
+    }
+    server.value()->Shutdown();
+    server.value()->Wait();
   }
 
   return 0;

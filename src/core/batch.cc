@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "telemetry/context.h"
 #include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -39,6 +40,26 @@ std::vector<T> BatchEvaluator::Run(const data::Matrix& queries,
   std::optional<util::Stopwatch> timer;
   if (instruments_.batches != nullptr) timer.emplace();
 
+  // Runs one row, attributing its clock time and stats delta to the
+  // row_observer when one is set; the un-observed path stays exactly the
+  // bare per_query call.
+  const auto& observer = options_.row_observer;
+  const auto run_row = [&per_query, &observer](size_t i,
+                                               std::span<const double> q,
+                                               EvalStats* work) -> T {
+    if (!observer) return per_query(q, work);
+    const uint64_t begin_us = telemetry::MonotonicMicros();
+    const EvalStats before = *work;
+    T result = per_query(q, work);
+    const uint64_t end_us = telemetry::MonotonicMicros();
+    EvalStats delta;
+    delta.iterations = work->iterations - before.iterations;
+    delta.nodes_expanded = work->nodes_expanded - before.nodes_expanded;
+    delta.kernel_evals = work->kernel_evals - before.kernel_evals;
+    observer(i, begin_us, end_us, delta);
+    return result;
+  };
+
   util::ThreadPool* const pool = options_.pool;
   size_t executors = 1;
   if (pool == nullptr) {
@@ -47,7 +68,7 @@ std::vector<T> BatchEvaluator::Run(const data::Matrix& queries,
     EvalStats local;
     EvalStats* const work = stats != nullptr ? stats : &local;
     for (size_t i = 0; i < n; ++i) {
-      out[i] = per_query(queries.Row(i), work);
+      out[i] = run_row(i, queries.Row(i), work);
     }
   } else {
     // One EvalStats per executor slot: workers never share a work
@@ -58,11 +79,11 @@ std::vector<T> BatchEvaluator::Run(const data::Matrix& queries,
     std::vector<EvalStats> slot_stats(executors);
     pool->ParallelFor(
         n, options_.chunk,
-        [&queries, &out, &slot_stats, &per_query](size_t begin, size_t end,
-                                                  size_t slot) {
+        [&queries, &out, &slot_stats, &run_row](size_t begin, size_t end,
+                                                size_t slot) {
           EvalStats& local = slot_stats[slot];
           for (size_t i = begin; i < end; ++i) {
-            out[i] = per_query(queries.Row(i), &local);
+            out[i] = run_row(i, queries.Row(i), &local);
           }
         });
     if (stats != nullptr) {

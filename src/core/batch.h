@@ -23,6 +23,7 @@
 #define KARL_CORE_BATCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/dynamic_engine.h"
@@ -43,6 +44,17 @@ struct BatchOptions {
   /// Queries per dynamically-scheduled chunk; 0 picks ~8 chunks per
   /// executor. Chunking only affects scheduling, never results.
   size_t chunk = 0;
+  /// Per-row completion hook, invoked on the executing thread right
+  /// after each row finishes with the row's index, its begin/end stamps
+  /// (telemetry::MonotonicMicros domain), and the engine work that row
+  /// alone performed. This is how the serving stack attributes eval time
+  /// and EvalStats back to individual coalesced requests. Must be
+  /// thread-safe when `pool` is set (rows complete concurrently); rows
+  /// are observed exactly once, in no particular order. Leaving it empty
+  /// keeps the hot path free of per-row clock reads.
+  std::function<void(size_t row, uint64_t begin_us, uint64_t end_us,
+                     const EvalStats& stats)>
+      row_observer;
 };
 
 /// Batch-query front end over one engine. Cheap to construct (resolves

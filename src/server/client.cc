@@ -280,4 +280,15 @@ util::Result<std::string> Client::Metrics() {
   return metrics.value()->string_value();
 }
 
+util::Result<std::string> Client::Statusz() {
+  auto response = Call(Json::Object().Set("op", Json::Str("statusz")));
+  if (!response.ok()) return response.status();
+  auto statusz = Field(response.value(), "statusz");
+  if (!statusz.ok()) return statusz.status();
+  if (!statusz.value()->is_object()) {
+    return util::Status::IOError("malformed \"statusz\" in server response");
+  }
+  return statusz.value()->Dump();
+}
+
 }  // namespace karl::server

@@ -8,13 +8,29 @@
 
 namespace karl::server {
 
+// Batch options whose row_observer funnels back into the coalescer;
+// the lambda only runs during RunGroup, when `self` is fully alive.
+core::BatchOptions Coalescer::ObservedOptions(util::ThreadPool* pool,
+                                              Coalescer* self) {
+  core::BatchOptions options;
+  options.pool = pool;
+  options.row_observer = [self](size_t row, uint64_t begin_us,
+                                uint64_t end_us,
+                                const core::EvalStats& stats) {
+    self->ObserveRow(row, begin_us, end_us, stats);
+  };
+  return options;
+}
+
 Coalescer::Coalescer(const Engine& engine, util::ThreadPool* pool,
                      size_t max_pending_rows, CompletionSink sink,
-                     telemetry::Registry* metrics)
+                     telemetry::Registry* metrics,
+                     telemetry::RequestTracer tracer)
     : engine_(engine),
-      evaluator_(engine, core::BatchOptions{pool, 0}),
+      evaluator_(engine, ObservedOptions(pool, this)),
       sink_(std::move(sink)),
-      max_pending_rows_(max_pending_rows) {
+      max_pending_rows_(max_pending_rows),
+      tracer_(tracer) {
   if (metrics != nullptr) {
     groups_total_ = metrics->GetCounter("karl_server_batches_total");
     queries_total_ = metrics->GetCounter("karl_server_queries_total");
@@ -129,7 +145,27 @@ void Coalescer::DispatchLoop() {
   }
 }
 
+void Coalescer::ObserveRow(size_t row, uint64_t begin_us, uint64_t end_us,
+                           const core::EvalStats& stats) {
+  row_begin_us_[row] = begin_us;
+  row_end_us_[row] = end_us;
+  row_stats_[row] = stats;
+  if (tracer_.enabled()) {
+    const uint64_t request_id = row_request_ids_[row];
+    // Worker-lane slice for this row, with the flow step placed inside
+    // it so the request's arrow lands on the executing thread.
+    tracer_.Span("req/eval_row", begin_us, end_us,
+                 {{"req", static_cast<double>(request_id)},
+                  {"kernel_evals", static_cast<double>(stats.kernel_evals)},
+                  {"nodes", static_cast<double>(stats.nodes_expanded)}});
+    tracer_.FlowStep(request_id, begin_us + (end_us - begin_us) / 2);
+  }
+}
+
 void Coalescer::RunGroup(std::vector<WorkItem> group) {
+  const uint64_t dispatched_us = telemetry::MonotonicMicros();
+  for (WorkItem& item : group) item.ctx.dispatched_us = dispatched_us;
+
   const QueryKind kind = group.front().kind;
   const double param = group.front().param;
 
@@ -153,6 +189,36 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
     queries = &merged;
   }
 
+  // Attribution slots for this group, id-mapped so ObserveRow (on
+  // worker threads) can hand each row back to its request.
+  row_request_ids_.assign(total_rows, 0);
+  row_begin_us_.assign(total_rows, 0);
+  row_end_us_.assign(total_rows, 0);
+  row_stats_.assign(total_rows, core::EvalStats{});
+  {
+    size_t row = 0;
+    for (const WorkItem& item : group) {
+      for (size_t r = 0; r < item.queries.rows(); ++r, ++row) {
+        row_request_ids_[row] = item.ctx.id;
+      }
+    }
+  }
+
+  const uint64_t eval_begin_us = telemetry::MonotonicMicros();
+  if (tracer_.enabled()) {
+    // Dispatcher-lane slice for the sweep+merge, with one flow step per
+    // member request so every request's arrow passes through the
+    // dispatcher before fanning out to workers.
+    tracer_.Span("grp/dispatch", dispatched_us, eval_begin_us,
+                 {{"requests", static_cast<double>(group.size())},
+                  {"rows", static_cast<double>(total_rows)}});
+    const uint64_t step_us =
+        dispatched_us + (eval_begin_us - dispatched_us) / 2;
+    for (const WorkItem& item : group) {
+      tracer_.FlowStep(item.ctx.id, step_us);
+    }
+  }
+
   util::Stopwatch timer;
   std::vector<uint8_t> bools;
   std::vector<double> values;
@@ -168,19 +234,39 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
       break;
   }
   const double usec = timer.ElapsedSeconds() * 1e6;
+  const uint64_t eval_end_us = telemetry::MonotonicMicros();
   if (groups_total_ != nullptr) {
     groups_total_->Increment();
     queries_total_->Add(total_rows);
     group_rows_->Record(static_cast<double>(total_rows));
     group_usec_->Record(usec);
   }
+  tracer_.Span("grp/eval", eval_begin_us, eval_end_us,
+               {{"requests", static_cast<double>(group.size())},
+                {"rows", static_cast<double>(total_rows)}});
 
-  // Slice results back out per item, preserving per-request identity.
+  // Slice results back out per item, preserving per-request identity;
+  // each item's eval window and engine stats come from its own rows.
   std::vector<Completion> completions;
   completions.reserve(group.size());
   size_t offset = 0;
-  for (const WorkItem& item : group) {
+  for (WorkItem& item : group) {
     const size_t rows = item.queries.rows();
+    uint64_t item_begin = 0;
+    uint64_t item_end = 0;
+    for (size_t r = offset; r < offset + rows; ++r) {
+      if (row_begin_us_[r] != 0 &&
+          (item_begin == 0 || row_begin_us_[r] < item_begin)) {
+        item_begin = row_begin_us_[r];
+      }
+      if (row_end_us_[r] > item_end) item_end = row_end_us_[r];
+      item.ctx.stats.iterations += row_stats_[r].iterations;
+      item.ctx.stats.nodes_expanded += row_stats_[r].nodes_expanded;
+      item.ctx.stats.kernel_evals += row_stats_[r].kernel_evals;
+    }
+    item.ctx.eval_begin_us = item_begin != 0 ? item_begin : eval_begin_us;
+    item.ctx.eval_end_us = item_end != 0 ? item_end : eval_end_us;
+
     std::string response;
     if (item.is_batch) {
       if (kind == QueryKind::kTkaq) {
@@ -201,9 +287,22 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
         response = OkValueResponse(item.request_id, values[offset]);
       }
     }
-    completions.push_back({item.conn_id, std::move(response)});
+    item.ctx.serialized_us = telemetry::MonotonicMicros();
+
+    Completion completion;
+    completion.conn_id = item.conn_id;
+    completion.response = std::move(response);
+    completion.ctx = item.ctx;
+    completion.kind = kind;
+    completion.is_batch = item.is_batch;
+    completion.rows = rows;
+    completion.request_id = std::move(item.request_id);
+    completions.push_back(std::move(completion));
     offset += rows;
   }
+  const uint64_t serialized_us = telemetry::MonotonicMicros();
+  tracer_.Span("grp/serialize", eval_end_us, serialized_us,
+               {{"requests", static_cast<double>(group.size())}});
   sink_(std::move(completions));
 }
 

@@ -36,6 +36,7 @@
 
 #include "core/batch.h"
 #include "server/protocol.h"
+#include "telemetry/context.h"
 
 namespace karl::server {
 
@@ -52,6 +53,9 @@ struct WorkItem {
   /// with other items).
   bool is_batch = false;
   data::Matrix queries;
+  /// Observability context; the coalescer stamps the dispatch/eval/
+  /// serialize stages and attributes engine work per request.
+  telemetry::RequestContext ctx;
 };
 
 /// A finished response addressed back to a connection.
@@ -59,6 +63,14 @@ struct Completion {
   uint64_t conn_id = 0;
   /// Fully formatted newline-terminated response line.
   std::string response;
+  /// Context with every stage through `serialized_us` stamped; the
+  /// server stamps the write stage and files the flight record.
+  telemetry::RequestContext ctx;
+  QueryKind kind = QueryKind::kTkaq;
+  bool is_batch = false;
+  uint64_t rows = 0;
+  /// Client correlation token ("" = none), for access/slow-query logs.
+  std::string request_id;
 };
 
 /// See file comment. Construction spawns the dispatcher thread;
@@ -72,9 +84,12 @@ class Coalescer {
   /// and signals an eventfd).
   using CompletionSink = std::function<void(std::vector<Completion>)>;
 
+  /// `tracer` (default: disabled) emits dispatcher-side group spans,
+  /// worker-side per-row spans, and per-request flow steps.
   Coalescer(const Engine& engine, util::ThreadPool* pool,
             size_t max_pending_rows, CompletionSink sink,
-            telemetry::Registry* metrics);
+            telemetry::Registry* metrics,
+            telemetry::RequestTracer tracer = {});
   ~Coalescer();
 
   Coalescer(const Coalescer&) = delete;
@@ -107,11 +122,29 @@ class Coalescer {
   // Evaluates one group of same-(kind,param) items and emits their
   // completions. Runs on the dispatcher thread.
   void RunGroup(std::vector<WorkItem> group);
+  // Builds the BatchOptions wired to ObserveRow.
+  static core::BatchOptions ObservedOptions(util::ThreadPool* pool,
+                                            Coalescer* self);
+  // BatchOptions::row_observer target: records one row's eval window
+  // and stats into the attribution slots and emits the worker-side
+  // trace span + flow step. Runs on pool workers (and the dispatcher).
+  void ObserveRow(size_t row, uint64_t begin_us, uint64_t end_us,
+                  const core::EvalStats& stats);
 
   const Engine& engine_;
   core::BatchEvaluator evaluator_;
   CompletionSink sink_;
   const size_t max_pending_rows_;
+  telemetry::RequestTracer tracer_;
+
+  // Per-row attribution for the group currently inside RunGroup: sized
+  // and id-mapped on the dispatcher before evaluation, then written
+  // through ObserveRow. Rows are observed exactly once and distinct
+  // rows use distinct slots, so concurrent workers never share a slot.
+  std::vector<uint64_t> row_request_ids_;
+  std::vector<uint64_t> row_begin_us_;
+  std::vector<uint64_t> row_end_us_;
+  std::vector<core::EvalStats> row_stats_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // Queue/pause/stop transitions.

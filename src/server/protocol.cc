@@ -86,7 +86,7 @@ util::Result<Request> ParseRequest(std::string_view line) {
 
   const Json* op = root.Find("op");
   if (op == nullptr || !op->is_string()) {
-    return BadRequest("missing \"op\" (query|batch|health|metrics)");
+    return BadRequest("missing \"op\" (query|batch|health|metrics|statusz)");
   }
   const std::string& name = op->string_value();
   if (name == "health") {
@@ -95,6 +95,10 @@ util::Result<Request> ParseRequest(std::string_view line) {
   }
   if (name == "metrics") {
     request.op = Request::Op::kMetrics;
+    return request;
+  }
+  if (name == "statusz") {
+    request.op = Request::Op::kStatusz;
     return request;
   }
 
@@ -129,7 +133,7 @@ util::Result<Request> ParseRequest(std::string_view line) {
     return request;
   }
   return BadRequest("unknown op '" + name +
-                    "' (query|batch|health|metrics)");
+                    "' (query|batch|health|metrics|statusz)");
 }
 
 std::string OkBoolResponse(const std::string& id, bool above) {
@@ -178,6 +182,15 @@ std::string OkMetricsResponse(std::string_view prometheus_text) {
                     .Set("ok", Json::Bool(true))
                     .Set("metrics", Json::Str(std::string(prometheus_text))),
                 "");
+}
+
+std::string OkStatuszResponse(std::string_view statusz_object) {
+  // The status object is pre-rendered JSON (built by the server layer,
+  // which owns the flight recorder), so it is embedded, not escaped.
+  std::string out = "{\"ok\": true, \"statusz\": ";
+  out += statusz_object;
+  out += "}\n";
+  return out;
 }
 
 std::string ErrorResponse(const std::string& id, std::string_view code,

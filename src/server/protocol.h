@@ -8,6 +8,7 @@
 //   {"op":"batch","kind":"ekaq","queries":[[...],[...]],"eps":E}
 //   {"op":"health"}
 //   {"op":"metrics"}
+//   {"op":"statusz"}
 //
 // Responses always carry "ok". On success:
 //   tkaq:   {"ok":true,"above":true}            (batch: "above":[...])
@@ -15,6 +16,9 @@
 //   exact:  {"ok":true,"value":V}               (batch: "values":[...])
 //   health: {"ok":true,"status":"serving"}      (or "draining")
 //   metrics:{"ok":true,"metrics":"<Prometheus text, JSON-escaped>"}
+//   statusz:{"ok":true,"statusz":{...}}         (uptime, stage latency
+//           histograms, gauges, and the flight recorder's last-N
+//           completed requests; see Server::StatuszJson)
 // On failure: {"ok":false,"error":"<code>","detail":"..."} with codes
 // "bad_request", "overloaded", "shutting_down", "internal".
 // A request "id" (string) is echoed verbatim on its response, so
@@ -46,7 +50,7 @@ std::string_view QueryKindToString(QueryKind kind);
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kQuery, kBatch, kHealth, kMetrics };
+  enum class Op { kQuery, kBatch, kHealth, kMetrics, kStatusz };
 
   Op op = Op::kHealth;
   QueryKind kind = QueryKind::kTkaq;
@@ -74,6 +78,9 @@ std::string OkValuesResponse(const std::string& id,
                              const std::vector<double>& values);
 std::string OkStatusResponse(std::string_view status);
 std::string OkMetricsResponse(std::string_view prometheus_text);
+/// `statusz_object` must be a serialized JSON object (it is embedded
+/// verbatim, not escaped).
+std::string OkStatuszResponse(std::string_view statusz_object);
 std::string ErrorResponse(const std::string& id, std::string_view code,
                           std::string_view detail);
 

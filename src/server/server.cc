@@ -12,6 +12,7 @@
 #include <cstring>
 #include <utility>
 
+#include "server/json.h"
 #include "telemetry/metrics.h"
 #include "util/check.h"
 
@@ -43,18 +44,23 @@ void SignalEventFd(int fd) {
 // ---------------------------------------------------------------- Router
 
 Router::Router(const Engine& engine, Coalescer* coalescer,
-               telemetry::Registry* metrics)
+               telemetry::Registry* metrics,
+               telemetry::RequestTracer tracer,
+               std::function<std::string()> statusz_source)
     : engine_(engine),
       coalescer_(coalescer),
       metrics_(metrics),
-      dims_(engine.plus_tree().points().cols()) {
+      dims_(engine.plus_tree().points().cols()),
+      tracer_(tracer),
+      statusz_source_(std::move(statusz_source)) {
   requests_total_ = metrics->GetCounter("karl_server_requests_total");
   bad_request_total_ = metrics->GetCounter("karl_server_bad_request_total");
   overload_total_ = metrics->GetCounter("karl_server_overload_total");
 }
 
 Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
-                               bool draining) {
+                               bool draining,
+                               telemetry::RequestContext ctx) {
   Outcome outcome;
   requests_total_->Increment();
 
@@ -74,6 +80,10 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
       return outcome;
     case Request::Op::kMetrics:
       outcome.immediate_response = OkMetricsResponse(DumpText(*metrics_));
+      return outcome;
+    case Request::Op::kStatusz:
+      outcome.immediate_response =
+          OkStatuszResponse(statusz_source_ ? statusz_source_() : "{}");
       return outcome;
     case Request::Op::kQuery:
     case Request::Op::kBatch:
@@ -118,6 +128,10 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
   item.is_batch = request.op == Request::Op::kBatch;
   item.queries = std::move(request.queries);
   const std::string id = item.request_id;  // Enqueue consumes the item.
+  const uint64_t rows = item.queries.rows();
+  ctx.admitted_us = telemetry::MonotonicMicros();
+  item.ctx = ctx;  // Stamped before the hand-off; the dispatcher may
+                   // pick the item up the moment Enqueue releases it.
   if (!coalescer_->Enqueue(std::move(item))) {
     overload_total_->Increment();
     outcome.immediate_response = ErrorResponse(
@@ -125,6 +139,20 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
     return outcome;
   }
   outcome.enqueued = true;
+  if (tracer_.enabled()) {
+    // Event-loop-lane slices for the admitted request, with the flow
+    // start inside req/parse so Perfetto anchors the request's arrow
+    // chain on this thread.
+    const double req = static_cast<double>(ctx.id);
+    if (ctx.read_begin_us != 0) {
+      tracer_.Span("req/read", ctx.read_begin_us, ctx.framed_us,
+                   {{"req", req}});
+    }
+    tracer_.Span("req/parse", ctx.framed_us, ctx.admitted_us,
+                 {{"req", req}, {"rows", static_cast<double>(rows)}});
+    tracer_.FlowBegin(
+        ctx.id, ctx.framed_us + (ctx.admitted_us - ctx.framed_us) / 2);
+  }
   return outcome;
 }
 
@@ -147,6 +175,13 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
   server->pool_ = std::make_unique<util::ThreadPool>(threads);
   server->pool_->AttachMetrics(server->registry_);
 
+  if (server->options_.tracer != nullptr) {
+    server->options_.tracer->AttachMetrics(server->registry_);
+  }
+  server->tracer_ = telemetry::RequestTracer(server->options_.tracer);
+  server->flight_recorder_ = std::make_unique<telemetry::FlightRecorder>(
+      server->options_.flight_recorder_capacity);
+
   Server* raw = server.get();
   server->coalescer_ = std::make_unique<Coalescer>(
       engine, server->pool_.get(), server->options_.max_pending,
@@ -159,9 +194,10 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
         }
         SignalEventFd(raw->completion_fd_);
       },
-      server->registry_);
-  server->router_ = std::make_unique<Router>(engine, server->coalescer_.get(),
-                                             server->registry_);
+      server->registry_, server->tracer_);
+  server->router_ = std::make_unique<Router>(
+      engine, server->coalescer_.get(), server->registry_, server->tracer_,
+      [raw] { return raw->StatuszJson(); });
 
   server->connections_total_ =
       server->registry_->GetCounter("karl_server_connections_total");
@@ -169,6 +205,19 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
       server->registry_->GetCounter("karl_server_dropped_slow_total");
   server->connections_active_ =
       server->registry_->GetGauge("karl_server_connections_active");
+
+  telemetry::Registry* reg = server->registry_;
+  server->stage_read_us_ = reg->GetHistogram("karl_server_read_us");
+  server->stage_parse_us_ = reg->GetHistogram("karl_server_parse_us");
+  server->stage_queue_wait_us_ =
+      reg->GetHistogram("karl_server_queue_wait_us");
+  server->stage_coalesce_wait_us_ =
+      reg->GetHistogram("karl_server_coalesce_wait_us");
+  server->stage_eval_us_ = reg->GetHistogram("karl_server_eval_us");
+  server->stage_serialize_us_ =
+      reg->GetHistogram("karl_server_serialize_us");
+  server->stage_write_us_ = reg->GetHistogram("karl_server_write_us");
+  server->stage_total_us_ = reg->GetHistogram("karl_server_total_us");
 
   server->loop_thread_ = std::thread([raw] { raw->Loop(); });
   return server;
@@ -329,8 +378,11 @@ void Server::BeginShutdown() {
 
 void Server::AcceptAll() {
   while (true) {
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer_addr),
+                  &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN (or transient accept failure): wait for epoll.
@@ -350,6 +402,13 @@ void Server::AcceptAll() {
     conn.id = id;
     conn.fd = fd;
     conn.events = EPOLLIN;
+    char ip[INET_ADDRSTRLEN] = {0};
+    if (peer_len >= sizeof(sockaddr_in) &&
+        ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip)) !=
+            nullptr) {
+      conn.peer =
+          std::string(ip) + ":" + std::to_string(ntohs(peer_addr.sin_port));
+    }
     connections_.emplace(id, std::move(conn));
     connections_total_->Increment();
     connections_active_->Add(1.0);
@@ -361,6 +420,9 @@ void Server::OnReadable(Connection* conn) {
   while (true) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
+      if (conn->read_start_us == 0) {
+        conn->read_start_us = telemetry::MonotonicMicros();
+      }
       conn->in.append(buf, static_cast<size_t>(n));
       // Stop slurping once an oversized unterminated line is apparent;
       // the check below answers and closes.
@@ -389,6 +451,7 @@ void Server::OnReadable(Connection* conn) {
     conn->in.clear();
   }
   if (conn->saw_eof) conn->in.clear();  // Drop any partial trailing line.
+  if (conn->in.empty()) conn->read_start_us = 0;
   if (!FlushOut(conn)) return;
   MaybeFinish(conn);
 }
@@ -416,7 +479,15 @@ void Server::ProcessLines(Connection* conn) {
     conn->in.erase(0, pos + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    Router::Outcome outcome = router_->Handle(conn->id, line, draining_);
+    // Birth of the request's observability context: a fresh monotonic
+    // id plus the read-stage stamps. Pipelined lines framed from one
+    // read share the buffer's first-byte stamp.
+    telemetry::RequestContext ctx;
+    ctx.id = telemetry::NextRequestId();
+    ctx.read_begin_us = conn->read_start_us;
+    ctx.framed_us = telemetry::MonotonicMicros();
+    Router::Outcome outcome =
+        router_->Handle(conn->id, line, draining_, ctx);
     if (outcome.enqueued) {
       ++conn->in_flight;
     } else {
@@ -476,19 +547,194 @@ void Server::DrainCompletions() {
     batch.swap(completions_);
   }
   for (Completion& c : batch) {
+    c.ctx.write_begin_us = telemetry::MonotonicMicros();
     auto it = connections_.find(c.conn_id);
-    if (it == connections_.end()) continue;  // Peer left; drop the answer.
+    if (it == connections_.end()) {
+      // Peer left; drop the answer but still file the record — every
+      // admitted request appears in the flight recorder exactly once.
+      FinishRequest(c, /*ok=*/false, "");
+      continue;
+    }
     Connection* conn = &it->second;
+    const std::string peer = conn->peer;
     if (conn->in_flight > 0) --conn->in_flight;
     conn->out += c.response;
+    bool ok = true;
     if (conn->out.size() > options_.max_write_buffer_bytes) {
       dropped_slow_total_->Increment();
       CloseConnection(conn->id);
-      continue;
+      ok = false;
+    } else if (!FlushOut(conn)) {
+      ok = false;  // Write error closed the connection mid-response.
+    } else {
+      MaybeFinish(conn);
     }
-    if (!FlushOut(conn)) continue;
-    MaybeFinish(conn);
+    c.ctx.write_end_us = telemetry::MonotonicMicros();
+    FinishRequest(c, ok, peer);
   }
+}
+
+void Server::FinishRequest(const Completion& c, bool ok,
+                           const std::string& peer) {
+  const telemetry::RequestContext& ctx = c.ctx;
+
+  if (tracer_.enabled() && ctx.write_end_us != 0) {
+    // Back on the event-loop lane: the write slice closes the request's
+    // flow ("bp":"e" binds the arrow head to this slice).
+    tracer_.Span("req/write", ctx.write_begin_us, ctx.write_end_us,
+                 {{"req", static_cast<double>(ctx.id)},
+                  {"ok", ok ? 1.0 : 0.0}});
+    tracer_.FlowEnd(ctx.id, ctx.write_begin_us +
+                                (ctx.write_end_us - ctx.write_begin_us) / 2);
+  }
+
+  stage_read_us_->Record(static_cast<double>(ctx.read_us()));
+  stage_parse_us_->Record(static_cast<double>(ctx.parse_us()));
+  stage_queue_wait_us_->Record(static_cast<double>(ctx.queue_wait_us()));
+  stage_coalesce_wait_us_->Record(
+      static_cast<double>(ctx.coalesce_wait_us()));
+  stage_eval_us_->Record(static_cast<double>(ctx.eval_us()));
+  stage_serialize_us_->Record(static_cast<double>(ctx.serialize_us()));
+  stage_write_us_->Record(static_cast<double>(ctx.write_us()));
+  stage_total_us_->Record(static_cast<double>(ctx.total_us()));
+
+  telemetry::RequestRecord record;
+  record.ctx = ctx;
+  record.kind = std::string(QueryKindToString(c.kind));
+  record.batch = c.is_batch;
+  record.rows = c.rows;
+  record.peer = peer;
+  record.client_id = c.request_id;
+  record.ok = ok;
+  flight_recorder_->Record(std::move(record));
+
+  const auto stage_fields = [&ctx, &c, ok,
+                             &peer](std::vector<util::LogField>* fields) {
+    fields->emplace_back("req", ctx.id);
+    if (!c.request_id.empty()) fields->emplace_back("id", c.request_id);
+    if (!peer.empty()) fields->emplace_back("peer", peer);
+    fields->emplace_back("kind", QueryKindToString(c.kind));
+    fields->emplace_back("batch", c.is_batch);
+    fields->emplace_back("rows", c.rows);
+    fields->emplace_back("ok", ok);
+    fields->emplace_back("read_us", ctx.read_us());
+    fields->emplace_back("parse_us", ctx.parse_us());
+    fields->emplace_back("queue_wait_us", ctx.queue_wait_us());
+    fields->emplace_back("coalesce_wait_us", ctx.coalesce_wait_us());
+    fields->emplace_back("eval_us", ctx.eval_us());
+    fields->emplace_back("serialize_us", ctx.serialize_us());
+    fields->emplace_back("write_us", ctx.write_us());
+    fields->emplace_back("total_us", ctx.total_us());
+    fields->emplace_back("iterations", ctx.stats.iterations);
+    fields->emplace_back("nodes_expanded", ctx.stats.nodes_expanded);
+    fields->emplace_back("kernel_evals", ctx.stats.kernel_evals);
+  };
+
+  if (options_.access_log != nullptr) {
+    std::vector<util::LogField> fields;
+    stage_fields(&fields);
+    options_.access_log->Log(util::LogLevel::kInfo, "request",
+                             std::move(fields));
+  }
+  if (options_.slow_query_us != 0 && options_.logger != nullptr &&
+      ctx.total_us() >= options_.slow_query_us) {
+    std::vector<util::LogField> fields;
+    stage_fields(&fields);
+    fields.emplace_back("threshold_us", options_.slow_query_us);
+    options_.logger->Log(util::LogLevel::kWarn, "slow_query",
+                         std::move(fields));
+  }
+}
+
+std::string Server::StatuszJson() const {
+  Json root = Json::Object();
+  root.Set("uptime_s", Json::Number(uptime_.ElapsedSeconds()));
+  root.Set("port", Json::Number(static_cast<double>(port_)));
+
+  const telemetry::RegistrySnapshot snapshot = registry_->Snapshot();
+  Json counters = Json::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, Json::Number(static_cast<double>(value)));
+  }
+  root.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, Json::Number(value));
+  }
+  root.Set("gauges", std::move(gauges));
+
+  const std::pair<const char*, telemetry::Histogram*> stages[] = {
+      {"read", stage_read_us_},
+      {"parse", stage_parse_us_},
+      {"queue_wait", stage_queue_wait_us_},
+      {"coalesce_wait", stage_coalesce_wait_us_},
+      {"eval", stage_eval_us_},
+      {"serialize", stage_serialize_us_},
+      {"write", stage_write_us_},
+      {"total", stage_total_us_},
+  };
+  Json stage_obj = Json::Object();
+  for (const auto& [name, histogram] : stages) {
+    const telemetry::HistogramSnapshot h = histogram->Snapshot();
+    Json entry = Json::Object();
+    entry.Set("count", Json::Number(static_cast<double>(h.count)));
+    entry.Set("sum_us", Json::Number(h.sum));
+    entry.Set("p50_us", Json::Number(h.Quantile(0.5)));
+    entry.Set("p95_us", Json::Number(h.Quantile(0.95)));
+    entry.Set("p99_us", Json::Number(h.Quantile(0.99)));
+    entry.Set("max_us", Json::Number(h.max));
+    stage_obj.Set(name, std::move(entry));
+  }
+  root.Set("stages", std::move(stage_obj));
+
+  if (options_.tracer != nullptr) {
+    root.Set("trace_dropped_events",
+             Json::Number(static_cast<double>(options_.tracer->dropped())));
+  }
+
+  Json recorder = Json::Object();
+  recorder.Set("capacity", Json::Number(static_cast<double>(
+                               flight_recorder_->capacity())));
+  recorder.Set("total_recorded",
+               Json::Number(static_cast<double>(
+                   flight_recorder_->total_recorded())));
+  Json requests = Json::Array();
+  for (const telemetry::RequestRecord& r : flight_recorder_->Snapshot()) {
+    Json entry = Json::Object();
+    entry.Set("req", Json::Number(static_cast<double>(r.ctx.id)));
+    if (!r.client_id.empty()) entry.Set("id", Json::Str(r.client_id));
+    entry.Set("kind", Json::Str(r.kind));
+    entry.Set("batch", Json::Bool(r.batch));
+    entry.Set("rows", Json::Number(static_cast<double>(r.rows)));
+    if (!r.peer.empty()) entry.Set("peer", Json::Str(r.peer));
+    entry.Set("ok", Json::Bool(r.ok));
+    entry.Set("read_us",
+              Json::Number(static_cast<double>(r.ctx.read_us())));
+    entry.Set("parse_us",
+              Json::Number(static_cast<double>(r.ctx.parse_us())));
+    entry.Set("queue_wait_us",
+              Json::Number(static_cast<double>(r.ctx.queue_wait_us())));
+    entry.Set("coalesce_wait_us",
+              Json::Number(static_cast<double>(r.ctx.coalesce_wait_us())));
+    entry.Set("eval_us",
+              Json::Number(static_cast<double>(r.ctx.eval_us())));
+    entry.Set("serialize_us",
+              Json::Number(static_cast<double>(r.ctx.serialize_us())));
+    entry.Set("write_us",
+              Json::Number(static_cast<double>(r.ctx.write_us())));
+    entry.Set("total_us",
+              Json::Number(static_cast<double>(r.ctx.total_us())));
+    entry.Set("kernel_evals",
+              Json::Number(static_cast<double>(r.ctx.stats.kernel_evals)));
+    entry.Set("nodes_expanded",
+              Json::Number(static_cast<double>(r.ctx.stats.nodes_expanded)));
+    entry.Set("iterations",
+              Json::Number(static_cast<double>(r.ctx.stats.iterations)));
+    requests.Append(std::move(entry));
+  }
+  recorder.Set("requests", std::move(requests));
+  root.Set("flight_recorder", std::move(recorder));
+  return root.Dump();
 }
 
 }  // namespace karl::server

@@ -42,6 +42,8 @@
 
 #include "core/karl.h"
 #include "server/coalescer.h"
+#include "telemetry/flight_recorder.h"
+#include "util/log.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -67,6 +69,21 @@ struct ServerOptions {
   /// Metrics registry; null falls back to telemetry::GlobalRegistry()
   /// (the /metrics op always has something to expose).
   telemetry::Registry* metrics = nullptr;
+  /// Trace recorder for per-request spans and cross-thread flow events
+  /// (see telemetry/context.h); null disables request tracing.
+  telemetry::TraceRecorder* tracer = nullptr;
+  /// Diagnostics logger (slow queries, lifecycle); null keeps quiet.
+  util::Logger* logger = nullptr;
+  /// Per-request access log (one NDJSON line per completed request);
+  /// null disables.
+  util::Logger* access_log = nullptr;
+  /// Requests whose server-observed latency reaches this many
+  /// microseconds get a WARN line on `logger` with the full stage
+  /// breakdown and engine stats; 0 disables.
+  uint64_t slow_query_us = 0;
+  /// Flight-recorder depth: how many completed requests `statusz`
+  /// remembers.
+  size_t flight_recorder_capacity = 256;
 };
 
 /// Maps one parsed request to its action: answer health/metrics inline,
@@ -75,8 +92,13 @@ struct ServerOptions {
 /// the Connection layer handles transport.
 class Router {
  public:
+  /// `tracer` emits the event-loop-side request spans (req/read,
+  /// req/parse) and the flow start; `statusz_source` renders the
+  /// `statusz` op body (empty object when unset).
   Router(const Engine& engine, Coalescer* coalescer,
-         telemetry::Registry* metrics);
+         telemetry::Registry* metrics,
+         telemetry::RequestTracer tracer = {},
+         std::function<std::string()> statusz_source = {});
 
   /// Outcome of routing one request line.
   struct Outcome {
@@ -89,14 +111,19 @@ class Router {
   };
 
   /// Routes one request line for connection `conn_id`. `draining`
-  /// refuses new evaluation work with `shutting_down`.
-  Outcome Handle(uint64_t conn_id, std::string_view line, bool draining);
+  /// refuses new evaluation work with `shutting_down`. `ctx` carries
+  /// the caller's read stamps; the router stamps admission and threads
+  /// it into the coalescer with the work item.
+  Outcome Handle(uint64_t conn_id, std::string_view line, bool draining,
+                 telemetry::RequestContext ctx = {});
 
  private:
   const Engine& engine_;
   Coalescer* coalescer_;
   telemetry::Registry* metrics_;
   const size_t dims_;
+  telemetry::RequestTracer tracer_;
+  std::function<std::string()> statusz_source_;
   telemetry::Counter* requests_total_ = nullptr;
   telemetry::Counter* bad_request_total_ = nullptr;
   telemetry::Counter* overload_total_ = nullptr;
@@ -126,6 +153,17 @@ class Server {
   /// Blocks until the event loop exited (drain finished).
   void Wait();
 
+  /// Point-in-time status document as a JSON object: uptime, counters,
+  /// gauges, per-stage latency quantiles, and the flight recorder's
+  /// last-N completed requests. Thread-safe; this is what the `statusz`
+  /// op returns and what the SIGUSR1 dump writes.
+  std::string StatuszJson() const;
+
+  /// The always-on ring of recently completed requests.
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return *flight_recorder_;
+  }
+
   /// Test hooks: freeze/unfreeze the coalescer dispatcher so tests can
   /// deterministically pile up a coalescable backlog or fill the
   /// admission queue. Never called on the serving path.
@@ -142,6 +180,10 @@ class Server {
     size_t in_flight = 0;  // Requests admitted, response pending.
     bool saw_eof = false;  // Peer half-closed; flush then close.
     uint32_t events = 0;   // Last epoll interest set registered.
+    std::string peer;      // "ip:port" of the remote end.
+    // When the first byte of a not-yet-framed line was buffered
+    // (MonotonicMicros); 0 between requests.
+    uint64_t read_start_us = 0;
   };
 
   Server() = default;
@@ -162,6 +204,11 @@ class Server {
   // Close-when-done check: EOF'd or draining connections with nothing
   // pending are closed.
   void MaybeFinish(Connection* conn);
+  // Observability tail of one completion: req/write span + flow end,
+  // stage histograms, flight record, access-log line, slow-query WARN.
+  // Runs exactly once per admitted request, on the event-loop thread.
+  void FinishRequest(const Completion& completion, bool ok,
+                     const std::string& peer);
 
   const Engine* engine_ = nullptr;
   ServerOptions options_;
@@ -188,6 +235,21 @@ class Server {
   telemetry::Counter* connections_total_ = nullptr;
   telemetry::Counter* dropped_slow_total_ = nullptr;
   telemetry::Gauge* connections_active_ = nullptr;
+
+  // Request observability (tentpole of the serving stack's story):
+  // per-stage latency histograms, the flight recorder, and the tracer
+  // shared with the router and coalescer.
+  telemetry::RequestTracer tracer_;
+  std::unique_ptr<telemetry::FlightRecorder> flight_recorder_;
+  util::Stopwatch uptime_;
+  telemetry::Histogram* stage_read_us_ = nullptr;
+  telemetry::Histogram* stage_parse_us_ = nullptr;
+  telemetry::Histogram* stage_queue_wait_us_ = nullptr;
+  telemetry::Histogram* stage_coalesce_wait_us_ = nullptr;
+  telemetry::Histogram* stage_eval_us_ = nullptr;
+  telemetry::Histogram* stage_serialize_us_ = nullptr;
+  telemetry::Histogram* stage_write_us_ = nullptr;
+  telemetry::Histogram* stage_total_us_ = nullptr;
 
   std::thread loop_thread_;
   std::mutex wait_mu_;  // Serializes Wait()/join.

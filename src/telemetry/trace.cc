@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "telemetry/metrics.h"
+
 namespace karl::telemetry {
 
 namespace {
@@ -61,10 +63,18 @@ void TraceRecorder::Add(Event event) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return;
   }
   event.tid = TidLocked();
   events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AttachMetrics(Registry* registry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  dropped_counter_ = registry != nullptr
+                         ? registry->GetCounter("karl_trace_dropped_events")
+                         : nullptr;
 }
 
 int TraceRecorder::TidLocked() {
@@ -105,6 +115,26 @@ void TraceRecorder::InstantEvent(std::string name, uint64_t ts_us,
   Add(std::move(event));
 }
 
+void TraceRecorder::FlowEvent(FlowPhase phase, uint64_t flow_id,
+                              uint64_t ts_us) {
+  Event event;
+  event.name = "req";
+  switch (phase) {
+    case FlowPhase::kStart:
+      event.phase = 's';
+      break;
+    case FlowPhase::kStep:
+      event.phase = 't';
+      break;
+    case FlowPhase::kEnd:
+      event.phase = 'f';
+      break;
+  }
+  event.ts_us = ts_us;
+  event.flow_id = flow_id;
+  Add(std::move(event));
+}
+
 size_t TraceRecorder::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -138,6 +168,15 @@ std::string TraceRecorder::ToJson() const {
     }
     if (event.phase == 'i') {
       out += ", \"s\": \"t\"";  // Thread-scoped instant marker.
+    }
+    if (event.phase == 's' || event.phase == 't' || event.phase == 'f') {
+      // Flow events carry the flow id and a category (flows are matched
+      // by (cat, name, id)); the end event binds to its enclosing slice.
+      std::snprintf(buffer, sizeof(buffer),
+                    ", \"cat\": \"req\", \"id\": %llu",
+                    static_cast<unsigned long long>(event.flow_id));
+      out += buffer;
+      if (event.phase == 'f') out += ", \"bp\": \"e\"";
     }
     if (!event.args.empty()) {
       out += ", \"args\": {";

@@ -10,6 +10,11 @@
 //     rendered by Perfetto as stacked counter tracks;
 //   - instant events ("ph":"i"): singular moments such as an index
 //     rebuild trigger.
+// The serving stack adds flow events ("ph":"s"/"t"/"f" under category
+// "req", keyed by the request id): emitted inside the per-stage spans
+// of one request on each thread it crosses, they make Perfetto draw a
+// connected arrow lane per request across the epoll loop, the
+// coalescer dispatcher, and the pool workers (telemetry/context.h).
 //
 // The recorder is thread-safe (one mutex around an event vector; threads
 // are mapped to stable small tids) and bounded: past `max_events` new
@@ -32,6 +37,9 @@
 #include "util/status.h"
 
 namespace karl::telemetry {
+
+class Counter;
+class Registry;
 
 /// Key/value payload attached to a trace event; values are numbers.
 using TraceArgs = std::vector<std::pair<std::string, double>>;
@@ -60,6 +68,21 @@ class TraceRecorder {
   /// Adds an instant ("i") event.
   void InstantEvent(std::string name, uint64_t ts_us, TraceArgs args);
 
+  /// Flow-event phases: start ("s"), step ("t"), end ("f").
+  enum class FlowPhase { kStart, kStep, kEnd };
+
+  /// Adds one flow event of the "req" flow keyed by `flow_id`. Flow
+  /// events bind to the slice enclosing `ts_us` on the calling thread,
+  /// so emit them inside the span they should attach to; matching
+  /// start/step/end events with one id render as arrows in Perfetto.
+  void FlowEvent(FlowPhase phase, uint64_t flow_id, uint64_t ts_us);
+
+  /// Exports the dropped-event count as the `karl_trace_dropped_events`
+  /// counter in `registry` (incremented as drops happen, so truncated
+  /// traces are visible in metrics too, not only in the trace file).
+  /// Call before recording begins; null detaches.
+  void AttachMetrics(Registry* registry);
+
   /// Events stored so far.
   size_t size() const;
 
@@ -77,7 +100,8 @@ class TraceRecorder {
     std::string name;
     char phase = 'i';
     uint64_t ts_us = 0;
-    uint64_t dur_us = 0;  // Complete events only.
+    uint64_t dur_us = 0;   // Complete events only.
+    uint64_t flow_id = 0;  // Flow events only.
     int tid = 0;
     TraceArgs args;
   };
@@ -91,6 +115,7 @@ class TraceRecorder {
   std::vector<Event> events_;
   size_t dropped_ = 0;
   std::map<std::thread::id, int> tids_;
+  Counter* dropped_counter_ = nullptr;  // See AttachMetrics.
 };
 
 }  // namespace karl::telemetry

@@ -1,0 +1,246 @@
+#include "util/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <ctime>
+
+namespace karl::util {
+
+namespace {
+
+// Escapes a string for a double-quoted context (JSON-compatible, also
+// used for quoted text values) — no raw newlines ever reach the line.
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", ch);
+          out->append(buffer);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out->append(buffer);
+}
+
+// UTC wall-clock timestamp with microseconds, ISO 8601.
+void AppendTimestamp(std::string* out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000000;
+  std::tm tm{};
+  gmtime_r(&seconds, &tm);
+  // Sized for the compiler's worst-case field widths (full int range),
+  // not just the realistic 27-byte output, to stay -Wformat-truncation
+  // clean.
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%06dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(micros));
+  out->append(buffer);
+}
+
+void AppendFieldValue(std::string* out, const LogField& field, bool ndjson) {
+  char buffer[32];
+  switch (field.kind) {
+    case LogField::Kind::kString:
+      out->push_back('"');
+      AppendEscaped(out, field.str);
+      out->push_back('"');
+      break;
+    case LogField::Kind::kNumber:
+      AppendNumber(out, field.num);
+      break;
+    case LogField::Kind::kUint:
+      std::snprintf(buffer, sizeof(buffer), "%llu",
+                    static_cast<unsigned long long>(field.uint));
+      out->append(buffer);
+      break;
+    case LogField::Kind::kInt:
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(field.int_));
+      out->append(buffer);
+      break;
+    case LogField::Kind::kBool:
+      out->append(field.flag ? "true" : "false");
+      break;
+  }
+  (void)ndjson;
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+util::Result<LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return util::Status::InvalidArgument("unknown log level '" +
+                                       std::string(name) +
+                                       "' (debug|info|warn|error)");
+}
+
+Logger::Logger(std::FILE* stream, Options options)
+    : Logger(stream, options, /*owns_stream=*/false) {}
+
+Logger::Logger(std::FILE* stream, Options options, bool owns_stream)
+    : stream_(stream),
+      owns_stream_(owns_stream),
+      options_(options),
+      min_level_(options.min_level),
+      tokens_(options.rate_limit_burst),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+util::Result<std::unique_ptr<Logger>> Logger::Open(const std::string& path,
+                                                   Options options) {
+  std::FILE* stream = std::fopen(path.c_str(), "ae");
+  if (stream == nullptr) {
+    return util::Status::IOError("cannot open log file '" + path + "'");
+  }
+  return std::unique_ptr<Logger>(
+      new Logger(stream, options, /*owns_stream=*/true));
+}
+
+Logger::~Logger() {
+  if (owns_stream_ && stream_ != nullptr) std::fclose(stream_);
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::vector<LogField> fields) {
+  if (level < min_level_) return;
+
+  uint64_t suppressed_note = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (options_.rate_limit_per_sec > 0.0) {
+      const auto now = std::chrono::steady_clock::now();
+      const double elapsed =
+          std::chrono::duration<double>(now - last_refill_).count();
+      last_refill_ = now;
+      tokens_ = std::min(options_.rate_limit_burst,
+                         tokens_ + elapsed * options_.rate_limit_per_sec);
+      if (tokens_ < 1.0) {
+        ++suppressed_total_;
+        ++suppressed_since_emit_;
+        return;
+      }
+      tokens_ -= 1.0;
+    }
+    suppressed_note = suppressed_since_emit_;
+    suppressed_since_emit_ = 0;
+    ++emitted_;
+  }
+  if (suppressed_note > 0) {
+    fields.emplace_back("suppressed", suppressed_note);
+  }
+
+  // Format outside the lock; the final write is a single buffered
+  // fwrite, so concurrent lines never interleave mid-line.
+  std::string line;
+  line.reserve(128);
+  if (options_.ndjson) {
+    line += "{\"ts\":\"";
+    AppendTimestamp(&line);
+    line += "\",\"level\":\"";
+    line += LogLevelName(level);
+    line += "\",\"event\":\"";
+    AppendEscaped(&line, event);
+    line += "\"";
+    for (const LogField& field : fields) {
+      line += ",\"";
+      AppendEscaped(&line, field.key);
+      line += "\":";
+      AppendFieldValue(&line, field, /*ndjson=*/true);
+    }
+    line += "}\n";
+  } else {
+    AppendTimestamp(&line);
+    line.push_back(' ');
+    std::string level_name(LogLevelName(level));
+    for (char& ch : level_name) ch = static_cast<char>(std::toupper(ch));
+    line += level_name;
+    line.push_back(' ');
+    AppendEscaped(&line, event);
+    for (const LogField& field : fields) {
+      line.push_back(' ');
+      AppendEscaped(&line, field.key);
+      line.push_back('=');
+      AppendFieldValue(&line, field, /*ndjson=*/false);
+    }
+    line.push_back('\n');
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  std::fflush(stream_);
+}
+
+uint64_t Logger::suppressed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_total_;
+}
+
+uint64_t Logger::emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+Logger& DefaultLogger() {
+  static Logger logger(stderr, Logger::Options{});
+  return logger;
+}
+
+void Log(Logger* logger, LogLevel level, std::string_view event,
+         std::vector<LogField> fields) {
+  if (logger == nullptr) return;
+  logger->Log(level, event, std::move(fields));
+}
+
+}  // namespace karl::util

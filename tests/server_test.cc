@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +22,8 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace karl::server {
@@ -43,13 +49,34 @@ class ServerTest : public ::testing::Test {
   // Starts a server on an ephemeral port with this test's registry.
   void StartServer(size_t max_pending = 1024) {
     ServerOptions options;
+    options.max_pending = max_pending;
+    StartServerWith(std::move(options));
+  }
+
+  // Same, but with caller-supplied observability options.
+  void StartServerWith(ServerOptions options) {
     options.port = 0;
     options.threads = 2;
-    options.max_pending = max_pending;
     options.metrics = &registry_;
     auto server = Server::Start(*engine_, options);
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(server).ValueOrDie();
+  }
+
+  // Fresh (removed) temp file path; loggers open in append mode, so a
+  // stale file from a previous run would skew line counts.
+  static std::string TempPath(const std::string& name) {
+    std::string path = ::testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+    return path;
+  }
+
+  static std::vector<std::string> ReadLines(const std::string& path) {
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
   }
 
   Client Dial() {
@@ -389,6 +416,280 @@ TEST_F(ServerTest, EkaqOnTypeThreeWeightsIsRejectedUpFront) {
   auto above = client.Tkaq(queries_.Row(0), 0.0);
   ASSERT_TRUE(above.ok()) << above.status().ToString();
   EXPECT_EQ(above.value(), mixed.value().Tkaq(queries_.Row(0), 0.0));
+}
+
+// Tentpole acceptance: every admitted request lands in the flight
+// recorder exactly once, with a stage breakdown whose sum nests inside
+// the request's own latency window, and the access log agrees.
+TEST_F(ServerTest, FlightRecorderSeesEveryAdmittedRequestExactlyOnce) {
+  const std::string access_path = TempPath("server_access.ndjson");
+  util::Logger::Options access_options;
+  access_options.ndjson = true;
+  auto access_log = util::Logger::Open(access_path, access_options);
+  ASSERT_TRUE(access_log.ok()) << access_log.status().ToString();
+
+  ServerOptions options;
+  options.access_log = access_log.value().get();
+  StartServerWith(std::move(options));
+
+  Client client = Dial();
+  const size_t singles = 5;
+  for (size_t i = 0; i < singles; ++i) {
+    Json request = Json::Object()
+                       .Set("op", Json::Str("query"))
+                       .Set("kind", Json::Str("ekaq"))
+                       .Set("eps", Json::Number(kEps))
+                       .Set("id", Json::Str("s" + std::to_string(i)));
+    Json q = Json::Array();
+    for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
+    request.Set("q", std::move(q));
+    ASSERT_TRUE(client.SendLine(request.Dump()).ok());
+    auto line = client.ReceiveLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_NE(line.value().find("\"value\""), std::string::npos);
+  }
+  Json batch = Json::Object()
+                   .Set("op", Json::Str("batch"))
+                   .Set("kind", Json::Str("exact"))
+                   .Set("id", Json::Str("b0"));
+  Json rows = Json::Array();
+  for (size_t i = 0; i < 3; ++i) {
+    Json q = Json::Array();
+    for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
+    rows.Append(std::move(q));
+  }
+  batch.Set("queries", std::move(rows));
+  ASSERT_TRUE(client.SendLine(batch.Dump()).ok());
+  ASSERT_TRUE(client.ReceiveLine().ok());
+
+  // All six completions were finished on the event-loop thread before
+  // it could even frame this statusz request, so the snapshot is
+  // complete by construction — no sleep needed.
+  auto statusz = client.Statusz();
+  ASSERT_TRUE(statusz.ok()) << statusz.status().ToString();
+  auto parsed = Json::Parse(statusz.value());
+  ASSERT_TRUE(parsed.ok()) << statusz.value();
+  const Json* recorder = parsed.value().Find("flight_recorder");
+  ASSERT_NE(recorder, nullptr) << statusz.value();
+  EXPECT_EQ(recorder->Find("total_recorded")->number_value(),
+            static_cast<double>(singles + 1));
+  const Json* requests = recorder->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_EQ(requests->items().size(), singles + 1);
+
+  static const char* kStages[] = {
+      "read_us",          "parse_us", "queue_wait_us", "coalesce_wait_us",
+      "eval_us",          "serialize_us", "write_us"};
+  std::map<std::string, double> total_by_id;
+  for (const Json& entry : requests->items()) {
+    const Json* id = entry.Find("id");
+    ASSERT_NE(id, nullptr);
+    ASSERT_EQ(total_by_id.count(id->string_value()), 0u)
+        << "duplicate flight record for " << id->string_value();
+    EXPECT_TRUE(entry.Find("ok")->bool_value());
+    ASSERT_NE(entry.Find("peer"), nullptr);
+    EXPECT_NE(entry.Find("peer")->string_value().find("127.0.0.1:"),
+              std::string::npos);
+    double stage_sum = 0.0;
+    for (const char* stage : kStages) {
+      const Json* v = entry.Find(stage);
+      ASSERT_NE(v, nullptr) << stage;
+      stage_sum += v->number_value();
+    }
+    const double total = entry.Find("total_us")->number_value();
+    EXPECT_GT(total, 0.0);
+    // The seven stages are disjoint sub-windows of [first byte read,
+    // response written], so their sum cannot exceed the total (the
+    // dispatcher doorbell gap absorbs the remainder).
+    EXPECT_LE(stage_sum, total + 1.0) << id->string_value();
+    total_by_id[id->string_value()] = total;
+  }
+  for (size_t i = 0; i < singles; ++i) {
+    const std::string id = "s" + std::to_string(i);
+    ASSERT_EQ(total_by_id.count(id), 1u) << id;
+  }
+  ASSERT_EQ(total_by_id.count("b0"), 1u);
+  const Json* b0 = nullptr;
+  for (const Json& entry : requests->items()) {
+    if (entry.Find("id")->string_value() == "b0") b0 = &entry;
+  }
+  ASSERT_NE(b0, nullptr);
+  EXPECT_EQ(b0->Find("kind")->string_value(), "exact");
+  EXPECT_TRUE(b0->Find("batch")->bool_value());
+  EXPECT_EQ(b0->Find("rows")->number_value(), 3.0);
+
+  EXPECT_EQ(server_->flight_recorder().total_recorded(), singles + 1);
+
+  // The access log saw the same six requests with the same totals.
+  server_->Shutdown();
+  server_->Wait();
+  server_.reset();  // Options reference the local logger.
+  const auto lines = ReadLines(access_path);
+  size_t logged = 0;
+  for (const std::string& line : lines) {
+    auto log_entry = Json::Parse(line);
+    ASSERT_TRUE(log_entry.ok()) << line;
+    if (log_entry.value().Find("event")->string_value() != "request") {
+      continue;
+    }
+    ++logged;
+    const std::string id = log_entry.value().Find("id")->string_value();
+    ASSERT_EQ(total_by_id.count(id), 1u) << id;
+    EXPECT_EQ(log_entry.value().Find("total_us")->number_value(),
+              total_by_id[id])
+        << id;
+  }
+  EXPECT_EQ(logged, singles + 1);
+}
+
+TEST_F(ServerTest, StatuszReportsStageHistogramsAndUptime) {
+  StartServer();
+  Client client = Dial();
+  const size_t n = 4;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(client.Exact(queries_.Row(i)).ok());
+  }
+  auto statusz = client.Statusz();
+  ASSERT_TRUE(statusz.ok()) << statusz.status().ToString();
+  auto parsed = Json::Parse(statusz.value());
+  ASSERT_TRUE(parsed.ok()) << statusz.value();
+  const Json& root = parsed.value();
+  ASSERT_NE(root.Find("uptime_s"), nullptr);
+  EXPECT_GE(root.Find("uptime_s")->number_value(), 0.0);
+  EXPECT_EQ(root.Find("port")->number_value(),
+            static_cast<double>(server_->port()));
+  const Json* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* requests_total = counters->Find("karl_server_requests_total");
+  ASSERT_NE(requests_total, nullptr);
+  EXPECT_GE(requests_total->number_value(), static_cast<double>(n));
+
+  const Json* stages = root.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage : {"read", "parse", "queue_wait", "coalesce_wait",
+                            "eval", "serialize", "write", "total"}) {
+    const Json* entry = stages->Find(stage);
+    ASSERT_NE(entry, nullptr) << stage;
+    // Exactly the admitted queries: health/metrics/statusz ops never
+    // touch the stage histograms.
+    EXPECT_EQ(entry->Find("count")->number_value(), static_cast<double>(n))
+        << stage;
+    EXPECT_GE(entry->Find("p95_us")->number_value(),
+              entry->Find("p50_us")->number_value())
+        << stage;
+  }
+  EXPECT_GT(stages->Find("eval")->Find("sum_us")->number_value(), 0.0);
+  EXPECT_GE(stages->Find("total")->Find("sum_us")->number_value(),
+            stages->Find("eval")->Find("sum_us")->number_value());
+}
+
+// Tentpole acceptance: with a tracer attached, each request renders as
+// one flow — started inside req/parse on the event-loop thread, stepped
+// on the dispatcher/worker threads, ended inside req/write back on the
+// event loop — so Perfetto draws a connected arrow lane per request.
+TEST_F(ServerTest, TraceFlowEventsLinkRequestsAcrossThreads) {
+  telemetry::TraceRecorder recorder(1u << 16);
+  ServerOptions options;
+  options.tracer = &recorder;
+  StartServerWith(std::move(options));
+
+  Client client = Dial();
+  const size_t n = 4;
+  for (size_t i = 0; i < n; ++i) {
+    auto exact = client.Exact(queries_.Row(i));
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  }
+  // Drain before reading the trace: the req/write span of the last
+  // request is emitted after its response is flushed.
+  server_->Shutdown();
+  server_->Wait();
+  server_.reset();  // Options reference the local recorder.
+
+  auto trace = Json::Parse(recorder.ToJson());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const Json* events = trace.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_NE(trace.value().Find("droppedEvents"), nullptr);
+  EXPECT_EQ(trace.value().Find("droppedEvents")->number_value(), 0.0);
+
+  struct Flow {
+    int starts = 0, steps = 0, ends = 0;
+    double start_tid = -1.0;
+    std::set<double> step_tids;
+  };
+  std::map<double, Flow> flows;
+  std::set<std::string> spans;
+  for (const Json& event : events->items()) {
+    const std::string phase = event.Find("ph")->string_value();
+    if (phase == "X") {
+      spans.insert(event.Find("name")->string_value());
+      continue;
+    }
+    if (phase != "s" && phase != "t" && phase != "f") continue;
+    // Perfetto matches flows by (cat, name, id).
+    EXPECT_EQ(event.Find("cat")->string_value(), "req");
+    EXPECT_EQ(event.Find("name")->string_value(), "req");
+    Flow& flow = flows[event.Find("id")->number_value()];
+    const double tid = event.Find("tid")->number_value();
+    if (phase == "s") {
+      ++flow.starts;
+      flow.start_tid = tid;
+    } else if (phase == "t") {
+      ++flow.steps;
+      flow.step_tids.insert(tid);
+    } else {
+      ++flow.ends;
+      const Json* bp = event.Find("bp");
+      ASSERT_NE(bp, nullptr);
+      EXPECT_EQ(bp->string_value(), "e");  // Binds to enclosing slice.
+    }
+  }
+
+  EXPECT_EQ(flows.size(), n);
+  for (const auto& [id, flow] : flows) {
+    EXPECT_EQ(flow.starts, 1) << "flow " << id;
+    EXPECT_EQ(flow.ends, 1) << "flow " << id;
+    EXPECT_GE(flow.steps, 1) << "flow " << id;
+    bool crossed_threads = false;
+    for (const double tid : flow.step_tids) {
+      crossed_threads |= tid != flow.start_tid;
+    }
+    EXPECT_TRUE(crossed_threads) << "flow " << id;
+  }
+  for (const char* span : {"req/read", "req/parse", "grp/dispatch",
+                           "grp/eval", "req/eval_row", "grp/serialize",
+                           "req/write"}) {
+    EXPECT_EQ(spans.count(span), 1u) << span;
+  }
+}
+
+TEST_F(ServerTest, SlowQueryThresholdEmitsWarnWithStageBreakdown) {
+  const std::string log_path = TempPath("server_slow.log");
+  auto logger = util::Logger::Open(log_path, util::Logger::Options{});
+  ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+
+  ServerOptions options;
+  options.logger = logger.value().get();
+  options.slow_query_us = 1;  // Loopback latency always crosses 1us.
+  StartServerWith(std::move(options));
+
+  Client client = Dial();
+  ASSERT_TRUE(client.Exact(queries_.Row(0)).ok());
+  server_->Shutdown();
+  server_->Wait();
+  server_.reset();  // Options reference the local logger.
+
+  bool found = false;
+  for (const std::string& line : ReadLines(log_path)) {
+    if (line.find("slow_query") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+    EXPECT_NE(line.find("kind=\"exact\""), std::string::npos) << line;
+    EXPECT_NE(line.find("eval_us="), std::string::npos) << line;
+    EXPECT_NE(line.find("total_us="), std::string::npos) << line;
+    EXPECT_NE(line.find("threshold_us=1"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(ServerJsonTest, ParseRejectsGarbageAndRoundTripsValues) {

@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -17,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/context.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -453,6 +456,125 @@ TEST(TraceRecorderTest, WriteJsonRoundTripsThroughDisk) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, FlowEventsCarryCategoryIdAndBindingPoint) {
+  TraceRecorder recorder;
+  recorder.FlowEvent(TraceRecorder::FlowPhase::kStart, 42, 10);
+  recorder.FlowEvent(TraceRecorder::FlowPhase::kStep, 42, 20);
+  recorder.FlowEvent(TraceRecorder::FlowPhase::kEnd, 42, 30);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  // Perfetto matches flows by (cat, name, id); the end event binds to
+  // its enclosing slice.
+  EXPECT_NE(json.find("\"cat\": \"req\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DroppedEventsSurfaceAsAMetricCounter) {
+  Registry registry;
+  TraceRecorder recorder(2);
+  recorder.AttachMetrics(&registry);
+  for (int i = 0; i < 5; ++i) {
+    recorder.InstantEvent("e", static_cast<uint64_t>(i), {});
+  }
+  EXPECT_EQ(recorder.dropped(), 3u);
+  EXPECT_EQ(registry.GetCounter("karl_trace_dropped_events")->value(), 3u);
+}
+
+TEST(RequestContextTest, StageDurationsSaturateAndChain) {
+  RequestContext ctx;
+  ctx.read_begin_us = 100;
+  ctx.framed_us = 110;
+  ctx.admitted_us = 115;
+  ctx.dispatched_us = 140;
+  ctx.eval_begin_us = 150;
+  ctx.eval_end_us = 250;
+  ctx.serialized_us = 260;
+  ctx.write_begin_us = 270;
+  ctx.write_end_us = 300;
+  EXPECT_EQ(ctx.read_us(), 10u);
+  EXPECT_EQ(ctx.parse_us(), 5u);
+  EXPECT_EQ(ctx.queue_wait_us(), 25u);
+  EXPECT_EQ(ctx.coalesce_wait_us(), 10u);
+  EXPECT_EQ(ctx.eval_us(), 100u);
+  EXPECT_EQ(ctx.serialize_us(), 10u);
+  EXPECT_EQ(ctx.write_us(), 30u);
+  EXPECT_EQ(ctx.total_us(), 200u);
+  // Unset (zero) or inverted stamps saturate to zero instead of
+  // wrapping to huge unsigned values.
+  RequestContext empty;
+  EXPECT_EQ(empty.read_us(), 0u);
+  EXPECT_EQ(empty.total_us(), 0u);
+  empty.eval_begin_us = 50;
+  empty.eval_end_us = 40;
+  EXPECT_EQ(empty.eval_us(), 0u);
+}
+
+TEST(RequestContextTest, NextRequestIdIsMonotonicAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(NextRequestId());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<uint64_t> all;
+  for (const auto& chunk : ids) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "request ids must be unique";
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestAndSnapshotsInOrder) {
+  FlightRecorder recorder(3);
+  EXPECT_EQ(recorder.capacity(), 3u);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    RequestRecord record;
+    record.ctx.id = i;
+    record.kind = "exact";
+    record.rows = i;
+    recorder.Record(std::move(record));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  const std::vector<RequestRecord> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);  // Oldest two were evicted.
+  EXPECT_EQ(snapshot[0].ctx.id, 3u);
+  EXPECT_EQ(snapshot[1].ctx.id, 4u);
+  EXPECT_EQ(snapshot[2].ctx.id, 5u);
+}
+
+TEST(FlightRecorderTest, PartialRingSnapshotsWhatExists) {
+  FlightRecorder recorder(8);
+  RequestRecord record;
+  record.ctx.id = 7;
+  record.client_id = "only";
+  recorder.Record(std::move(record));
+  const std::vector<RequestRecord> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].ctx.id, 7u);
+  EXPECT_EQ(snapshot[0].client_id, "only");
+  EXPECT_EQ(recorder.total_recorded(), 1u);
+}
+
+TEST(FlightRecorderTest, ZeroCapacityIsClampedToOne) {
+  FlightRecorder recorder(0);
+  EXPECT_EQ(recorder.capacity(), 1u);
+  RequestRecord record;
+  record.ctx.id = 1;
+  recorder.Record(std::move(record));
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
 }
 
 TEST(GlobalRegistryTest, IsASingleton) {

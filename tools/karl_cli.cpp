@@ -25,12 +25,14 @@
 //       Offline-tunes the index configuration and reports the grid.
 //   remote-query  --port P [--host 127.0.0.1] --queries <file.csv>
 //                 (--tau T | --eps E | --exact) [--limit N] [--batch]
-//                 [--metrics-out <file>]
+//                 [--metrics-out <file>] | --statusz
 //       Issues the query rows against a running karl_server (see
 //       tools/karl_server.cc) over the newline-delimited JSON
 //       protocol; output format matches the local `query` subcommand.
 //       --batch sends one batch request instead of per-row queries;
 //       --metrics-out scrapes the server's /metrics afterwards.
+//       --statusz skips querying and prints the server's statusz
+//       document (uptime, stage latency quantiles, flight recorder).
 //
 // Exit status: 0 on success, 1 on usage or runtime errors.
 
@@ -311,10 +313,22 @@ int RunRemoteQuery(const ParsedArgs& args) {
   const auto port = args.GetInt("port", 0);
   const std::string query_path = args.GetString("queries");
   if (!port.ok()) return Fail(port.status().ToString());
+  if (args.Has("statusz")) {
+    // Status scrape only: print the server's statusz JSON and exit —
+    // no query file needed.
+    if (port.value() <= 0) return Fail("remote-query requires --port");
+    auto client = karl::server::Client::Connect(
+        host, static_cast<int>(port.value()));
+    if (!client.ok()) return Fail(client.status().ToString());
+    auto statusz = client.value().Statusz();
+    if (!statusz.ok()) return Fail(statusz.status().ToString());
+    std::printf("%s\n", statusz.value().c_str());
+    return 0;
+  }
   if (port.value() <= 0 || query_path.empty()) {
     return Fail(
         "remote-query requires --port <port> --queries <file.csv> and one "
-        "of --tau/--eps/--exact");
+        "of --tau/--eps/--exact (or --statusz to scrape server status)");
   }
   const bool threshold_mode = args.Has("tau");
   const bool approx_mode = args.Has("eps");

@@ -2,14 +2,28 @@
 //
 //   karl_server --model <model.bin> [--host 127.0.0.1] [--port 7070]
 //               [--threads N] [--max-pending R] [--metrics-out <file>]
+//               [--log-level debug|info|warn|error] [--access-log <file>]
+//               [--slow-query-us N] [--trace-out <file>]
+//               [--statusz-out <file>]
 //
 // Loads the model, builds the engine (with the global telemetry
 // registry attached), and serves the newline-delimited JSON protocol
 // (src/server/protocol.h) until SIGINT/SIGTERM, then drains in-flight
-// work, optionally dumps the metrics registry to --metrics-out, and
-// exits 0. `--port 0` binds an ephemeral port; the chosen port is part
-// of the "listening on" line printed (and flushed) at startup, so
-// wrapper scripts can scrape it.
+// work, optionally dumps the metrics registry to --metrics-out (and the
+// request trace to --trace-out), and exits 0. `--port 0` binds an
+// ephemeral port; the chosen port is part of the "listening on" line
+// printed (and flushed) at startup, so wrapper scripts can scrape it.
+//
+// Observability:
+//   --log-level      minimum severity of the stderr diagnostics log.
+//   --access-log     one NDJSON line per completed request (stage
+//                    breakdown + engine stats) appended to <file>.
+//   --slow-query-us  requests at or above this server-observed latency
+//                    get a WARN line with the full stage breakdown.
+//   --trace-out      Chrome trace (Perfetto-loadable) with per-request
+//                    spans flow-linked across threads, written at exit.
+//   --statusz-out    where SIGUSR1 dumps the statusz JSON document
+//                    (stderr when unset). SIGUSR1 never stops serving.
 
 #include <csignal>
 #include <cstdio>
@@ -18,20 +32,35 @@
 #include "core/engine_io.h"
 #include "server/server.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/flags.h"
+#include "util/log.h"
 
 namespace {
-
-karl::server::Server* g_server = nullptr;
-
-// Async-signal-safe: Server::Shutdown is a single eventfd write.
-void HandleSignal(int /*signum*/) {
-  if (g_server != nullptr) g_server->Shutdown();
-}
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "karl_server: %s\n", message.c_str());
   return 1;
+}
+
+// Writes the statusz document to `path` ("" = stderr). Runs on the main
+// thread out of sigwait — ordinary (non-async-signal) context.
+void DumpStatusz(const karl::server::Server& server,
+                 const std::string& path) {
+  const std::string body = server.StatuszJson() + "\n";
+  if (path.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stderr);
+    std::fflush(stderr);
+    return;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "we");
+  if (out == nullptr) {
+    std::fprintf(stderr, "karl_server: cannot open statusz file '%s'\n",
+                 path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
 }
 
 }  // namespace
@@ -45,24 +74,49 @@ int main(int argc, char** argv) {
   if (model_path.empty()) {
     return Fail(
         "usage: karl_server --model <model.bin> [--host H] [--port P] "
-        "[--threads N] [--max-pending R] [--metrics-out <file>]");
+        "[--threads N] [--max-pending R] [--metrics-out <file>] "
+        "[--log-level L] [--access-log <file>] [--slow-query-us N] "
+        "[--trace-out <file>] [--statusz-out <file>]");
   }
   const std::string host = args.GetString("host", "127.0.0.1");
   const auto port = args.GetInt("port", 7070);
   const auto threads = args.GetInt("threads", 0);
   const auto max_pending = args.GetInt("max-pending", 1024);
   const std::string metrics_out = args.GetString("metrics-out");
+  const std::string log_level_name = args.GetString("log-level", "info");
+  const std::string access_log_path = args.GetString("access-log");
+  const auto slow_query_us = args.GetInt("slow-query-us", 0);
+  const std::string trace_out = args.GetString("trace-out");
+  const std::string statusz_out = args.GetString("statusz-out");
   if (!port.ok()) return Fail(port.status().ToString());
   if (!threads.ok()) return Fail(threads.status().ToString());
   if (!max_pending.ok()) return Fail(max_pending.status().ToString());
+  if (!slow_query_us.ok()) return Fail(slow_query_us.status().ToString());
   if (port.value() < 0 || port.value() > 65535) {
     return Fail("--port must be in [0, 65535]");
   }
   if (threads.value() < 0) return Fail("--threads must be >= 0");
   if (max_pending.value() <= 0) return Fail("--max-pending must be > 0");
+  if (slow_query_us.value() < 0) return Fail("--slow-query-us must be >= 0");
+  const auto log_level = karl::util::ParseLogLevel(log_level_name);
+  if (!log_level.ok()) return Fail(log_level.status().ToString());
   for (const auto& flag : args.UnusedFlags()) {
     std::fprintf(stderr, "karl_server: warning: unused flag --%s\n",
                  flag.c_str());
+  }
+
+  karl::util::Logger::Options log_options;
+  log_options.min_level = log_level.value();
+  karl::util::Logger logger(stderr, log_options);
+
+  std::unique_ptr<karl::util::Logger> access_log;
+  if (!access_log_path.empty()) {
+    karl::util::Logger::Options access_options;
+    access_options.min_level = karl::util::LogLevel::kInfo;
+    access_options.ndjson = true;
+    auto opened = karl::util::Logger::Open(access_log_path, access_options);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    access_log = std::move(opened).ValueOrDie();
   }
 
   auto model = karl::core::LoadEngineModel(model_path);
@@ -73,28 +127,71 @@ int main(int argc, char** argv) {
                                     model.value().options);
   if (!engine.ok()) return Fail(engine.status().ToString());
 
+  std::unique_ptr<karl::telemetry::TraceRecorder> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<karl::telemetry::TraceRecorder>(1u << 20);
+  }
+
+  // Block the lifecycle signals before Start() so every thread the
+  // server spawns inherits the mask; the main thread then collects them
+  // synchronously with sigwait — no async-signal-context restrictions
+  // on what the SIGUSR1 dump may do.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
   karl::server::ServerOptions options;
   options.host = host;
   options.port = static_cast<int>(port.value());
   options.threads = static_cast<size_t>(threads.value());
   options.max_pending = static_cast<size_t>(max_pending.value());
   options.metrics = &karl::telemetry::GlobalRegistry();
+  options.tracer = tracer.get();
+  options.logger = &logger;
+  options.access_log = access_log.get();
+  options.slow_query_us = static_cast<uint64_t>(slow_query_us.value());
   auto server = karl::server::Server::Start(engine.value(), options);
   if (!server.ok()) return Fail(server.status().ToString());
 
-  g_server = server.value().get();
-  struct sigaction action{};
-  action.sa_handler = HandleSignal;
-  sigaction(SIGINT, &action, nullptr);
-  sigaction(SIGTERM, &action, nullptr);
-
+  const size_t pool_threads =
+      options.threads != 0 ? options.threads
+                           : karl::util::ThreadPool::DefaultThreadCount();
+  logger.Log(karl::util::LogLevel::kInfo, "server.start",
+             {{"model", model_path},
+              {"points", static_cast<uint64_t>(model.value().points.rows())},
+              {"dims", static_cast<uint64_t>(model.value().points.cols())},
+              {"threads", static_cast<uint64_t>(pool_threads)},
+              {"host", host},
+              {"port", static_cast<int64_t>(server.value()->port())},
+              {"max_pending", static_cast<uint64_t>(max_pending.value())},
+              {"slow_query_us",
+               static_cast<uint64_t>(slow_query_us.value())},
+              {"tracing", tracer != nullptr},
+              {"access_log",
+               access_log_path.empty() ? "<off>" : access_log_path}});
   std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
               host.c_str(), server.value()->port(), model_path.c_str(),
               model.value().points.rows());
   std::fflush(stdout);
 
+  while (true) {
+    int signum = 0;
+    if (sigwait(&sigs, &signum) != 0) break;
+    if (signum == SIGUSR1) {
+      logger.Log(karl::util::LogLevel::kInfo, "statusz.dump",
+                 {{"path", statusz_out.empty() ? "<stderr>" : statusz_out}});
+      DumpStatusz(*server.value(), statusz_out);
+      continue;
+    }
+    logger.Log(karl::util::LogLevel::kInfo, "server.drain",
+               {{"signal", static_cast<int64_t>(signum)}});
+    server.value()->Shutdown();
+    break;
+  }
   server.value()->Wait();
-  g_server = nullptr;
 
   if (!metrics_out.empty()) {
     if (auto st = karl::telemetry::WriteMetricsFile(
@@ -104,6 +201,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "karl_server: metrics written to %s\n",
                  metrics_out.c_str());
+  }
+  if (tracer != nullptr) {
+    if (auto st = tracer->WriteJson(trace_out); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    logger.Log(karl::util::LogLevel::kInfo, "trace.written",
+               {{"path", trace_out},
+                {"events", static_cast<uint64_t>(tracer->size())},
+                {"dropped", static_cast<uint64_t>(tracer->dropped())}});
   }
   std::printf("karl_server: drained and stopped\n");
   return 0;
