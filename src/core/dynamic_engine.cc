@@ -11,8 +11,8 @@
 
 namespace karl::core {
 
-util::Result<DynamicEngine> DynamicEngine::Create(size_t dimensions,
-                                                  const Options& options) {
+util::Result<std::unique_ptr<DynamicEngine>> DynamicEngine::Create(
+    size_t dimensions, const Options& options) {
   if (dimensions == 0) {
     return util::Status::InvalidArgument("dimensionality must be positive");
   }
@@ -21,21 +21,23 @@ util::Result<DynamicEngine> DynamicEngine::Create(size_t dimensions,
         "rebuild_fraction must be in (0, 1]");
   }
   KARL_RETURN_NOT_OK(options.engine.kernel.Validate());
-  DynamicEngine engine;
-  engine.options_ = options;
-  engine.dimensions_ = dimensions;
+  std::unique_ptr<DynamicEngine> engine(new DynamicEngine());
+  engine->options_ = options;
+  engine->dimensions_ = dimensions;
   if (options.engine.metrics != nullptr) {
     telemetry::Registry& reg = *options.engine.metrics;
-    engine.instruments_.delta_points =
+    engine->instruments_.delta_points =
         reg.GetGauge("karl_dynamic_delta_points");
-    engine.instruments_.tombstones = reg.GetGauge("karl_dynamic_tombstones");
-    engine.instruments_.live_points =
+    engine->instruments_.tombstones = reg.GetGauge("karl_dynamic_tombstones");
+    engine->instruments_.live_points =
         reg.GetGauge("karl_dynamic_live_points");
-    engine.instruments_.inserts = reg.GetCounter("karl_dynamic_inserts_total");
-    engine.instruments_.removes = reg.GetCounter("karl_dynamic_removes_total");
-    engine.instruments_.rebuilds =
+    engine->instruments_.inserts =
+        reg.GetCounter("karl_dynamic_inserts_total");
+    engine->instruments_.removes =
+        reg.GetCounter("karl_dynamic_removes_total");
+    engine->instruments_.rebuilds =
         reg.GetCounter("karl_dynamic_rebuilds_total");
-    engine.instruments_.rebuild_usec =
+    engine->instruments_.rebuild_usec =
         reg.GetHistogram("karl_dynamic_rebuild_usec");
   }
   return engine;
@@ -59,6 +61,7 @@ util::Result<PointId> DynamicEngine::Insert(std::span<const double> point,
   if (weight == 0.0) {
     return util::Status::InvalidArgument("weight must be non-zero");
   }
+  const util::WriterMutexLock lock(&mu_);
   const PointId id = next_id_++;
   StoredPoint stored;
   stored.values.assign(point.begin(), point.end());
@@ -75,6 +78,7 @@ util::Result<PointId> DynamicEngine::Insert(std::span<const double> point,
 }
 
 util::Status DynamicEngine::Remove(PointId id) {
+  const util::WriterMutexLock lock(&mu_);
   auto it = points_.find(id);
   if (it == points_.end() || !it->second.alive) {
     return util::Status::NotFound("no live point with id " +
@@ -124,6 +128,7 @@ bool DynamicEngine::Tkaq(std::span<const double> q, double tau,
                          EvalStats* stats) const {
   // F = F_indexed + delta, computed exactly for the delta; the indexed
   // part answers the shifted threshold.
+  const util::ReaderMutexLock lock(&mu_);
   const double delta = DeltaAggregate(q, stats);
   if (snapshot_ == nullptr) return delta > tau;
   return snapshot_->Tkaq(q, tau - delta, stats);
@@ -131,6 +136,7 @@ bool DynamicEngine::Tkaq(std::span<const double> q, double tau,
 
 double DynamicEngine::Ekaq(std::span<const double> q, double eps,
                            EvalStats* stats) const {
+  const util::ReaderMutexLock lock(&mu_);
   const double delta = DeltaAggregate(q, stats);
   if (snapshot_ == nullptr) return delta;
   return snapshot_->Ekaq(q, eps, stats) + delta;
@@ -138,13 +144,14 @@ double DynamicEngine::Ekaq(std::span<const double> q, double eps,
 
 double DynamicEngine::Exact(std::span<const double> q,
                             EvalStats* stats) const {
+  const util::ReaderMutexLock lock(&mu_);
   const double delta = DeltaAggregate(q, stats);
   if (snapshot_ == nullptr) return delta;
   return snapshot_->Exact(q, stats) + delta;
 }
 
 void DynamicEngine::MaybeRebuild() {
-  const size_t delta = delta_size();
+  const size_t delta = DeltaSizeLocked();
   if (snapshot_ == nullptr) {
     if (live_count_ >= options_.min_index_size) Rebuild();
     return;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/karl.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace karl::util {
@@ -31,12 +32,17 @@ using PointId = uint64_t;
 
 /// Mutable engine over a weighted point multiset.
 ///
-/// Thread safety: the const query methods (Tkaq/Ekaq/Exact and their
-/// *Batch forms) only read, so any number of threads may query
-/// concurrently — but Insert/Remove mutate the snapshot and delta state
-/// and require exclusive access (no queries in flight). As with Engine,
-/// one EvalStats object must not be shared across concurrent callers;
-/// the *Batch methods merge per-worker accumulators instead.
+/// Thread safety: internally synchronised by a reader/writer lock.
+/// Queries (Tkaq/Ekaq/Exact and their *Batch forms) take the lock
+/// shared, so any number of threads may query concurrently;
+/// Insert/Remove take it exclusively and may interleave with queries
+/// from other threads. A *Batch call locks per row (never across the
+/// pool fan-out — holding a reader lock across ParallelFor while a
+/// writer is queued would deadlock the pool), so a batch overlapping a
+/// mutation sees each row against the multiset current at that row.
+/// As with Engine, one EvalStats object must not be shared across
+/// concurrent callers; the *Batch methods merge per-worker
+/// accumulators instead.
 class DynamicEngine {
  public:
   struct Options {
@@ -48,36 +54,39 @@ class DynamicEngine {
     size_t min_index_size = 256;
   };
 
-  /// Creates an engine of dimensionality `dimensions`, optionally seeded
-  /// with an initial batch. Weights may be any sign but not zero.
-  static util::Result<DynamicEngine> Create(size_t dimensions,
-                                            const Options& options);
+  /// Creates an engine of dimensionality `dimensions`. Weights may be
+  /// any sign but not zero. Returned by pointer: the engine embeds its
+  /// reader/writer lock, so it is neither movable nor copyable.
+  static util::Result<std::unique_ptr<DynamicEngine>> Create(
+      size_t dimensions, const Options& options);
 
-  DynamicEngine(DynamicEngine&&) = default;
-  DynamicEngine& operator=(DynamicEngine&&) = default;
+  DynamicEngine(const DynamicEngine&) = delete;
+  DynamicEngine& operator=(const DynamicEngine&) = delete;
 
   /// Inserts a point; returns its stable id. Fails on dimension mismatch
   /// or zero weight.
-  util::Result<PointId> Insert(std::span<const double> point, double weight);
+  util::Result<PointId> Insert(std::span<const double> point, double weight)
+      KARL_EXCLUDES(mu_);
 
   /// Removes a previously inserted point. Fails if the id is unknown or
   /// already removed.
-  util::Status Remove(PointId id);
+  util::Status Remove(PointId id) KARL_EXCLUDES(mu_);
 
   /// TKAQ over the current multiset: F(q) > tau? `stats` (optional)
   /// accumulates the work done, counting every delta-buffer and
   /// tombstone kernel evaluation alongside the indexed refinement work.
   bool Tkaq(std::span<const double> q, double tau,
-            EvalStats* stats = nullptr) const;
+            EvalStats* stats = nullptr) const KARL_EXCLUDES(mu_);
 
   /// εKAQ over the current multiset. The delta buffer and tombstones are
   /// aggregated exactly, so the relative-error guarantee applies to the
   /// indexed portion (the exact delta adds no error of its own).
   double Ekaq(std::span<const double> q, double eps,
-              EvalStats* stats = nullptr) const;
+              EvalStats* stats = nullptr) const KARL_EXCLUDES(mu_);
 
   /// Exact F(q) over the current multiset.
-  double Exact(std::span<const double> q, EvalStats* stats = nullptr) const;
+  double Exact(std::span<const double> q, EvalStats* stats = nullptr) const
+      KARL_EXCLUDES(mu_);
 
   /// Batch TKAQ over every row of `queries`, fanned across `pool` (null
   /// runs serially); bit-identical to the serial loop for any thread
@@ -96,19 +105,26 @@ class DynamicEngine {
                                  util::ThreadPool* pool = nullptr,
                                  EvalStats* stats = nullptr) const;
 
-  /// Options the engine was created with.
+  /// Options the engine was created with (immutable, lock-free).
   const Options& options() const { return options_; }
 
   /// Number of live points.
-  size_t size() const { return live_count_; }
+  size_t size() const KARL_EXCLUDES(mu_) {
+    const util::ReaderMutexLock lock(&mu_);
+    return live_count_;
+  }
 
   /// Points currently answered by linear scanning (buffer + tombstones).
-  size_t delta_size() const {
-    return buffer_ids_.size() + tombstones_.size();
+  size_t delta_size() const KARL_EXCLUDES(mu_) {
+    const util::ReaderMutexLock lock(&mu_);
+    return DeltaSizeLocked();
   }
 
   /// Total index rebuilds performed so far.
-  size_t rebuild_count() const { return rebuild_count_; }
+  size_t rebuild_count() const KARL_EXCLUDES(mu_) {
+    const util::ReaderMutexLock lock(&mu_);
+    return rebuild_count_;
+  }
 
  private:
   DynamicEngine() = default;
@@ -136,28 +152,41 @@ class DynamicEngine {
 
   // Exact aggregate of the un-indexed delta: + buffered inserts,
   // − tombstoned snapshot points.
-  double DeltaAggregate(std::span<const double> q, EvalStats* stats) const;
+  double DeltaAggregate(std::span<const double> q, EvalStats* stats) const
+      KARL_REQUIRES_SHARED(mu_);
+
+  size_t DeltaSizeLocked() const KARL_REQUIRES_SHARED(mu_) {
+    return buffer_ids_.size() + tombstones_.size();
+  }
 
   // Rebuilds the snapshot engine over all live points if the delta has
-  // outgrown the configured fraction.
-  void MaybeRebuild();
-  void Rebuild();
+  // outgrown the configured fraction. Only called from Insert/Remove,
+  // under the exclusive lock.
+  void MaybeRebuild() KARL_REQUIRES(mu_);
+  void Rebuild() KARL_REQUIRES(mu_);
 
   // Refreshes the delta/tombstone/live gauges (no-op when disabled).
-  void UpdateGauges() const;
+  void UpdateGauges() const KARL_REQUIRES_SHARED(mu_);
 
+  // options_, dimensions_, and instruments_ are set once in Create and
+  // immutable afterwards; the metric objects are internally atomic.
   Options options_;
   size_t dimensions_ = 0;
-  std::unordered_map<PointId, StoredPoint> points_;
-  PointId next_id_ = 0;
-  size_t live_count_ = 0;
-
-  std::unique_ptr<Engine> snapshot_;  // Null when below min_index_size.
-  size_t snapshot_size_ = 0;
-  std::vector<PointId> buffer_ids_;      // Live, not yet indexed.
-  std::vector<PointId> tombstones_;      // Removed but still indexed.
-  size_t rebuild_count_ = 0;
   Instruments instruments_;
+
+  mutable util::SharedMutex mu_;
+  std::unordered_map<PointId, StoredPoint> points_ KARL_GUARDED_BY(mu_);
+  PointId next_id_ KARL_GUARDED_BY(mu_) = 0;
+  size_t live_count_ KARL_GUARDED_BY(mu_) = 0;
+
+  // Null when below min_index_size.
+  std::unique_ptr<Engine> snapshot_ KARL_GUARDED_BY(mu_);
+  size_t snapshot_size_ KARL_GUARDED_BY(mu_) = 0;
+  // Live, not yet indexed.
+  std::vector<PointId> buffer_ids_ KARL_GUARDED_BY(mu_);
+  // Removed but still indexed.
+  std::vector<PointId> tombstones_ KARL_GUARDED_BY(mu_);
+  size_t rebuild_count_ KARL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace karl::core

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "util/errno.h"
+
 namespace karl::core {
 
 namespace {
@@ -126,7 +128,7 @@ util::Status SaveEngineModel(const std::string& path,
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return util::Status::IOError("cannot open " + path + " for writing: " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   return WriteEngineModel(out, model);
 }
@@ -135,7 +137,7 @@ util::Result<EngineModel> LoadEngineModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return util::Status::IOError("cannot open " + path + ": " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   return ReadEngineModel(in);
 }

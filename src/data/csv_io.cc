@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/errno.h"
+
 namespace karl::data {
 
 util::Result<Matrix> ParseCsv(const std::string& text,
@@ -58,7 +60,7 @@ util::Result<Matrix> ReadCsvFile(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return util::Status::IOError("cannot open " + path + ": " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -83,7 +85,7 @@ util::Status WriteCsvFile(const std::string& path, const Matrix& matrix) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return util::Status::IOError("cannot open " + path + " for writing: " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   out << WriteCsv(matrix);
   if (!out) return util::Status::IOError("write failed for " + path);

@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/errno.h"
+
 namespace karl::data {
 
 namespace {
@@ -99,7 +101,7 @@ util::Result<LabeledDataset> ReadLibsvmFile(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return util::Status::IOError("cannot open " + path + ": " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -125,7 +127,7 @@ util::Status WriteLibsvmFile(const std::string& path,
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return util::Status::IOError("cannot open " + path + " for writing: " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   out << WriteLibsvm(dataset);
   if (!out) return util::Status::IOError("write failed for " + path);

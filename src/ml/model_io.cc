@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/errno.h"
+
 namespace karl::ml {
 
 std::string WriteSvmModel(const SvmModel& model) {
@@ -99,7 +101,7 @@ util::Status SaveSvmModel(const std::string& path, const SvmModel& model) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return util::Status::IOError("cannot open " + path + " for writing: " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   out << WriteSvmModel(model);
   if (!out) return util::Status::IOError("write failed for " + path);
@@ -110,7 +112,7 @@ util::Result<SvmModel> LoadSvmModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return util::Status::IOError("cannot open " + path + ": " +
-                                 std::strerror(errno));
+                                 util::ErrnoString(errno));
   }
   std::ostringstream buf;
   buf << in.rdbuf();

@@ -10,11 +10,13 @@
 #include <cstring>
 #include <utility>
 
+#include "util/errno.h"
+
 namespace karl::server {
 namespace {
 
 util::Status Errno(const std::string& what) {
-  return util::Status::IOError(what + ": " + std::strerror(errno));
+  return util::Status::IOError(what + ": " + util::ErrnoString(errno));
 }
 
 Json QueryRequest(std::string_view kind, std::span<const double> q) {

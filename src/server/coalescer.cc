@@ -44,17 +44,17 @@ Coalescer::Coalescer(const Engine& engine, util::ThreadPool* pool,
 Coalescer::~Coalescer() {
   BeginDrain();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   dispatcher_.join();
 }
 
 bool Coalescer::Enqueue(WorkItem item) {
   const size_t rows = item.queries.rows();
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(&mu_);
     if (draining_) return false;
     if (queued_rows_ + rows > max_pending_rows_) return false;
     queued_rows_ += rows;
@@ -63,50 +63,50 @@ bool Coalescer::Enqueue(WorkItem item) {
     }
     queue_.push_back(std::move(item));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
   return true;
 }
 
 void Coalescer::BeginDrain() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(&mu_);
     draining_ = true;
     paused_ = false;  // A paused coalescer must still drain.
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
 }
 
 bool Coalescer::Idle() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   return queue_.empty() && !in_flight_;
 }
 
 size_t Coalescer::pending_rows() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   return queued_rows_;
 }
 
 void Coalescer::Pause() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   paused_ = true;
 }
 
 void Coalescer::Resume() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(&mu_);
     paused_ = false;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
 }
 
 void Coalescer::DispatchLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] {
-      return stop_ || (!paused_ && !queue_.empty());
-    });
+    while (!(stop_ || (!paused_ && !queue_.empty()))) {
+      work_cv_.Wait(&mu_);
+    }
     if (queue_.empty()) {
-      if (stop_) return;
+      if (stop_) break;
       continue;
     }
 
@@ -137,12 +137,13 @@ void Coalescer::DispatchLoop() {
     }
     in_flight_ = true;
 
-    lock.unlock();
+    mu_.Unlock();
     RunGroup(std::move(group));
-    lock.lock();
+    mu_.Lock();
 
     in_flight_ = false;
   }
+  mu_.Unlock();
 }
 
 void Coalescer::ObserveRow(size_t row, uint64_t begin_us, uint64_t end_us,

@@ -25,11 +25,9 @@
 #ifndef KARL_SERVER_COALESCER_H_
 #define KARL_SERVER_COALESCER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +35,7 @@
 #include "core/batch.h"
 #include "server/protocol.h"
 #include "telemetry/context.h"
+#include "util/mutex.h"
 
 namespace karl::server {
 
@@ -141,19 +140,25 @@ class Coalescer {
   // and id-mapped on the dispatcher before evaluation, then written
   // through ObserveRow. Rows are observed exactly once and distinct
   // rows use distinct slots, so concurrent workers never share a slot.
+  // Deliberately NOT guarded by mu_: the disjoint-slot protocol (plus
+  // the pool-join barrier at the end of each BatchEvaluator call) is
+  // the synchronisation — a lock here would serialise the workers. The
+  // TSan suite exercises this path.
   std::vector<uint64_t> row_request_ids_;
   std::vector<uint64_t> row_begin_us_;
   std::vector<uint64_t> row_end_us_;
   std::vector<core::EvalStats> row_stats_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // Queue/pause/stop transitions.
-  std::deque<WorkItem> queue_;
-  size_t queued_rows_ = 0;  // Sum of queue_ rows. Guarded by mu_.
-  bool in_flight_ = false;  // Dispatcher inside RunGroup. Guarded by mu_.
-  bool paused_ = false;
-  bool draining_ = false;
-  bool stop_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;  // Queue/pause/stop transitions.
+  std::deque<WorkItem> queue_ KARL_GUARDED_BY(mu_);
+  // Sum of queue_ rows.
+  size_t queued_rows_ KARL_GUARDED_BY(mu_) = 0;
+  // Dispatcher inside RunGroup.
+  bool in_flight_ KARL_GUARDED_BY(mu_) = false;
+  bool paused_ KARL_GUARDED_BY(mu_) = false;
+  bool draining_ KARL_GUARDED_BY(mu_) = false;
+  bool stop_ KARL_GUARDED_BY(mu_) = false;
 
   // Telemetry (null when no registry): dispatched groups, coalesced
   // rows per group, evaluation latency, queue level.

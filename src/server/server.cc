@@ -15,6 +15,7 @@
 #include "server/json.h"
 #include "telemetry/metrics.h"
 #include "util/check.h"
+#include "util/errno.h"
 
 namespace karl::server {
 namespace {
@@ -26,7 +27,7 @@ constexpr uint64_t kWakeId = 1;
 constexpr uint64_t kCompletionId = 2;
 
 util::Status Errno(const std::string& what) {
-  return util::Status::IOError(what + ": " + std::strerror(errno));
+  return util::Status::IOError(what + ": " + util::ErrnoString(errno));
 }
 
 void DrainEventFd(int fd) {
@@ -187,7 +188,7 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
       engine, server->pool_.get(), server->options_.max_pending,
       [raw](std::vector<Completion> completions) {
         {
-          const std::lock_guard<std::mutex> lock(raw->completion_mu_);
+          const util::MutexLock lock(&raw->completion_mu_);
           for (auto& c : completions) {
             raw->completions_.push_back(std::move(c));
           }
@@ -243,7 +244,7 @@ Server::~Server() {
 void Server::Shutdown() { SignalEventFd(wake_fd_); }
 
 void Server::Wait() {
-  const std::lock_guard<std::mutex> lock(wait_mu_);
+  const util::MutexLock lock(&wait_mu_);
   if (loop_thread_.joinable()) loop_thread_.join();
 }
 
@@ -350,7 +351,7 @@ void Server::Loop() {
     }
     bool completions_pending;
     {
-      const std::lock_guard<std::mutex> lock(completion_mu_);
+      const util::MutexLock lock(&completion_mu_);
       completions_pending = !completions_.empty();
     }
     if (connections_.empty() && coalescer_->Idle() && !completions_pending) {
@@ -543,7 +544,7 @@ void Server::CloseConnection(uint64_t conn_id) {
 void Server::DrainCompletions() {
   std::vector<Completion> batch;
   {
-    const std::lock_guard<std::mutex> lock(completion_mu_);
+    const util::MutexLock lock(&completion_mu_);
     batch.swap(completions_);
   }
   for (Completion& c : batch) {

@@ -44,6 +44,7 @@
 #include "server/coalescer.h"
 #include "telemetry/flight_recorder.h"
 #include "util/log.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -229,8 +230,8 @@ class Server {
   bool draining_ = false;        // Event-loop thread only.
   util::Stopwatch drain_watch_;  // Restarted when the drain begins.
 
-  std::mutex completion_mu_;
-  std::vector<Completion> completions_;  // Guarded by completion_mu_.
+  util::Mutex completion_mu_;
+  std::vector<Completion> completions_ KARL_GUARDED_BY(completion_mu_);
 
   telemetry::Counter* connections_total_ = nullptr;
   telemetry::Counter* dropped_slow_total_ = nullptr;
@@ -251,8 +252,10 @@ class Server {
   telemetry::Histogram* stage_write_us_ = nullptr;
   telemetry::Histogram* stage_total_us_ = nullptr;
 
+  // loop_thread_ is only joined under wait_mu_ (Wait may be called
+  // concurrently from the signal-watcher path and the main path).
   std::thread loop_thread_;
-  std::mutex wait_mu_;  // Serializes Wait()/join.
+  util::Mutex wait_mu_;
 };
 
 }  // namespace karl::server

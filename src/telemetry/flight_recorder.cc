@@ -11,7 +11,7 @@ FlightRecorder::FlightRecorder(size_t capacity)
 }
 
 void FlightRecorder::Record(RequestRecord record) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
   } else {
@@ -22,7 +22,7 @@ void FlightRecorder::Record(RequestRecord record) {
 }
 
 std::vector<RequestRecord> FlightRecorder::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   std::vector<RequestRecord> out;
   out.reserve(ring_.size());
   // Oldest first: when the ring has wrapped, next_ points at the oldest
@@ -35,7 +35,7 @@ std::vector<RequestRecord> FlightRecorder::Snapshot() const {
 }
 
 uint64_t FlightRecorder::total_recorded() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   return total_;
 }
 

@@ -12,11 +12,11 @@
 #define KARL_TELEMETRY_FLIGHT_RECORDER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/context.h"
+#include "util/mutex.h"
 
 namespace karl::telemetry {
 
@@ -53,10 +53,11 @@ class FlightRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<RequestRecord> ring_;  // Guarded by mu_.
-  size_t next_ = 0;                  // Ring write cursor. Guarded by mu_.
-  uint64_t total_ = 0;               // Guarded by mu_.
+  mutable util::Mutex mu_;
+  std::vector<RequestRecord> ring_ KARL_GUARDED_BY(mu_);
+  // Ring write cursor.
+  size_t next_ KARL_GUARDED_BY(mu_) = 0;
+  uint64_t total_ KARL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace karl::telemetry

@@ -164,7 +164,7 @@ void Registry::RegisterKind(const std::string& name, Kind kind) {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   RegisterKind(name, Kind::kCounter);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -172,7 +172,7 @@ Counter* Registry::GetCounter(const std::string& name) {
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   RegisterKind(name, Kind::kGauge);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -180,7 +180,7 @@ Gauge* Registry::GetGauge(const std::string& name) {
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   RegisterKind(name, Kind::kHistogram);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
@@ -188,7 +188,7 @@ Histogram* Registry::GetHistogram(const std::string& name) {
 }
 
 RegistrySnapshot Registry::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   RegistrySnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {

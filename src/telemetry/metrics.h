@@ -20,11 +20,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace karl::telemetry {
@@ -140,14 +140,18 @@ class Registry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  // Records the name→kind binding; aborts on a kind clash. mu_ held.
-  void RegisterKind(const std::string& name, Kind kind);
+  // Records the name→kind binding; aborts on a kind clash.
+  void RegisterKind(const std::string& name, Kind kind)
+      KARL_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Kind> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Kind> kinds_ KARL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      KARL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      KARL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      KARL_GUARDED_BY(mu_);
 };
 
 /// The process-wide default registry (what the CLI flags and the bench

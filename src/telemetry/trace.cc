@@ -60,7 +60,7 @@ uint64_t TraceRecorder::NowMicros() const {
 }
 
 void TraceRecorder::Add(Event event) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;
     if (dropped_counter_ != nullptr) dropped_counter_->Increment();
@@ -71,7 +71,7 @@ void TraceRecorder::Add(Event event) {
 }
 
 void TraceRecorder::AttachMetrics(Registry* registry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   dropped_counter_ = registry != nullptr
                          ? registry->GetCounter("karl_trace_dropped_events")
                          : nullptr;
@@ -136,17 +136,17 @@ void TraceRecorder::FlowEvent(FlowPhase phase, uint64_t flow_id,
 }
 
 size_t TraceRecorder::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   return events_.size();
 }
 
 size_t TraceRecorder::dropped() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   return dropped_;
 }
 
 std::string TraceRecorder::ToJson() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(&mu_);
   std::string out = "{\"traceEvents\": [";
   char buffer[96];
   bool first = true;

@@ -28,12 +28,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace karl::telemetry {
@@ -107,14 +107,15 @@ class TraceRecorder {
   };
 
   void Add(Event event);
-  int TidLocked();  // Stable small id for the calling thread; mu_ held.
+  // Stable small id for the calling thread.
+  int TidLocked() KARL_REQUIRES(mu_);
 
   const size_t max_events_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  size_t dropped_ = 0;
-  std::map<std::thread::id, int> tids_;
+  mutable util::Mutex mu_;
+  std::vector<Event> events_ KARL_GUARDED_BY(mu_);
+  size_t dropped_ KARL_GUARDED_BY(mu_) = 0;
+  std::map<std::thread::id, int> tids_ KARL_GUARDED_BY(mu_);
   Counter* dropped_counter_ = nullptr;  // See AttachMetrics.
 };
 

@@ -1,0 +1,21 @@
+#include "util/errno.h"
+
+#include <string.h>  // strerror_r (not in <cstring> on all libcs).
+
+namespace karl::util {
+
+std::string ErrnoString(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU variant: returns the message pointer (buf or a static string).
+  return strerror_r(err, buf, sizeof(buf));
+#else
+  // XSI variant: fills buf, nonzero on failure.
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
+}
+
+}  // namespace karl::util

@@ -1,0 +1,21 @@
+// Thread-safe errno-to-text conversion.
+//
+// std::strerror returns a pointer into internal, possibly shared storage
+// and is not required to be thread-safe (clang-tidy: concurrency-mt-
+// unsafe); every call site in the library goes through ErrnoString
+// instead, which uses strerror_r into a caller-local buffer.
+
+#ifndef KARL_UTIL_ERRNO_H_
+#define KARL_UTIL_ERRNO_H_
+
+#include <string>
+
+namespace karl::util {
+
+/// The strerror text for `err` (an errno value), via the reentrant
+/// strerror_r. Unknown values degrade to "errno <n>" instead of failing.
+std::string ErrnoString(int err);
+
+}  // namespace karl::util
+
+#endif  // KARL_UTIL_ERRNO_H_

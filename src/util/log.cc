@@ -154,11 +154,11 @@ Logger::~Logger() {
 
 void Logger::Log(LogLevel level, std::string_view event,
                  std::vector<LogField> fields) {
-  if (level < min_level_) return;
+  if (!enabled(level)) return;
 
   uint64_t suppressed_note = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     if (options_.rate_limit_per_sec > 0.0) {
       const auto now = std::chrono::steady_clock::now();
       const double elapsed =
@@ -217,18 +217,18 @@ void Logger::Log(LogLevel level, std::string_view event,
     line.push_back('\n');
   }
 
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   std::fwrite(line.data(), 1, line.size(), stream_);
   std::fflush(stream_);
 }
 
 uint64_t Logger::suppressed() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   return suppressed_total_;
 }
 
 uint64_t Logger::emitted() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   return emitted_;
 }
 

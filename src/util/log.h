@@ -23,15 +23,16 @@
 #ifndef KARL_UTIL_LOG_H_
 #define KARL_UTIL_LOG_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace karl::util {
@@ -108,10 +109,18 @@ class Logger {
 
   /// True when `level` would be emitted (cheap pre-check for call
   /// sites that build expensive field lists).
-  bool enabled(LogLevel level) const { return level >= min_level_; }
+  bool enabled(LogLevel level) const {
+    return level >= min_level_.load(std::memory_order_relaxed);
+  }
 
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  /// Thread-safe: the level may be raised or lowered while other
+  /// threads are logging (an in-flight line keeps the level it saw).
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   /// Lines dropped by the rate limiter so far.
   uint64_t suppressed() const;
@@ -122,18 +131,20 @@ class Logger {
  private:
   Logger(std::FILE* stream, Options options, bool owns_stream);
 
-  std::FILE* stream_;
+  std::FILE* stream_;  // Written only under mu_ after construction.
   const bool owns_stream_;
   const Options options_;
-  LogLevel min_level_;
+  // Relaxed atomic: set_min_level may race with enabled()/Log checks by
+  // design (a stale read just delays the new level by one line).
+  std::atomic<LogLevel> min_level_;
 
-  mutable std::mutex mu_;
-  // Token bucket state; guarded by mu_.
-  double tokens_;
-  std::chrono::steady_clock::time_point last_refill_;
-  uint64_t suppressed_total_ = 0;
-  uint64_t suppressed_since_emit_ = 0;
-  uint64_t emitted_ = 0;
+  mutable Mutex mu_;
+  // Token bucket state.
+  double tokens_ KARL_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_refill_ KARL_GUARDED_BY(mu_);
+  uint64_t suppressed_total_ KARL_GUARDED_BY(mu_) = 0;
+  uint64_t suppressed_since_emit_ KARL_GUARDED_BY(mu_) = 0;
+  uint64_t emitted_ KARL_GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide default logger (stderr, text, INFO).

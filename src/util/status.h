@@ -96,10 +96,15 @@ template <typename T>
 class Result {
  public:
   /// Constructs a successful result holding `value`.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // Implicit by design: `return value;` is the idiom for every
+  // Result-returning function.
+  Result(T value)  // NOLINT(runtime/explicit): implicit by design
+      : value_(std::move(value)) {}
 
   /// Constructs a failed result from a non-OK status.
-  Result(Status status)  // NOLINT(runtime/explicit)
+  // Implicit by design: `return Status::X()` propagates errors without
+  // a wrapping cast.
+  Result(Status status)  // NOLINT(runtime/explicit): implicit by design
       : status_(std::move(status)) {
     KARL_DCHECK(!status_.ok())
         << ": Result constructed from an OK status but no value";

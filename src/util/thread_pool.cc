@@ -23,10 +23,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(wake_mu_);
+    const MutexLock lock(&wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.SignalAll();
   for (auto& thread : threads_) thread.join();
   KARL_DCHECK(pending_.load(std::memory_order_relaxed) == 0)
       << ": thread pool destroyed with undrained tasks";
@@ -54,20 +54,21 @@ void ThreadPool::Submit(std::function<void()> task) {
   const size_t queue =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {
-    const std::lock_guard<std::mutex> lock(workers_[queue]->mu);
-    workers_[queue]->tasks.push_back(std::move(task));
+    Worker& worker = *workers_[queue];
+    const MutexLock lock(&worker.mu);
+    worker.tasks.push_back(std::move(task));
   }
   {
     // Increment under wake_mu_ so it cannot slip between a worker's
     // sleep-predicate check and its wait (lost wakeup).
-    const std::lock_guard<std::mutex> lock(wake_mu_);
+    const MutexLock lock(&wake_mu_);
     pending_.fetch_add(1, std::memory_order_release);
   }
   if (queue_depth_gauge_ != nullptr) {
     queue_depth_gauge_->Set(
         static_cast<double>(pending_.load(std::memory_order_relaxed)));
   }
-  wake_cv_.notify_one();
+  wake_cv_.Signal();
 }
 
 std::function<void()> ThreadPool::NextTask(size_t self) {
@@ -75,7 +76,7 @@ std::function<void()> ThreadPool::NextTask(size_t self) {
   // in this core's cache.
   {
     Worker& own = *workers_[self];
-    const std::lock_guard<std::mutex> lock(own.mu);
+    const MutexLock lock(&own.mu);
     if (!own.tasks.empty()) {
       std::function<void()> task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -86,7 +87,7 @@ std::function<void()> ThreadPool::NextTask(size_t self) {
   // rotate instead of piling onto worker 0.
   for (size_t i = 1; i < workers_.size(); ++i) {
     Worker& victim = *workers_[(self + i) % workers_.size()];
-    const std::lock_guard<std::mutex> lock(victim.mu);
+    const MutexLock lock(&victim.mu);
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -115,12 +116,19 @@ void ThreadPool::WorkerLoop(size_t self) {
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
-    wake_cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_acquire) > 0;
-    });
-    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+    wake_mu_.Lock();
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) {
+      wake_mu_.Unlock();
+      return;
+    }
+    while (!stop_ && pending_.load(std::memory_order_acquire) == 0) {
+      wake_cv_.Wait(&wake_mu_);
+    }
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) {
+      wake_mu_.Unlock();
+      return;
+    }
+    wake_mu_.Unlock();
     // Either shutdown began with tasks still queued (drain them) or new
     // work arrived; loop back and scan the deques again.
   }
@@ -145,10 +153,12 @@ void ThreadPool::ParallelFor(size_t n, size_t chunk, const LoopBody& body) {
     const size_t chunk;
     const LoopBody body;  // Owned copy; helpers may outlive the caller's.
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t active = 0;         // Helpers inside RunSlot. Guarded by mu.
-    std::exception_ptr error;  // Guarded by mu; first one wins.
+    Mutex mu;
+    CondVar done_cv;
+    // Helpers inside RunSlot.
+    size_t active KARL_GUARDED_BY(mu) = 0;
+    // First exception wins.
+    std::exception_ptr error KARL_GUARDED_BY(mu);
 
     void RunSlot(size_t slot) {
       try {
@@ -161,7 +171,7 @@ void ThreadPool::ParallelFor(size_t n, size_t chunk, const LoopBody& body) {
         // Cancel the remaining chunks (best effort) and record the
         // first exception for the caller to rethrow.
         next.store(n, std::memory_order_relaxed);
-        const std::lock_guard<std::mutex> lock(mu);
+        const MutexLock lock(&mu);
         if (error == nullptr) error = std::current_exception();
       }
     }
@@ -174,12 +184,12 @@ void ThreadPool::ParallelFor(size_t n, size_t chunk, const LoopBody& body) {
   for (size_t slot = 1; slot <= helpers; ++slot) {
     Submit([state, slot] {
       {
-        const std::lock_guard<std::mutex> lock(state->mu);
+        const MutexLock lock(&state->mu);
         ++state->active;
       }
       state->RunSlot(slot);
-      const std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->active == 0) state->done_cv.notify_all();
+      const MutexLock lock(&state->mu);
+      if (--state->active == 0) state->done_cv.SignalAll();
     });
   }
 
@@ -193,9 +203,11 @@ void ThreadPool::ParallelFor(size_t n, size_t chunk, const LoopBody& body) {
   // never-started helpers would deadlock nested ParallelFor calls —
   // with every worker blocked in an outer body's inner wait, queued
   // inner helpers would never get a thread.
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&state] { return state->active == 0; });
-  if (state->error != nullptr) std::rethrow_exception(state->error);
+  state->mu.Lock();
+  while (state->active != 0) state->done_cv.Wait(&state->mu);
+  const std::exception_ptr error = state->error;
+  state->mu.Unlock();
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace karl::util

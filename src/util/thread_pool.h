@@ -27,14 +27,14 @@
 #define KARL_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace karl::telemetry {
 class Gauge;
@@ -88,8 +88,8 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks KARL_GUARDED_BY(mu);
   };
 
   // Pops from the worker's own deque (LIFO) or steals from a sibling
@@ -105,9 +105,9 @@ class ThreadPool {
   std::atomic<size_t> active_{0};      // Workers inside a task.
   telemetry::Gauge* queue_depth_gauge_ = nullptr;    // See AttachMetrics.
   telemetry::Gauge* active_workers_gauge_ = nullptr;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stop_ = false;  // Guarded by wake_mu_.
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  bool stop_ KARL_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace karl::util

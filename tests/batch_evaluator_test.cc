@@ -321,7 +321,7 @@ TEST(DynamicBatchTest, BatchMatchesSerialAcrossMutations) {
   for (int i = 0; i < 300; ++i) {
     std::vector<double> p(d);
     for (auto& v : p) v = rng.Uniform(0.0, 1.0);
-    auto id = engine.value().Insert(p, rng.Uniform(0.1, 1.0));
+    auto id = engine.value()->Insert(p, rng.Uniform(0.1, 1.0));
     ASSERT_TRUE(id.ok());
     ids.push_back(id.value());
   }
@@ -334,15 +334,15 @@ TEST(DynamicBatchTest, BatchMatchesSerialAcrossMutations) {
     std::vector<uint8_t> serial_tkaq(n);
     std::vector<double> serial_ekaq(n), serial_exact(n);
     for (size_t i = 0; i < n; ++i) {
-      serial_tkaq[i] = engine.value().Tkaq(queries.Row(i), 1.0) ? 1 : 0;
-      serial_ekaq[i] = engine.value().Ekaq(queries.Row(i), 0.2);
-      serial_exact[i] = engine.value().Exact(queries.Row(i));
+      serial_tkaq[i] = engine.value()->Tkaq(queries.Row(i), 1.0) ? 1 : 0;
+      serial_ekaq[i] = engine.value()->Ekaq(queries.Row(i), 0.2);
+      serial_exact[i] = engine.value()->Exact(queries.Row(i));
     }
-    EXPECT_EQ(engine.value().TkaqBatch(queries, 1.0, &pool), serial_tkaq)
+    EXPECT_EQ(engine.value()->TkaqBatch(queries, 1.0, &pool), serial_tkaq)
         << phase;
-    EXPECT_EQ(engine.value().EkaqBatch(queries, 0.2, &pool), serial_ekaq)
+    EXPECT_EQ(engine.value()->EkaqBatch(queries, 0.2, &pool), serial_ekaq)
         << phase;
-    EXPECT_EQ(engine.value().ExactBatch(queries, &pool), serial_exact)
+    EXPECT_EQ(engine.value()->ExactBatch(queries, &pool), serial_exact)
         << phase;
   };
   check("after inserts");
@@ -350,15 +350,15 @@ TEST(DynamicBatchTest, BatchMatchesSerialAcrossMutations) {
   // Churn: remove a third, insert replacements — enough delta to force
   // at least one rebuild at the default rebuild fraction.
   for (size_t i = 0; i < ids.size(); i += 3) {
-    ASSERT_TRUE(engine.value().Remove(ids[i]).ok());
+    ASSERT_TRUE(engine.value()->Remove(ids[i]).ok());
   }
   for (int i = 0; i < 80; ++i) {
     std::vector<double> p(d);
     for (auto& v : p) v = rng.Uniform(0.0, 1.0);
-    ASSERT_TRUE(engine.value().Insert(p, rng.Uniform(0.1, 1.0)).ok());
+    ASSERT_TRUE(engine.value()->Insert(p, rng.Uniform(0.1, 1.0)).ok());
   }
   check("after churn");
-  EXPECT_GE(engine.value().rebuild_count(), 1u);
+  EXPECT_GE(engine.value()->rebuild_count(), 1u);
 }
 
 }  // namespace

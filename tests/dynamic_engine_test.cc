@@ -53,21 +53,21 @@ TEST(DynamicEngineTest, CreateValidation) {
 TEST(DynamicEngineTest, InsertValidation) {
   auto engine = DynamicEngine::Create(2, SmallOptions()).ValueOrDie();
   const std::vector<double> wrong_dim{1.0, 2.0, 3.0};
-  EXPECT_FALSE(engine.Insert(wrong_dim, 1.0).ok());
+  EXPECT_FALSE(engine->Insert(wrong_dim, 1.0).ok());
   const std::vector<double> p{0.5, 0.5};
-  EXPECT_FALSE(engine.Insert(p, 0.0).ok());
-  EXPECT_TRUE(engine.Insert(p, 1.0).ok());
-  EXPECT_EQ(engine.size(), 1u);
+  EXPECT_FALSE(engine->Insert(p, 0.0).ok());
+  EXPECT_TRUE(engine->Insert(p, 1.0).ok());
+  EXPECT_EQ(engine->size(), 1u);
 }
 
 TEST(DynamicEngineTest, RemoveValidation) {
   auto engine = DynamicEngine::Create(2, SmallOptions()).ValueOrDie();
   const std::vector<double> p{0.5, 0.5};
-  const PointId id = engine.Insert(p, 1.0).ValueOrDie();
-  EXPECT_FALSE(engine.Remove(id + 100).ok());
-  EXPECT_TRUE(engine.Remove(id).ok());
-  EXPECT_FALSE(engine.Remove(id).ok());  // Double remove.
-  EXPECT_EQ(engine.size(), 0u);
+  const PointId id = engine->Insert(p, 1.0).ValueOrDie();
+  EXPECT_FALSE(engine->Remove(id + 100).ok());
+  EXPECT_TRUE(engine->Remove(id).ok());
+  EXPECT_FALSE(engine->Remove(id).ok());  // Double remove.
+  EXPECT_EQ(engine->size(), 0u);
 }
 
 TEST(DynamicEngineTest, SmallSetScansExactly) {
@@ -79,13 +79,13 @@ TEST(DynamicEngineTest, SmallSetScansExactly) {
   for (int i = 0; i < 20; ++i) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
     const double w = rng.Uniform(0.1, 1.0);
-    const PointId id = engine.Insert(p, w).ValueOrDie();
+    const PointId id = engine->Insert(p, w).ValueOrDie();
     mirror.live[id] = {p, w};
   }
-  EXPECT_EQ(engine.rebuild_count(), 0u);
+  EXPECT_EQ(engine->rebuild_count(), 0u);
   for (int trial = 0; trial < 10; ++trial) {
     const std::vector<double> q{rng.Uniform(), rng.Uniform()};
-    EXPECT_NEAR(engine.Exact(q), mirror.Exact(kernel, q), 1e-12);
+    EXPECT_NEAR(engine->Exact(q), mirror.Exact(kernel, q), 1e-12);
   }
 }
 
@@ -102,34 +102,34 @@ TEST(DynamicEngineTest, RandomChurnMatchesBruteForce) {
       // Remove a pseudo-random live id.
       auto it = mirror.live.begin();
       std::advance(it, rng.UniformInt(mirror.live.size()));
-      ASSERT_TRUE(engine.Remove(it->first).ok());
+      ASSERT_TRUE(engine->Remove(it->first).ok());
       mirror.live.erase(it);
     } else {
       std::vector<double> p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
       const double w = rng.Uniform(0.05, 1.0);
-      const PointId id = engine.Insert(p, w).ValueOrDie();
+      const PointId id = engine->Insert(p, w).ValueOrDie();
       mirror.live[id] = {p, w};
     }
 
     if (step % 100 == 99) {
-      ASSERT_EQ(engine.size(), mirror.live.size());
+      ASSERT_EQ(engine->size(), mirror.live.size());
       for (int trial = 0; trial < 3; ++trial) {
         const std::vector<double> q{rng.Uniform(), rng.Uniform(),
                                     rng.Uniform()};
         const double truth = mirror.Exact(kernel, q);
-        ASSERT_NEAR(engine.Exact(q), truth, 1e-9 * (1.0 + truth))
+        ASSERT_NEAR(engine->Exact(q), truth, 1e-9 * (1.0 + truth))
             << "step " << step;
         if (truth > 1e-9) {
-          ASSERT_EQ(engine.Tkaq(q, truth * 0.95), true) << "step " << step;
-          ASSERT_EQ(engine.Tkaq(q, truth * 1.05), false) << "step " << step;
-          const double approx = engine.Ekaq(q, 0.2);
+          ASSERT_EQ(engine->Tkaq(q, truth * 0.95), true) << "step " << step;
+          ASSERT_EQ(engine->Tkaq(q, truth * 1.05), false) << "step " << step;
+          const double approx = engine->Ekaq(q, 0.2);
           ASSERT_NEAR(approx, truth, 0.25 * truth + 1e-9) << "step " << step;
         }
       }
     }
   }
   // Churn at this volume must have triggered index rebuilds.
-  EXPECT_GT(engine.rebuild_count(), 1u);
+  EXPECT_GT(engine->rebuild_count(), 1u);
 }
 
 TEST(DynamicEngineTest, SignedWeightsSupported) {
@@ -142,15 +142,15 @@ TEST(DynamicEngineTest, SignedWeightsSupported) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
     const double w = rng.Uniform() < 0.5 ? rng.Uniform(0.1, 1.0)
                                          : -rng.Uniform(0.1, 1.0);
-    const PointId id = engine.Insert(p, w).ValueOrDie();
+    const PointId id = engine->Insert(p, w).ValueOrDie();
     mirror.live[id] = {p, w};
   }
   for (int trial = 0; trial < 10; ++trial) {
     const std::vector<double> q{rng.Uniform(), rng.Uniform()};
     const double truth = mirror.Exact(options.engine.kernel, q);
-    EXPECT_NEAR(engine.Exact(q), truth, 1e-9);
-    EXPECT_EQ(engine.Tkaq(q, truth - 0.01), true);
-    EXPECT_EQ(engine.Tkaq(q, truth + 0.01), false);
+    EXPECT_NEAR(engine->Exact(q), truth, 1e-9);
+    EXPECT_EQ(engine->Tkaq(q, truth - 0.01), true);
+    EXPECT_EQ(engine->Tkaq(q, truth + 0.01), false);
   }
 }
 
@@ -161,13 +161,13 @@ TEST(DynamicEngineTest, RebuildShrinksDeltaState) {
   util::Rng rng(4);
   for (int i = 0; i < 200; ++i) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
-    engine.Insert(p, 1.0).ValueOrDie();
+    engine->Insert(p, 1.0).ValueOrDie();
   }
   // After the churn settles, the delta buffer is bounded by the rebuild
   // fraction of the snapshot.
-  EXPECT_LE(engine.delta_size(),
+  EXPECT_LE(engine->delta_size(),
             static_cast<size_t>(0.25 * 200) + options.min_index_size);
-  EXPECT_GE(engine.rebuild_count(), 1u);
+  EXPECT_GE(engine->rebuild_count(), 1u);
 }
 
 TEST(DynamicEngineTest, RemoveEverythingThenQuery) {
@@ -176,13 +176,13 @@ TEST(DynamicEngineTest, RemoveEverythingThenQuery) {
   util::Rng rng(5);
   for (int i = 0; i < 100; ++i) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
-    ids.push_back(engine.Insert(p, 1.0).ValueOrDie());
+    ids.push_back(engine->Insert(p, 1.0).ValueOrDie());
   }
-  for (const PointId id : ids) ASSERT_TRUE(engine.Remove(id).ok());
-  EXPECT_EQ(engine.size(), 0u);
+  for (const PointId id : ids) ASSERT_TRUE(engine->Remove(id).ok());
+  EXPECT_EQ(engine->size(), 0u);
   const std::vector<double> q{0.5, 0.5};
-  EXPECT_NEAR(engine.Exact(q), 0.0, 1e-9);
-  EXPECT_FALSE(engine.Tkaq(q, 0.5));
+  EXPECT_NEAR(engine->Exact(q), 0.0, 1e-9);
+  EXPECT_FALSE(engine->Tkaq(q, 0.5));
 }
 
 TEST(DynamicEngineTest, EvalStatsAccumulateAcrossQueries) {
@@ -192,38 +192,38 @@ TEST(DynamicEngineTest, EvalStatsAccumulateAcrossQueries) {
   util::Rng rng(7);
   for (int i = 0; i < 200; ++i) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
-    engine.Insert(p, 1.0).ValueOrDie();
+    engine->Insert(p, 1.0).ValueOrDie();
   }
-  ASSERT_GE(engine.rebuild_count(), 1u);
+  ASSERT_GE(engine->rebuild_count(), 1u);
   const std::vector<double> q{0.5, 0.5};
 
   // Exact counts the delta scan plus every indexed point.
   EvalStats exact_stats;
-  (void)engine.Exact(q, &exact_stats);
+  (void)engine->Exact(q, &exact_stats);
   EXPECT_EQ(exact_stats.kernel_evals, 200u);
 
   // Tkaq goes through the refinement loop: some work must be recorded,
   // and pruning means at most the full-point-set of evals.
   EvalStats tkaq_stats;
-  const double truth = engine.Exact(q);
-  (void)engine.Tkaq(q, truth * 0.9, &tkaq_stats);
+  const double truth = engine->Exact(q);
+  (void)engine->Tkaq(q, truth * 0.9, &tkaq_stats);
   EXPECT_GT(tkaq_stats.iterations + tkaq_stats.kernel_evals, 0u);
   EXPECT_LE(tkaq_stats.kernel_evals, 200u);
 
   // Stats accumulate rather than reset: a second query adds to the same
   // struct.
   EvalStats both = exact_stats;
-  (void)engine.Exact(q, &both);
+  (void)engine->Exact(q, &both);
   EXPECT_EQ(both.kernel_evals, 2 * exact_stats.kernel_evals);
 
   // Ekaq also reports work.
   EvalStats ekaq_stats;
-  (void)engine.Ekaq(q, 0.2, &ekaq_stats);
+  (void)engine->Ekaq(q, 0.2, &ekaq_stats);
   EXPECT_GT(ekaq_stats.kernel_evals, 0u);
 
   // Null stats (the default) stays supported.
-  (void)engine.Exact(q);
-  (void)engine.Tkaq(q, truth);
+  (void)engine->Exact(q);
+  (void)engine->Tkaq(q, truth);
 }
 
 TEST(DynamicEngineTest, TelemetryGaugesTrackDeltaState) {
@@ -236,21 +236,21 @@ TEST(DynamicEngineTest, TelemetryGaugesTrackDeltaState) {
   std::vector<PointId> ids;
   for (int i = 0; i < 200; ++i) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
-    ids.push_back(engine.Insert(p, 1.0).ValueOrDie());
+    ids.push_back(engine->Insert(p, 1.0).ValueOrDie());
   }
   EXPECT_EQ(registry.GetCounter("karl_dynamic_inserts_total")->value(), 200u);
   EXPECT_EQ(registry.GetCounter("karl_dynamic_rebuilds_total")->value(),
-            engine.rebuild_count());
+            engine->rebuild_count());
   EXPECT_DOUBLE_EQ(registry.GetGauge("karl_dynamic_live_points")->value(),
                    200.0);
   EXPECT_DOUBLE_EQ(registry.GetGauge("karl_dynamic_delta_points")->value(),
-                   static_cast<double>(engine.delta_size()));
+                   static_cast<double>(engine->delta_size()));
   EXPECT_EQ(registry.GetHistogram("karl_dynamic_rebuild_usec")->count(),
-            engine.rebuild_count());
+            engine->rebuild_count());
 
   // Removing an indexed point shows up as a tombstone until the next
   // rebuild folds it in.
-  ASSERT_TRUE(engine.Remove(ids[0]).ok());
+  ASSERT_TRUE(engine->Remove(ids[0]).ok());
   EXPECT_EQ(registry.GetCounter("karl_dynamic_removes_total")->value(), 1u);
   EXPECT_DOUBLE_EQ(registry.GetGauge("karl_dynamic_live_points")->value(),
                    199.0);
@@ -264,13 +264,13 @@ TEST(DynamicEngineTest, LaplacianKernelWorksToo) {
   Mirror mirror;
   for (int i = 0; i < 300; ++i) {
     std::vector<double> p{rng.Uniform(), rng.Uniform()};
-    const PointId id = engine.Insert(p, 0.5).ValueOrDie();
+    const PointId id = engine->Insert(p, 0.5).ValueOrDie();
     mirror.live[id] = {p, 0.5};
   }
   const std::vector<double> q{0.4, 0.6};
   const double truth = mirror.Exact(options.engine.kernel, q);
-  EXPECT_NEAR(engine.Exact(q), truth, 1e-9);
-  EXPECT_EQ(engine.Tkaq(q, truth * 0.9), true);
+  EXPECT_NEAR(engine->Exact(q), truth, 1e-9);
+  EXPECT_EQ(engine->Tkaq(q, truth * 0.9), true);
 }
 
 }  // namespace

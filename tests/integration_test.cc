@@ -254,11 +254,11 @@ TEST(IntegrationTest, OnlineLearningStream) {
     std::vector<double> p{rng.Gaussian(drift, 0.08),
                           rng.Gaussian(0.5, 0.08),
                           rng.Gaussian(1.0 - drift, 0.08)};
-    window.emplace_back(engine.Insert(p, 1.0).ValueOrDie(), p);
+    window.emplace_back(engine->Insert(p, 1.0).ValueOrDie(), p);
 
     // Sliding window of 300: expire the oldest.
     if (window.size() > 300) {
-      ASSERT_TRUE(engine.Remove(window.front().first).ok());
+      ASSERT_TRUE(engine->Remove(window.front().first).ok());
       window.erase(window.begin());
     }
 
@@ -269,13 +269,13 @@ TEST(IntegrationTest, OnlineLearningStream) {
       for (const auto& [id, point] : window) {
         truth += core::KernelValue(options.engine.kernel, q, point);
       }
-      ASSERT_NEAR(engine.Exact(q), truth, 1e-9 * (1.0 + truth));
-      ASSERT_EQ(engine.Tkaq(q, truth * 0.9), true) << "step " << step;
-      ASSERT_EQ(engine.Tkaq(q, truth * 1.1), false) << "step " << step;
+      ASSERT_NEAR(engine->Exact(q), truth, 1e-9 * (1.0 + truth));
+      ASSERT_EQ(engine->Tkaq(q, truth * 0.9), true) << "step " << step;
+      ASSERT_EQ(engine->Tkaq(q, truth * 1.1), false) << "step " << step;
     }
   }
-  EXPECT_GE(engine.rebuild_count(), 1u);
-  EXPECT_EQ(engine.size(), window.size());
+  EXPECT_GE(engine->rebuild_count(), 1u);
+  EXPECT_EQ(engine->size(), window.size());
 }
 
 // Dataset registry → engines across every benchmark dataset at small n.

@@ -1,0 +1,235 @@
+// Tests for the annotated locking layer (util/mutex.h): scoped-lock
+// behaviour, CondVar wait/notify (a TSan-exercised regression for the
+// wrapper's adopt/release dance around std::condition_variable),
+// SharedMutex reader/writer interleavings, and — in debug builds —
+// death tests pinning the runtime AssertHeld() checks.
+
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace karl::util {
+namespace {
+
+TEST(MutexTest, LockUnlockAndScopedLock) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();
+  mu.Unlock();
+  {
+    const MutexLock lock(&mu);
+    mu.AssertHeld();
+  }
+  // Released again: TryLock must succeed.
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockFailsWhenHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> got{true};
+  std::thread other([&] { got = mu.TryLock(); });
+  other.join();
+  EXPECT_FALSE(got.load());
+  mu.Unlock();
+}
+
+TEST(MutexTest, GuardedCounterUnderContention) {
+  // The canonical guarded-field pattern the annotations protect; under
+  // the TSan preset this doubles as a race regression on the wrapper.
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        const MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(CondVarTest, WaitWakesOnSignal) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    const MutexLock lock(&mu);
+    ready = true;
+    cv.Signal();
+  });
+  mu.Lock();
+  while (!ready) cv.Wait(&mu);
+  // Wait must reacquire the lock before returning.
+  mu.AssertHeld();
+  mu.Unlock();
+  waker.join();
+}
+
+TEST(CondVarTest, SignalAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> awake{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&] {
+      mu.Lock();
+      while (!go) cv.Wait(&mu);
+      mu.Unlock();
+      awake.fetch_add(1);
+    });
+  }
+  {
+    const MutexLock lock(&mu);
+    go = true;
+  }
+  cv.SignalAll();
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(awake.load(), 3);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutSignal) {
+  Mutex mu;
+  CondVar cv;
+  mu.Lock();
+  const bool signalled = cv.WaitFor(&mu, std::chrono::microseconds(1000));
+  EXPECT_FALSE(signalled);
+  mu.AssertHeld();  // Reacquired even on timeout.
+  mu.Unlock();
+}
+
+TEST(CondVarTest, ProducerConsumerHandoff) {
+  // Ping-pong through the wrapper under the explicit while-loop wait
+  // idiom (the TSA-analyzable form used across the serving stack).
+  Mutex mu;
+  CondVar cv;
+  int value = 0;
+  bool has_value = false;
+  int sum = 0;
+  std::thread producer([&] {
+    for (int i = 1; i <= 100; ++i) {
+      mu.Lock();
+      while (has_value) cv.Wait(&mu);
+      value = i;
+      has_value = true;
+      mu.Unlock();
+      cv.SignalAll();
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    mu.Lock();
+    while (!has_value) cv.Wait(&mu);
+    sum += value;
+    has_value = false;
+    mu.Unlock();
+    cv.SignalAll();
+  }
+  producer.join();
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(SharedMutexTest, ManyConcurrentReaders) {
+  SharedMutex mu;
+  int shared_value = 7;
+  std::atomic<int> readers_in{0};
+  std::atomic<int> max_overlap{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      const ReaderMutexLock lock(&mu);
+      mu.AssertReaderHeld();
+      const int now = readers_in.fetch_add(1) + 1;
+      int seen = max_overlap.load();
+      while (now > seen && !max_overlap.compare_exchange_weak(seen, now)) {
+      }
+      EXPECT_EQ(shared_value, 7);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      readers_in.fetch_sub(1);
+    });
+  }
+  for (auto& th : readers) th.join();
+  // With 4 readers sleeping inside the lock, at least two must have
+  // overlapped — i.e. the shared mode really is shared.
+  EXPECT_GE(max_overlap.load(), 2);
+}
+
+TEST(SharedMutexTest, WriterExcludesReadersAndWriters) {
+  SharedMutex mu;
+  int value = 0;
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const WriterMutexLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const ReaderMutexLock lock(&mu);
+      const int snapshot = value;
+      EXPECT_GE(snapshot, 0);
+      EXPECT_LE(snapshot, 2000);
+    }
+  });
+  for (auto& th : writers) th.join();
+  stop = true;
+  reader.join();
+  EXPECT_EQ(value, 2000);
+}
+
+#ifndef NDEBUG
+// The runtime owner bookkeeping only exists in debug builds; release
+// builds compile AssertHeld down to the static annotation alone.
+
+TEST(MutexDeathTest, AssertHeldAbortsWhenNotHeld) {
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsForNonOwningThread) {
+  Mutex mu;
+  mu.Lock();
+  std::thread other([&mu] {
+    EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+  });
+  other.join();
+  mu.Unlock();
+}
+
+TEST(SharedMutexDeathTest, AssertHeldAbortsWithoutExclusiveHold) {
+  SharedMutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(SharedMutexDeathTest, AssertHeldAbortsUnderSharedHold) {
+  SharedMutex mu;
+  const ReaderMutexLock lock(&mu);
+  // A shared hold is not an exclusive hold.
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(SharedMutexDeathTest, AssertReaderHeldAbortsWhenNotHeld) {
+  SharedMutex mu;
+  EXPECT_DEATH(mu.AssertReaderHeld(), "AssertReaderHeld");
+}
+#endif  // !NDEBUG
+
+}  // namespace
+}  // namespace karl::util

@@ -1,0 +1,7 @@
+// Lint self-test fixture: the include guard does not follow the
+// KARL_<RELPATH>_H_ convention. Never compiled.
+
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+#endif  // WRONG_GUARD_NAME_H

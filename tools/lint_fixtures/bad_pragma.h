@@ -1,0 +1,6 @@
+// Lint self-test fixture: #pragma once instead of an include guard.
+// Never compiled.
+
+#pragma once
+
+inline int FixtureValue() { return 42; }

@@ -2,8 +2,12 @@
 # Runs clang-tidy over the library sources using the compile-commands
 # database of an existing build tree.
 #
-# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+# Usage: tools/run_clang_tidy.sh [--diff[=REF]] [BUILD_DIR] \
+#            [-- extra clang-tidy args]
 #
+#   --diff[=REF]  lint only what changed vs REF (default origin/main):
+#                 changed .cc/.cpp files, plus every .cc/.cpp that
+#                 includes a changed header. Fast path for PR CI.
 #   BUILD_DIR   build tree configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
 #               (default: build, then build-release as fallback).
 #
@@ -19,6 +23,21 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 build_dir=""
 extra_args=()
+diff_mode=0
+diff_ref="origin/main"
+if [[ $# -gt 0 ]]; then
+  case "$1" in
+    --diff)
+      diff_mode=1
+      shift
+      ;;
+    --diff=*)
+      diff_mode=1
+      diff_ref="${1#--diff=}"
+      shift
+      ;;
+  esac
+fi
 if [[ $# -gt 0 && "$1" != "--" ]]; then
   build_dir="$1"
   shift
@@ -53,6 +72,47 @@ fi
 # Library + tool sources; tests are covered through the header filter.
 mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
   -name '*.cc' -o -name '*.cpp' | sort)
+
+if [[ ${diff_mode} -eq 1 ]]; then
+  # Merge-base diff so a stale REF never drags in unrelated files.
+  if ! base="$(git -C "${repo_root}" merge-base "${diff_ref}" HEAD \
+      2> /dev/null)"; then
+    echo "warning: cannot resolve ${diff_ref}; linting everything" >&2
+  else
+    mapfile -t changed < <(git -C "${repo_root}" diff --name-only \
+      --diff-filter=d "${base}" -- '*.cc' '*.cpp' '*.h' '*.hpp')
+    declare -A selected=()
+    changed_headers=()
+    for path in "${changed[@]}"; do
+      case "${path}" in
+        *.cc | *.cpp) selected["${repo_root}/${path}"]=1 ;;
+        *.h | *.hpp) changed_headers+=("${path}") ;;
+      esac
+    done
+    # A changed header selects every source that includes it (by the
+    # repo-relative include spelling, e.g. "util/mutex.h").
+    for header in "${changed_headers[@]}"; do
+      include_name="${header#src/}"
+      mapfile -t includers < <(grep -rl --include='*.cc' \
+        --include='*.cpp' -F "\"${include_name}\"" \
+        "${repo_root}/src" "${repo_root}/tools" 2> /dev/null || true)
+      for source in "${includers[@]}"; do
+        selected["${source}"]=1
+      done
+    done
+    sources=()
+    for source in "${!selected[@]}"; do
+      sources+=("${source}")
+    done
+    mapfile -t sources < <(printf '%s\n' "${sources[@]:-}" | sed '/^$/d' \
+      | sort)
+    if [[ ${#sources[@]} -eq 0 ]]; then
+      echo "clang-tidy: no changed sources vs ${diff_ref}; nothing to do"
+      exit 0
+    fi
+    echo "clang-tidy --diff vs ${diff_ref}: ${#sources[@]} file(s)"
+  fi
+fi
 
 echo "clang-tidy (${tidy_bin}) over ${#sources[@]} files using" \
   "${build_dir}/compile_commands.json"
