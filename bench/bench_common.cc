@@ -1,15 +1,21 @@
 #include "bench_common.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <memory>
 
 #include "core/evaluator.h"
 #include "data/normalize.h"
 #include "ml/kde.h"
+#include "server/json.h"
 #include "telemetry/metrics.h"
+#include "util/build_info.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -162,6 +168,56 @@ Workload MakePolynomialWorkload(const std::string& name, int weighting_type,
   return w;
 }
 
+namespace {
+
+// Renders and writes the karl-bench-v1 perf-trajectory document (see
+// the KARL_BENCH_JSON_OUT doc in bench_common.h). Runs at exit.
+void WriteBenchJsonSidecar(const char* path) {
+  server::Json metrics = server::Json::Object();
+  const telemetry::RegistrySnapshot snapshot =
+      telemetry::GlobalRegistry().Snapshot();
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name.rfind("karl_bench_", 0) == 0) {
+      metrics.Set(name, server::Json::Number(value));
+    }
+  }
+
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  char date[32] = {0};
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+
+  server::Json root = server::Json::Object();
+  root.Set("schema", server::Json::Str("karl-bench-v1"));
+  root.Set("bench", server::Json::Str(program_invocation_short_name));
+  root.Set("version", server::Json::Str(util::BuildVersion()));
+  root.Set("git_sha", server::Json::Str(util::BuildGitSha()));
+  root.Set("build_type", server::Json::Str(util::BuildType()));
+  root.Set("date", server::Json::Str(date));
+  root.Set("host", server::Json::Str(host));
+  root.Set("scale", server::Json::Number(BenchScale()));
+  root.Set("queries",
+           server::Json::Number(static_cast<double>(BenchQueries())));
+  root.Set("threads",
+           server::Json::Number(static_cast<double>(BenchThreads())));
+  root.Set("metrics", std::move(metrics));
+
+  const std::string body = root.Dump() + "\n";
+  std::FILE* f = std::fopen(path, "we");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json sidecar: cannot open '%s'\n", path);
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
 void RecordBenchMetric(const std::string& name, double value) {
   std::string metric = "karl_bench_" + name;
   for (char& ch : metric) {
@@ -172,21 +228,35 @@ void RecordBenchMetric(const std::string& name, double value) {
   telemetry::GlobalRegistry().GetGauge(metric)->Set(value);
 
   const char* path = std::getenv("KARL_BENCH_METRICS_OUT");
-  if (path == nullptr || *path == '\0') return;
-  static const bool armed = [] {
-    std::atexit(+[] {
-      const char* out = std::getenv("KARL_BENCH_METRICS_OUT");
-      if (out == nullptr || *out == '\0') return;
-      if (auto st = telemetry::WriteMetricsFile(telemetry::GlobalRegistry(),
-                                                out);
-          !st.ok()) {
-        std::fprintf(stderr, "bench metrics sidecar write failed: %s\n",
-                     st.ToString().c_str());
-      }
-    });
-    return true;
-  }();
-  (void)armed;
+  if (path != nullptr && *path != '\0') {
+    static const bool armed = [] {
+      std::atexit(+[] {
+        const char* out = std::getenv("KARL_BENCH_METRICS_OUT");
+        if (out == nullptr || *out == '\0') return;
+        if (auto st = telemetry::WriteMetricsFile(
+                telemetry::GlobalRegistry(), out);
+            !st.ok()) {
+          std::fprintf(stderr, "bench metrics sidecar write failed: %s\n",
+                       st.ToString().c_str());
+        }
+      });
+      return true;
+    }();
+    (void)armed;
+  }
+
+  const char* json_path = std::getenv("KARL_BENCH_JSON_OUT");
+  if (json_path != nullptr && *json_path != '\0') {
+    static const bool json_armed = [] {
+      std::atexit(+[] {
+        const char* out = std::getenv("KARL_BENCH_JSON_OUT");
+        if (out == nullptr || *out == '\0') return;
+        WriteBenchJsonSidecar(out);
+      });
+      return true;
+    }();
+    (void)json_armed;
+  }
 }
 
 EngineOptions DefaultOptions(const Workload& w) {

@@ -15,6 +15,16 @@
 //                           instrumentation) to this path at exit —
 //                           a machine-readable sidecar next to the
 //                           human-readable tables on stdout
+//   KARL_BENCH_JSON_OUT     when set, the process writes a
+//                           perf-trajectory document (schema
+//                           "karl-bench-v1") to this path at exit:
+//                           {schema, bench, version, git_sha,
+//                           build_type, date (UTC ISO-8601), host,
+//                           scale, queries, threads, metrics:{every
+//                           karl_bench_* gauge}}. One such file per
+//                           run, committed over time (BENCH_*.json at
+//                           the repo root), is the throughput history
+//                           of this codebase.
 
 #ifndef KARL_BENCH_BENCH_COMMON_H_
 #define KARL_BENCH_BENCH_COMMON_H_

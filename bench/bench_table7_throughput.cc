@@ -28,6 +28,7 @@
 #include "server/client.h"
 #include "server/server.h"
 #include "telemetry/metrics.h"
+#include "telemetry/rolling.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -196,8 +197,9 @@ int main(int argc, char** argv) {
           "serialize", "write", "total"}) {
       const auto h =
           registry
-              .GetHistogram(std::string("karl_server_") + stage + "_us")
-              ->Snapshot();
+              .GetRollingHistogram(std::string("karl_server_") + stage +
+                                   "_us")
+              ->CumulativeSnapshot();
       const double p50 = h.Quantile(0.5);
       const double p95 = h.Quantile(0.95);
       karl::bench::RecordBenchMetric(

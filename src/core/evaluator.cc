@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/rolling.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -35,7 +36,31 @@ struct EntryLess {
 
 using Frontier = std::priority_queue<Entry, std::vector<Entry>, EntryLess>;
 
+// Grows the per-level vector on demand; depths arrive in traversal
+// order, so this amortizes to nothing.
+TraversalProfile::Level& ProfileLevel(TraversalProfile* profile,
+                                      uint16_t depth) {
+  if (profile->levels.size() <= depth) {
+    profile->levels.resize(static_cast<size_t>(depth) + 1);
+  }
+  return profile->levels[depth];
+}
+
 }  // namespace
+
+const char* BoundFamilyName(BoundKind kind) {
+  switch (kind) {
+    case BoundKind::kSota:
+      return "constant";
+    case BoundKind::kKarl:
+      return "linear";
+    case BoundKind::kKarlChordOnly:
+      return "linear(chord)";
+    case BoundKind::kKarlTangentOnly:
+      return "linear(tangent)";
+  }
+  return "unknown";
+}
 
 util::Result<Evaluator> Evaluator::Create(const index::TreeIndex* plus_tree,
                                           const index::TreeIndex* minus_tree,
@@ -69,8 +94,10 @@ util::Result<Evaluator> Evaluator::CreateWithBounds(
                      : std::move(bound_fn);
   if (options.metrics != nullptr) {
     telemetry::Registry& reg = *options.metrics;
-    ev.instruments_.latency_usec = reg.GetHistogram("karl_query_latency_usec");
-    ev.instruments_.prune_ratio = reg.GetHistogram("karl_query_prune_ratio");
+    ev.instruments_.latency_usec =
+        reg.GetRollingHistogram("karl_query_latency_usec");
+    ev.instruments_.prune_ratio =
+        reg.GetRollingHistogram("karl_query_prune_ratio");
     ev.instruments_.queries_tkaq = reg.GetCounter("karl_tkaq_queries_total");
     ev.instruments_.queries_ekaq = reg.GetCounter("karl_ekaq_queries_total");
     ev.instruments_.queries_exact = reg.GetCounter("karl_exact_queries_total");
@@ -130,8 +157,13 @@ double Evaluator::LeafAggregate(const index::TreeIndex& tree, uint32_t begin,
 
 void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
                        double* out_lb, double* out_ub, EvalStats* stats,
-                       const TraceFn* trace) const {
+                       const TraceFn* trace,
+                       TraversalProfile* profile) const {
   const QueryContext ctx = QueryContext::Make(q);
+  if (profile != nullptr) {
+    profile->Clear();
+    profile->bounds = options_.bounds;
+  }
   Frontier frontier;
   double lb = 0.0;
   double ub = 0.0;
@@ -180,9 +212,18 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
       const double exact =
           static_cast<double>(side) * LeafAggregate(tree, nd.begin, nd.end, q);
       kernel_evals += nd.count();
+      if (profile != nullptr) {
+        TraversalProfile::Level& level = ProfileLevel(profile, nd.depth);
+        ++level.visited;
+        ++level.exact_leaves;
+        level.kernel_evals += nd.count();
+      }
       lb += exact;
       ub += exact;
       return;
+    }
+    if (profile != nullptr) {
+      ++ProfileLevel(profile, tree.node(id).depth).visited;
     }
     double node_lb = 0.0, node_ub = 0.0;
     bound_fn_->NodeBounds(tree, id, ctx, &node_lb, &node_ub);
@@ -252,10 +293,21 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
          {"kernel_evals", static_cast<double>(kernel_evals)}});
   };
 
+  // Appends one bound-convergence point (entry 0: post-admission state).
+  const auto record_timeline = [&]() {
+    if (profile == nullptr) return;
+    if (profile->timeline.size() >= TraversalProfile::kMaxTimeline) {
+      profile->timeline_truncated = true;
+      return;
+    }
+    profile->timeline.push_back({lb, ub, kernel_evals});
+  };
+
   admit(*plus_tree_, +1, plus_tree_->root());
   if (minus_tree_ != nullptr) admit(*minus_tree_, -1, minus_tree_->root());
   if (audit) audit_globals();
   if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
+  record_timeline();
   emit_trace_counters();
 
   while (!frontier.empty() && !stop(lb, ub)) {
@@ -271,12 +323,35 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
     KARL_DCHECK(!nd.is_leaf())
         << ": leaf node " << top.node << " reached the frontier";
     ++nodes_expanded;
+    if (profile != nullptr) {
+      ++ProfileLevel(profile, nd.depth).expanded;
+    }
     admit(tree, top.side, nd.left);
     admit(tree, top.side, nd.right);
 
     if (audit) audit_globals();
     if (trace != nullptr && *trace) (*trace)(iterations, lb, ub);
+    record_timeline();
     emit_trace_counters();
+  }
+
+  // Captured before the profile drain below empties the queue.
+  const bool frontier_drained = frontier.empty();
+
+  if (profile != nullptr) {
+    // Whatever is left on the frontier was never expanded: the bound was
+    // tight enough to decide the query without opening these subtrees.
+    // Draining the queue is profile-only work, off every normal path.
+    while (!frontier.empty()) {
+      const Entry rest = frontier.top();
+      frontier.pop();
+      const index::TreeIndex& tree =
+          rest.side > 0 ? *plus_tree_ : *minus_tree_;
+      ++ProfileLevel(profile, tree.node(rest.node).depth).pruned;
+    }
+    profile->iterations = iterations;
+    profile->nodes_expanded = nodes_expanded;
+    profile->kernel_evals = kernel_evals;
   }
 
   if (stats != nullptr) {
@@ -286,13 +361,14 @@ void Evaluator::Refine(std::span<const double> q, const StopFn& stop,
   }
   // Drained frontier means [lb, ub] collapsed to the exact value (modulo
   // floating-point accumulation); guard against a tiny inversion.
-  if (frontier.empty() && lb > ub) lb = ub = 0.5 * (lb + ub);
+  if (frontier_drained && lb > ub) lb = ub = 0.5 * (lb + ub);
   *out_lb = lb;
   *out_ub = ub;
 }
 
 bool Evaluator::QueryThreshold(std::span<const double> q, double tau,
-                               EvalStats* stats, const TraceFn* trace) const {
+                               EvalStats* stats, const TraceFn* trace,
+                               TraversalProfile* profile) const {
   telemetry::TraceRecorder* const tracer = options_.tracer;
   const bool observed = instrumented_ || tracer != nullptr;
   // The sinks need this query's work even when the caller passed no
@@ -306,7 +382,7 @@ bool Evaluator::QueryThreshold(std::span<const double> q, double tau,
 
   double lb = 0.0, ub = 0.0;
   const StopFn stop = [tau](double l, double u) { return l > tau || u <= tau; };
-  Refine(q, stop, &lb, &ub, work, trace);
+  Refine(q, stop, &lb, &ub, work, trace, profile);
   bool result;
   if (lb > tau) {
     result = true;
@@ -341,8 +417,8 @@ bool Evaluator::QueryThreshold(std::span<const double> q, double tau,
 }
 
 double Evaluator::QueryApproximate(std::span<const double> q, double eps,
-                                   EvalStats* stats,
-                                   const TraceFn* trace) const {
+                                   EvalStats* stats, const TraceFn* trace,
+                                   TraversalProfile* profile) const {
   KARL_CHECK(eps > 0.0) << ": eKAQ needs a positive epsilon, got " << eps;
   telemetry::TraceRecorder* const tracer = options_.tracer;
   const bool observed = instrumented_ || tracer != nullptr;
@@ -366,7 +442,7 @@ double Evaluator::QueryApproximate(std::span<const double> q, double eps,
     if (u <= 0.0 && l >= (1.0 + eps) * u) return true;
     return u <= 1e-300 && l >= -1e-300;
   };
-  Refine(q, stop, &lb, &ub, work, trace);
+  Refine(q, stop, &lb, &ub, work, trace, profile);
   double result;
   if (lb >= 0.0 && ub <= (1.0 + eps) * lb) {
     result = lb;

@@ -22,6 +22,7 @@
 
 #include "core/bounds.h"
 #include "core/kernel.h"
+#include "core/traversal_profile.h"
 #include "data/sparse_matrix.h"
 #include "index/tree_index.h"
 #include "util/status.h"
@@ -31,6 +32,7 @@ class Counter;
 class Gauge;
 class Histogram;
 class Registry;
+class RollingHistogram;
 class TraceRecorder;
 }  // namespace karl::telemetry
 
@@ -113,15 +115,21 @@ class Evaluator {
   /// maintained incrementally, so decisions carry an absolute noise
   /// floor of roughly machine-epsilon times the root bound magnitude;
   /// margins |F_P(q) − tau| below that floor may be misreported.
+  /// `profile`, when non-null, is cleared and filled with the query's
+  /// EXPLAIN traversal profile (see core/traversal_profile.h); null (the
+  /// default) skips collection entirely.
   bool QueryThreshold(std::span<const double> q, double tau,
                       EvalStats* stats = nullptr,
-                      const TraceFn* trace = nullptr) const;
+                      const TraceFn* trace = nullptr,
+                      TraversalProfile* profile = nullptr) const;
 
   /// eKAQ (Problem 2): returns F̂ with relative error at most eps
   /// (requires eps > 0 and F_P(q) >= 0, i.e. Type I/II weighting).
+  /// `profile` as in QueryThreshold.
   double QueryApproximate(std::span<const double> q, double eps,
                           EvalStats* stats = nullptr,
-                          const TraceFn* trace = nullptr) const;
+                          const TraceFn* trace = nullptr,
+                          TraversalProfile* profile = nullptr) const;
 
   /// Exact F_P(q) via full scan of both trees (the SCAN baseline).
   double QueryExact(std::span<const double> q,
@@ -146,8 +154,8 @@ class Evaluator {
   // set; all null (and instrumented_ false) otherwise, so the disabled
   // path never touches the registry.
   struct Instruments {
-    telemetry::Histogram* latency_usec = nullptr;
-    telemetry::Histogram* prune_ratio = nullptr;
+    telemetry::RollingHistogram* latency_usec = nullptr;
+    telemetry::RollingHistogram* prune_ratio = nullptr;
     telemetry::Counter* queries_tkaq = nullptr;
     telemetry::Counter* queries_ekaq = nullptr;
     telemetry::Counter* queries_exact = nullptr;
@@ -158,9 +166,11 @@ class Evaluator {
     telemetry::Gauge* overall_prune_ratio = nullptr;
   };
 
-  // Runs the refinement loop; outputs the final bounds.
+  // Runs the refinement loop; outputs the final bounds. `profile`, when
+  // non-null, receives the per-level / per-iteration EXPLAIN counters.
   void Refine(std::span<const double> q, const StopFn& stop, double* lb,
-              double* ub, EvalStats* stats, const TraceFn* trace) const;
+              double* ub, EvalStats* stats, const TraceFn* trace,
+              TraversalProfile* profile = nullptr) const;
 
   // Exact aggregate of the permuted range [begin, end) of `tree`.
   double LeafAggregate(const index::TreeIndex& tree, uint32_t begin,

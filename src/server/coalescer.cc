@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/karl.h"
 #include "telemetry/metrics.h"
+#include "telemetry/rolling.h"
 #include "util/stopwatch.h"
 
 namespace karl::server {
@@ -34,8 +36,8 @@ Coalescer::Coalescer(const Engine& engine, util::ThreadPool* pool,
   if (metrics != nullptr) {
     groups_total_ = metrics->GetCounter("karl_server_batches_total");
     queries_total_ = metrics->GetCounter("karl_server_queries_total");
-    group_rows_ = metrics->GetHistogram("karl_server_coalesced_rows");
-    group_usec_ = metrics->GetHistogram("karl_server_batch_usec");
+    group_rows_ = metrics->GetRollingHistogram("karl_server_coalesced_rows");
+    group_usec_ = metrics->GetRollingHistogram("karl_server_batch_usec");
     pending_gauge_ = metrics->GetGauge("karl_server_pending_rows");
   }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
@@ -110,19 +112,21 @@ void Coalescer::DispatchLoop() {
       continue;
     }
 
-    // Pop the oldest item; when it is a single query, sweep every other
-    // queued single with the same (kind, param) into the group, in
-    // arrival order. Different-parameter items stay queued for a later
-    // group of their own.
+    // Pop the oldest item; when it is a plain single query, sweep every
+    // other queued plain single with the same (kind, param) into the
+    // group, in arrival order. Different-parameter items stay queued
+    // for a later group of their own. Explain items never coalesce in
+    // either direction: the profile must describe one query alone.
     std::vector<WorkItem> group;
     group.push_back(std::move(queue_.front()));
     queue_.pop_front();
     size_t rows = group.front().queries.rows();
-    if (!group.front().is_batch) {
+    if (!group.front().is_batch && !group.front().explain) {
       const QueryKind kind = group.front().kind;
       const double param = group.front().param;
       for (auto it = queue_.begin(); it != queue_.end();) {
-        if (!it->is_batch && it->kind == kind && it->param == param) {
+        if (!it->is_batch && !it->explain && it->kind == kind &&
+            it->param == param) {
           rows += it->queries.rows();
           group.push_back(std::move(*it));
           it = queue_.erase(it);
@@ -163,7 +167,76 @@ void Coalescer::ObserveRow(size_t row, uint64_t begin_us, uint64_t end_us,
   }
 }
 
+void Coalescer::RunExplain(WorkItem item) {
+  item.ctx.dispatched_us = telemetry::MonotonicMicros();
+
+  // Evaluated inline on the dispatcher — never through BatchEvaluator,
+  // whose per-worker stats merging would blur the single query this
+  // profile must describe. Explain is a diagnostic op; serializing it
+  // on the dispatcher keeps the hot path untouched.
+  core::TraversalProfile profile;
+  core::EvalStats stats;
+  const std::span<const double> q = item.queries.Row(0);
+  const uint64_t eval_begin_us = telemetry::MonotonicMicros();
+  util::Stopwatch timer;
+  bool above = false;
+  double value = 0.0;
+  if (item.kind == QueryKind::kTkaq) {
+    above = engine_.evaluator().QueryThreshold(q, item.param, &stats,
+                                               nullptr, &profile);
+  } else {
+    value = engine_.evaluator().QueryApproximate(q, item.param, &stats,
+                                                 nullptr, &profile);
+  }
+  const double usec = timer.ElapsedSeconds() * 1e6;
+  const uint64_t eval_end_us = telemetry::MonotonicMicros();
+
+  if (groups_total_ != nullptr) {
+    groups_total_->Increment();
+    queries_total_->Add(1);
+    group_rows_->Record(1.0);
+    group_usec_->Record(usec);
+  }
+  if (tracer_.enabled()) {
+    tracer_.Span("grp/explain", eval_begin_us, eval_end_us,
+                 {{"req", static_cast<double>(item.ctx.id)},
+                  {"kernel_evals", static_cast<double>(stats.kernel_evals)},
+                  {"nodes", static_cast<double>(stats.nodes_expanded)}});
+    tracer_.FlowStep(item.ctx.id,
+                     eval_begin_us + (eval_end_us - eval_begin_us) / 2);
+  }
+
+  item.ctx.eval_begin_us = eval_begin_us;
+  item.ctx.eval_end_us = eval_end_us;
+  item.ctx.stats.iterations = stats.iterations;
+  item.ctx.stats.nodes_expanded = stats.nodes_expanded;
+  item.ctx.stats.kernel_evals = stats.kernel_evals;
+
+  const Json explain = TraversalProfileJson(profile);
+  Completion completion;
+  completion.conn_id = item.conn_id;
+  completion.response =
+      item.kind == QueryKind::kTkaq
+          ? OkExplainBoolResponse(item.request_id, above, explain)
+          : OkExplainValueResponse(item.request_id, value, explain);
+  item.ctx.serialized_us = telemetry::MonotonicMicros();
+  completion.ctx = item.ctx;
+  completion.kind = item.kind;
+  completion.is_batch = false;
+  completion.rows = 1;
+  completion.request_id = std::move(item.request_id);
+  completion.explain_json = explain.Dump();
+
+  std::vector<Completion> completions;
+  completions.push_back(std::move(completion));
+  sink_(std::move(completions));
+}
+
 void Coalescer::RunGroup(std::vector<WorkItem> group) {
+  if (group.front().explain) {
+    RunExplain(std::move(group.front()));
+    return;
+  }
   const uint64_t dispatched_us = telemetry::MonotonicMicros();
   for (WorkItem& item : group) item.ctx.dispatched_us = dispatched_us;
 

@@ -51,6 +51,10 @@ struct WorkItem {
   /// True for an op=batch request (responds with an array; never merged
   /// with other items).
   bool is_batch = false;
+  /// True for an op=explain request: evaluated alone (never coalesced —
+  /// the profile must describe exactly one query's traversal) with the
+  /// EXPLAIN profiler attached.
+  bool explain = false;
   data::Matrix queries;
   /// Observability context; the coalescer stamps the dispatch/eval/
   /// serialize stages and attributes engine work per request.
@@ -70,6 +74,9 @@ struct Completion {
   uint64_t rows = 0;
   /// Client correlation token ("" = none), for access/slow-query logs.
   std::string request_id;
+  /// The rendered "explain" object for op=explain completions (empty
+  /// otherwise); the server files it into the /explainz ring.
+  std::string explain_json;
 };
 
 /// See file comment. Construction spawns the dispatcher thread;
@@ -121,6 +128,9 @@ class Coalescer {
   // Evaluates one group of same-(kind,param) items and emits their
   // completions. Runs on the dispatcher thread.
   void RunGroup(std::vector<WorkItem> group);
+  // Evaluates one op=explain item (always a group of its own) with the
+  // traversal profiler attached. Runs on the dispatcher thread.
+  void RunExplain(WorkItem item);
   // Builds the BatchOptions wired to ObserveRow.
   static core::BatchOptions ObservedOptions(util::ThreadPool* pool,
                                             Coalescer* self);
@@ -161,11 +171,13 @@ class Coalescer {
   bool stop_ KARL_GUARDED_BY(mu_) = false;
 
   // Telemetry (null when no registry): dispatched groups, coalesced
-  // rows per group, evaluation latency, queue level.
+  // rows per group, evaluation latency, queue level. The histograms are
+  // rolling so /metrics can report last-60s group shape next to the
+  // cumulative one.
   telemetry::Counter* groups_total_ = nullptr;
   telemetry::Counter* queries_total_ = nullptr;
-  telemetry::Histogram* group_rows_ = nullptr;
-  telemetry::Histogram* group_usec_ = nullptr;
+  telemetry::RollingHistogram* group_rows_ = nullptr;
+  telemetry::RollingHistogram* group_usec_ = nullptr;
   telemetry::Gauge* pending_gauge_ = nullptr;
 
   std::thread dispatcher_;

@@ -86,7 +86,8 @@ util::Result<Request> ParseRequest(std::string_view line) {
 
   const Json* op = root.Find("op");
   if (op == nullptr || !op->is_string()) {
-    return BadRequest("missing \"op\" (query|batch|health|metrics|statusz)");
+    return BadRequest(
+        "missing \"op\" (query|batch|explain|health|metrics|statusz)");
   }
   const std::string& name = op->string_value();
   if (name == "health") {
@@ -103,11 +104,18 @@ util::Result<Request> ParseRequest(std::string_view line) {
   }
 
   std::vector<double> row;
-  if (name == "query") {
-    request.op = Request::Op::kQuery;
+  if (name == "query" || name == "explain") {
+    request.op =
+        name == "query" ? Request::Op::kQuery : Request::Op::kExplain;
     KARL_RETURN_NOT_OK(ReadKindAndParam(root, &request));
+    if (request.op == Request::Op::kExplain &&
+        request.kind == QueryKind::kExact) {
+      return BadRequest(
+          "explain requires kind tkaq or ekaq — a full scan has no "
+          "traversal to profile");
+    }
     const Json* q = root.Find("q");
-    if (q == nullptr) return BadRequest("query requires \"q\"");
+    if (q == nullptr) return BadRequest(name + " requires \"q\"");
     KARL_RETURN_NOT_OK(ReadRow(*q, &row));
     if (row.empty()) return BadRequest("\"q\" must be non-empty");
     const size_t dims = row.size();
@@ -133,7 +141,7 @@ util::Result<Request> ParseRequest(std::string_view line) {
     return request;
   }
   return BadRequest("unknown op '" + name +
-                    "' (query|batch|health|metrics|statusz)");
+                    "' (query|batch|explain|health|metrics|statusz)");
 }
 
 std::string OkBoolResponse(const std::string& id, bool above) {
@@ -191,6 +199,80 @@ std::string OkStatuszResponse(std::string_view statusz_object) {
   out += statusz_object;
   out += "}\n";
   return out;
+}
+
+Json TraversalProfileJson(const core::TraversalProfile& profile) {
+  const bool linear_family = profile.bounds != core::BoundKind::kSota;
+  Json levels = Json::Array();
+  for (size_t d = 0; d < profile.levels.size(); ++d) {
+    const core::TraversalProfile::Level& level = profile.levels[d];
+    levels.Append(
+        Json::Object()
+            .Set("depth", Json::Number(static_cast<double>(d)))
+            .Set("visited", Json::Number(static_cast<double>(level.visited)))
+            .Set("expanded",
+                 Json::Number(static_cast<double>(level.expanded)))
+            .Set("pruned_linear",
+                 Json::Number(static_cast<double>(
+                     linear_family ? level.pruned : 0)))
+            .Set("pruned_constant",
+                 Json::Number(static_cast<double>(
+                     linear_family ? 0 : level.pruned)))
+            .Set("exact_leaves",
+                 Json::Number(static_cast<double>(level.exact_leaves)))
+            .Set("kernel_evals",
+                 Json::Number(static_cast<double>(level.kernel_evals))));
+  }
+  Json timeline = Json::Array();
+  for (size_t i = 0; i < profile.timeline.size(); ++i) {
+    const core::TraversalProfile::Iteration& it = profile.timeline[i];
+    timeline.Append(
+        Json::Object()
+            .Set("iteration", Json::Number(static_cast<double>(i)))
+            .Set("lb", Json::Number(it.lb))
+            .Set("ub", Json::Number(it.ub))
+            .Set("gap", Json::Number(it.ub - it.lb))
+            .Set("kernel_evals",
+                 Json::Number(static_cast<double>(it.kernel_evals))));
+  }
+  return Json::Object()
+      .Set("bounds",
+           Json::Str(std::string(core::BoundKindToString(profile.bounds))))
+      .Set("bound_family",
+           Json::Str(core::BoundFamilyName(profile.bounds)))
+      .Set("iterations",
+           Json::Number(static_cast<double>(profile.iterations)))
+      .Set("nodes_expanded",
+           Json::Number(static_cast<double>(profile.nodes_expanded)))
+      .Set("kernel_evals",
+           Json::Number(static_cast<double>(profile.kernel_evals)))
+      .Set("nodes_visited",
+           Json::Number(static_cast<double>(profile.TotalVisited())))
+      .Set("nodes_pruned",
+           Json::Number(static_cast<double>(profile.TotalPruned())))
+      .Set("exact_leaves",
+           Json::Number(static_cast<double>(profile.TotalExactLeaves())))
+      .Set("levels", std::move(levels))
+      .Set("timeline", std::move(timeline))
+      .Set("timeline_truncated", Json::Bool(profile.timeline_truncated));
+}
+
+std::string OkExplainBoolResponse(const std::string& id, bool above,
+                                  const Json& explain) {
+  return Finish(Json::Object()
+                    .Set("ok", Json::Bool(true))
+                    .Set("above", Json::Bool(above))
+                    .Set("explain", explain),
+                id);
+}
+
+std::string OkExplainValueResponse(const std::string& id, double value,
+                                   const Json& explain) {
+  return Finish(Json::Object()
+                    .Set("ok", Json::Bool(true))
+                    .Set("value", Json::Number(value))
+                    .Set("explain", explain),
+                id);
 }
 
 std::string ErrorResponse(const std::string& id, std::string_view code,

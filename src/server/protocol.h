@@ -6,6 +6,7 @@
 //   {"op":"query","kind":"ekaq","q":[...],"eps":E}
 //   {"op":"query","kind":"exact","q":[...]}
 //   {"op":"batch","kind":"ekaq","queries":[[...],[...]],"eps":E}
+//   {"op":"explain","kind":"tkaq","q":[...],"tau":T}
 //   {"op":"health"}
 //   {"op":"metrics"}
 //   {"op":"statusz"}
@@ -14,6 +15,11 @@
 //   tkaq:   {"ok":true,"above":true}            (batch: "above":[...])
 //   ekaq /
 //   exact:  {"ok":true,"value":V}               (batch: "values":[...])
+//   explain:{"ok":true,"above":B,"explain":{...}} (tkaq) or
+//           {"ok":true,"value":V,"explain":{...}} (ekaq) — the answer
+//           plus the evaluator's traversal profile (per-level counts,
+//           bound-convergence timeline; see TraversalProfileJson).
+//           kind=exact is rejected: a full scan has no traversal.
 //   health: {"ok":true,"status":"serving"}      (or "draining")
 //   metrics:{"ok":true,"metrics":"<Prometheus text, JSON-escaped>"}
 //   statusz:{"ok":true,"statusz":{...}}         (uptime, stage latency
@@ -37,7 +43,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/traversal_profile.h"
 #include "data/matrix.h"
+#include "server/json.h"
 #include "util/status.h"
 
 namespace karl::server {
@@ -50,7 +58,7 @@ std::string_view QueryKindToString(QueryKind kind);
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kQuery, kBatch, kHealth, kMetrics, kStatusz };
+  enum class Op { kQuery, kBatch, kExplain, kHealth, kMetrics, kStatusz };
 
   Op op = Op::kHealth;
   QueryKind kind = QueryKind::kTkaq;
@@ -83,6 +91,21 @@ std::string OkMetricsResponse(std::string_view prometheus_text);
 std::string OkStatuszResponse(std::string_view statusz_object);
 std::string ErrorResponse(const std::string& id, std::string_view code,
                           std::string_view detail);
+
+/// Renders a traversal profile as the "explain" JSON object shared by
+/// the wire protocol, `karl query --explain`, and the /explainz admin
+/// page: bound kind/family, EvalStats-reconciling totals, per-level
+/// visited/expanded/pruned/exact-leaf/kernel-eval counts (pruning
+/// attributed to the bound family: pruned_linear for KARL's linear
+/// bounds, pruned_constant for SOTA's), and the (lb, ub) convergence
+/// timeline.
+Json TraversalProfileJson(const core::TraversalProfile& profile);
+
+/// Explain responses: the plain answer plus the profile object.
+std::string OkExplainBoolResponse(const std::string& id, bool above,
+                                  const Json& explain);
+std::string OkExplainValueResponse(const std::string& id, double value,
+                                   const Json& explain);
 
 }  // namespace karl::server
 

@@ -8,12 +8,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <utility>
 
 #include "server/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/rolling.h"
+#include "util/build_info.h"
 #include "util/check.h"
 #include "util/errno.h"
 
@@ -38,6 +42,40 @@ void DrainEventFd(int fd) {
 void SignalEventFd(int fd) {
   const uint64_t one = 1;
   [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+}
+
+// One completed request as a JSON object — shared by the statusz
+// flight-recorder section and the /flightz NDJSON page.
+Json RequestRecordJson(const telemetry::RequestRecord& r) {
+  Json entry = Json::Object();
+  entry.Set("req", Json::Number(static_cast<double>(r.ctx.id)));
+  if (!r.client_id.empty()) entry.Set("id", Json::Str(r.client_id));
+  entry.Set("kind", Json::Str(r.kind));
+  entry.Set("batch", Json::Bool(r.batch));
+  entry.Set("rows", Json::Number(static_cast<double>(r.rows)));
+  if (!r.peer.empty()) entry.Set("peer", Json::Str(r.peer));
+  entry.Set("ok", Json::Bool(r.ok));
+  entry.Set("read_us", Json::Number(static_cast<double>(r.ctx.read_us())));
+  entry.Set("parse_us",
+            Json::Number(static_cast<double>(r.ctx.parse_us())));
+  entry.Set("queue_wait_us",
+            Json::Number(static_cast<double>(r.ctx.queue_wait_us())));
+  entry.Set("coalesce_wait_us",
+            Json::Number(static_cast<double>(r.ctx.coalesce_wait_us())));
+  entry.Set("eval_us", Json::Number(static_cast<double>(r.ctx.eval_us())));
+  entry.Set("serialize_us",
+            Json::Number(static_cast<double>(r.ctx.serialize_us())));
+  entry.Set("write_us",
+            Json::Number(static_cast<double>(r.ctx.write_us())));
+  entry.Set("total_us",
+            Json::Number(static_cast<double>(r.ctx.total_us())));
+  entry.Set("kernel_evals",
+            Json::Number(static_cast<double>(r.ctx.stats.kernel_evals)));
+  entry.Set("nodes_expanded",
+            Json::Number(static_cast<double>(r.ctx.stats.nodes_expanded)));
+  entry.Set("iterations",
+            Json::Number(static_cast<double>(r.ctx.stats.iterations)));
+  return entry;
 }
 
 }  // namespace
@@ -88,12 +126,14 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
       return outcome;
     case Request::Op::kQuery:
     case Request::Op::kBatch:
+    case Request::Op::kExplain:
       break;
   }
 
   if (draining) {
     outcome.immediate_response =
         ErrorResponse(request.id, "shutting_down", "server is draining");
+    outcome.shed_code = "shutting_down";
     return outcome;
   }
   if (request.queries.rows() == 0) {
@@ -127,6 +167,7 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
   item.kind = request.kind;
   item.param = request.param;
   item.is_batch = request.op == Request::Op::kBatch;
+  item.explain = request.op == Request::Op::kExplain;
   item.queries = std::move(request.queries);
   const std::string id = item.request_id;  // Enqueue consumes the item.
   const uint64_t rows = item.queries.rows();
@@ -137,6 +178,7 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
     overload_total_->Increment();
     outcome.immediate_response = ErrorResponse(
         id, "overloaded", "pending-query limit reached; retry later");
+    outcome.shed_code = "overloaded";
     return outcome;
   }
   outcome.enqueued = true;
@@ -208,17 +250,55 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
       server->registry_->GetGauge("karl_server_connections_active");
 
   telemetry::Registry* reg = server->registry_;
-  server->stage_read_us_ = reg->GetHistogram("karl_server_read_us");
-  server->stage_parse_us_ = reg->GetHistogram("karl_server_parse_us");
+  server->stage_read_us_ = reg->GetRollingHistogram("karl_server_read_us");
+  server->stage_parse_us_ =
+      reg->GetRollingHistogram("karl_server_parse_us");
   server->stage_queue_wait_us_ =
-      reg->GetHistogram("karl_server_queue_wait_us");
+      reg->GetRollingHistogram("karl_server_queue_wait_us");
   server->stage_coalesce_wait_us_ =
-      reg->GetHistogram("karl_server_coalesce_wait_us");
-  server->stage_eval_us_ = reg->GetHistogram("karl_server_eval_us");
+      reg->GetRollingHistogram("karl_server_coalesce_wait_us");
+  server->stage_eval_us_ = reg->GetRollingHistogram("karl_server_eval_us");
   server->stage_serialize_us_ =
-      reg->GetHistogram("karl_server_serialize_us");
-  server->stage_write_us_ = reg->GetHistogram("karl_server_write_us");
-  server->stage_total_us_ = reg->GetHistogram("karl_server_total_us");
+      reg->GetRollingHistogram("karl_server_serialize_us");
+  server->stage_write_us_ =
+      reg->GetRollingHistogram("karl_server_write_us");
+  server->stage_total_us_ =
+      reg->GetRollingHistogram("karl_server_total_us");
+
+  // Build identity as a constant gauge, so every scrape carries the
+  // version/sha/build-type labels next to the numbers they explain.
+  reg->GetGauge(util::BuildInfoMetricName())->Set(1.0);
+
+  if (server->options_.admin_port >= 0) {
+    AdminServer::Options admin_options;
+    admin_options.host = server->options_.admin_host;
+    admin_options.port = server->options_.admin_port;
+    admin_options.logger = server->options_.logger;
+    server->admin_ = std::make_unique<AdminServer>(admin_options);
+    server->admin_->Register(
+        "/healthz", "text/plain; charset=utf-8",
+        [raw](std::string_view) -> std::string {
+          return raw->draining_flag_.load(std::memory_order_relaxed)
+                     ? "draining\n"
+                     : "serving\n";
+        });
+    server->admin_->Register(
+        "/metrics", "text/plain; version=0.0.4; charset=utf-8",
+        [reg](std::string_view) { return telemetry::DumpText(*reg); });
+    server->admin_->Register(
+        "/statusz", "application/json",
+        [raw](std::string_view) { return raw->StatuszJson(); });
+    server->admin_->Register(
+        "/varz", "application/json",
+        [raw](std::string_view) { return raw->VarzJson(); });
+    server->admin_->Register(
+        "/flightz", "application/x-ndjson",
+        [raw](std::string_view) { return raw->FlightzNdjson(); });
+    server->admin_->Register(
+        "/explainz", "application/json",
+        [raw](std::string_view query) { return raw->ExplainzJson(query); });
+    if (auto st = server->admin_->Start(); !st.ok()) return st;
+  }
 
   server->loop_thread_ = std::thread([raw] { raw->Loop(); });
   return server;
@@ -227,6 +307,9 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
 Server::~Server() {
   Shutdown();
   Wait();
+  // Stop the admin thread before any state its handlers snapshot
+  // (registry, flight recorder, explain ring) starts dying.
+  admin_.reset();
   // The loop closed every connection on its way out; the force-close
   // path guarantees it even for stuck peers. Joining the coalescer
   // (destruction) and the pool after the loop keeps the sink valid for
@@ -368,6 +451,7 @@ void Server::Loop() {
 void Server::BeginShutdown() {
   if (draining_) return;
   draining_ = true;
+  draining_flag_.store(true, std::memory_order_relaxed);
   drain_watch_.Restart();
   if (listen_fd_ >= 0) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
@@ -492,6 +576,17 @@ void Server::ProcessLines(Connection* conn) {
     if (outcome.enqueued) {
       ++conn->in_flight;
     } else {
+      if (!outcome.shed_code.empty() && options_.access_log != nullptr) {
+        // Shed traffic never reaches FinishRequest, so it gets its own
+        // access-log record here — every refusal stays attributable to
+        // a peer.
+        options_.access_log->Log(util::LogLevel::kInfo, "request",
+                                 {{"req", ctx.id},
+                                  {"peer", conn->peer},
+                                  {"disposition", "shed"},
+                                  {"shed_code", outcome.shed_code},
+                                  {"ok", false}});
+      }
       conn->out += outcome.immediate_response;
     }
   }
@@ -609,11 +704,22 @@ void Server::FinishRequest(const Completion& c, bool ok,
   record.ok = ok;
   flight_recorder_->Record(std::move(record));
 
+  if (!c.explain_json.empty()) {
+    const util::MutexLock lock(&explain_mu_);
+    explain_ring_.push_back(ExplainRecord{
+        ctx.id, c.request_id, std::string(QueryKindToString(c.kind)),
+        c.explain_json});
+    while (explain_ring_.size() > options_.explain_ring_capacity) {
+      explain_ring_.pop_front();
+    }
+  }
+
   const auto stage_fields = [&ctx, &c, ok,
                              &peer](std::vector<util::LogField>* fields) {
     fields->emplace_back("req", ctx.id);
     if (!c.request_id.empty()) fields->emplace_back("id", c.request_id);
     if (!peer.empty()) fields->emplace_back("peer", peer);
+    fields->emplace_back("disposition", "admitted");
     fields->emplace_back("kind", QueryKindToString(c.kind));
     fields->emplace_back("batch", c.is_batch);
     fields->emplace_back("rows", c.rows);
@@ -664,7 +770,7 @@ std::string Server::StatuszJson() const {
   }
   root.Set("gauges", std::move(gauges));
 
-  const std::pair<const char*, telemetry::Histogram*> stages[] = {
+  const std::pair<const char*, telemetry::RollingHistogram*> stages[] = {
       {"read", stage_read_us_},
       {"parse", stage_parse_us_},
       {"queue_wait", stage_queue_wait_us_},
@@ -676,7 +782,7 @@ std::string Server::StatuszJson() const {
   };
   Json stage_obj = Json::Object();
   for (const auto& [name, histogram] : stages) {
-    const telemetry::HistogramSnapshot h = histogram->Snapshot();
+    const telemetry::HistogramSnapshot h = histogram->CumulativeSnapshot();
     Json entry = Json::Object();
     entry.Set("count", Json::Number(static_cast<double>(h.count)));
     entry.Set("sum_us", Json::Number(h.sum));
@@ -684,6 +790,14 @@ std::string Server::StatuszJson() const {
     entry.Set("p95_us", Json::Number(h.Quantile(0.95)));
     entry.Set("p99_us", Json::Number(h.Quantile(0.99)));
     entry.Set("max_us", Json::Number(h.max));
+    const telemetry::HistogramSnapshot w = histogram->WindowSnapshot();
+    Json window = Json::Object();
+    window.Set("count", Json::Number(static_cast<double>(w.count)));
+    window.Set("p50_us", Json::Number(w.Quantile(0.5)));
+    window.Set("p95_us", Json::Number(w.Quantile(0.95)));
+    window.Set("p99_us", Json::Number(w.Quantile(0.99)));
+    window.Set("max_us", Json::Number(w.max));
+    entry.Set("window60s", std::move(window));
     stage_obj.Set(name, std::move(entry));
   }
   root.Set("stages", std::move(stage_obj));
@@ -701,41 +815,113 @@ std::string Server::StatuszJson() const {
                    flight_recorder_->total_recorded())));
   Json requests = Json::Array();
   for (const telemetry::RequestRecord& r : flight_recorder_->Snapshot()) {
-    Json entry = Json::Object();
-    entry.Set("req", Json::Number(static_cast<double>(r.ctx.id)));
-    if (!r.client_id.empty()) entry.Set("id", Json::Str(r.client_id));
-    entry.Set("kind", Json::Str(r.kind));
-    entry.Set("batch", Json::Bool(r.batch));
-    entry.Set("rows", Json::Number(static_cast<double>(r.rows)));
-    if (!r.peer.empty()) entry.Set("peer", Json::Str(r.peer));
-    entry.Set("ok", Json::Bool(r.ok));
-    entry.Set("read_us",
-              Json::Number(static_cast<double>(r.ctx.read_us())));
-    entry.Set("parse_us",
-              Json::Number(static_cast<double>(r.ctx.parse_us())));
-    entry.Set("queue_wait_us",
-              Json::Number(static_cast<double>(r.ctx.queue_wait_us())));
-    entry.Set("coalesce_wait_us",
-              Json::Number(static_cast<double>(r.ctx.coalesce_wait_us())));
-    entry.Set("eval_us",
-              Json::Number(static_cast<double>(r.ctx.eval_us())));
-    entry.Set("serialize_us",
-              Json::Number(static_cast<double>(r.ctx.serialize_us())));
-    entry.Set("write_us",
-              Json::Number(static_cast<double>(r.ctx.write_us())));
-    entry.Set("total_us",
-              Json::Number(static_cast<double>(r.ctx.total_us())));
-    entry.Set("kernel_evals",
-              Json::Number(static_cast<double>(r.ctx.stats.kernel_evals)));
-    entry.Set("nodes_expanded",
-              Json::Number(static_cast<double>(r.ctx.stats.nodes_expanded)));
-    entry.Set("iterations",
-              Json::Number(static_cast<double>(r.ctx.stats.iterations)));
-    requests.Append(std::move(entry));
+    requests.Append(RequestRecordJson(r));
   }
   recorder.Set("requests", std::move(requests));
   root.Set("flight_recorder", std::move(recorder));
   return root.Dump();
+}
+
+std::string Server::VarzJson() const {
+  Json root = Json::Object();
+  root.Set("version", Json::Str(util::BuildVersion()));
+  root.Set("git_sha", Json::Str(util::BuildGitSha()));
+  root.Set("build_type", Json::Str(util::BuildType()));
+  root.Set("uptime_s", Json::Number(uptime_.ElapsedSeconds()));
+  root.Set("pid", Json::Number(static_cast<double>(::getpid())));
+  root.Set("port", Json::Number(static_cast<double>(port_)));
+  root.Set("admin_port", Json::Number(static_cast<double>(admin_port())));
+  root.Set("draining",
+           Json::Bool(draining_flag_.load(std::memory_order_relaxed)));
+
+  Json flags = Json::Object();
+  flags.Set("host", Json::Str(options_.host));
+  flags.Set("threads",
+            Json::Number(static_cast<double>(options_.threads)));
+  flags.Set("max_pending",
+            Json::Number(static_cast<double>(options_.max_pending)));
+  flags.Set("max_line_bytes",
+            Json::Number(static_cast<double>(options_.max_line_bytes)));
+  flags.Set("max_write_buffer_bytes",
+            Json::Number(
+                static_cast<double>(options_.max_write_buffer_bytes)));
+  flags.Set("drain_timeout_ms",
+            Json::Number(static_cast<double>(options_.drain_timeout_ms)));
+  flags.Set("slow_query_us",
+            Json::Number(static_cast<double>(options_.slow_query_us)));
+  root.Set("options", std::move(flags));
+
+  Json model = Json::Object();
+  model.Set("weighting_type",
+            Json::Str(std::string(
+                WeightingTypeToString(engine_->weighting_type()))));
+  model.Set("bounds",
+            Json::Str(std::string(
+                core::BoundKindToString(engine_->options().bounds))));
+  model.Set("dims", Json::Number(static_cast<double>(
+                        engine_->plus_tree().points().cols())));
+  size_t points = engine_->plus_tree().points().rows();
+  if (engine_->minus_tree() != nullptr) {
+    points += engine_->minus_tree()->points().rows();
+  }
+  model.Set("points", Json::Number(static_cast<double>(points)));
+  model.Set("index_memory_bytes",
+            Json::Number(static_cast<double>(engine_->MemoryUsageBytes())));
+  root.Set("model", std::move(model));
+  return root.Dump();
+}
+
+std::string Server::FlightzNdjson() const {
+  std::string out;
+  for (const telemetry::RequestRecord& r : flight_recorder_->Snapshot()) {
+    out += RequestRecordJson(r).Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Server::ExplainzJson(std::string_view query) const {
+  size_t last = options_.explain_ring_capacity;
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    const std::string_view kv = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (kv.substr(0, 5) == "last=") {
+      const std::string_view value = kv.substr(5);
+      size_t parsed = 0;
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), parsed);
+      if (ec == std::errc() && ptr == value.data() + value.size()) {
+        last = parsed;
+      }
+    }
+  }
+
+  std::vector<ExplainRecord> records;
+  {
+    const util::MutexLock lock(&explain_mu_);
+    const size_t n = std::min(last, explain_ring_.size());
+    records.assign(explain_ring_.end() - static_cast<ptrdiff_t>(n),
+                   explain_ring_.end());
+  }
+  // The per-request profiles are pre-rendered JSON, so the page is
+  // assembled textually (newest first) instead of re-parsed.
+  std::string out =
+      "{\"count\": " + std::to_string(records.size()) + ", \"explains\": [";
+  bool first = true;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"req\": " + std::to_string(it->req);
+    if (!it->client_id.empty()) {
+      out += ", \"id\": " + Json::Str(it->client_id).Dump();
+    }
+    out += ", \"kind\": \"" + it->kind + "\"";
+    out += ", \"explain\": " + it->json + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace karl::server

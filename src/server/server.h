@@ -28,20 +28,30 @@
 // the listener, refuses new queries with `shutting_down`, lets every
 // admitted query finish, flushes every response, then closes. Wait()
 // returns once the drain (bounded by drain_timeout_ms) completed.
+//
+// Admin plane: with admin_port >= 0 a fourth thread runs the HTTP
+// scrape listener (server/http_admin.h) serving /metrics, /healthz,
+// /statusz, /varz, /flightz and /explainz. Its handlers only snapshot
+// thread-safe state (registry, flight recorder, explain ring, an
+// atomic draining flag), so a stuck scraper never touches the query
+// path.
 
 #ifndef KARL_SERVER_SERVER_H_
 #define KARL_SERVER_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/karl.h"
 #include "server/coalescer.h"
+#include "server/http_admin.h"
 #include "telemetry/flight_recorder.h"
 #include "util/log.h"
 #include "util/mutex.h"
@@ -85,6 +95,15 @@ struct ServerOptions {
   /// Flight-recorder depth: how many completed requests `statusz`
   /// remembers.
   size_t flight_recorder_capacity = 256;
+  /// HTTP admin/scrape listener port (server/http_admin.h): GET
+  /// /metrics, /healthz, /statusz, /varz, /flightz, /explainz. -1
+  /// disables the admin plane entirely; 0 binds an ephemeral port
+  /// (read it back via admin_port()).
+  int admin_port = -1;
+  /// Admin listen address; must be a numeric IPv4 address.
+  std::string admin_host = "127.0.0.1";
+  /// How many recent explain profiles /explainz retains.
+  size_t explain_ring_capacity = 32;
 };
 
 /// Maps one parsed request to its action: answer health/metrics inline,
@@ -109,6 +128,11 @@ class Router {
     /// True when the line was admitted (the connection gains one
     /// in-flight request).
     bool enqueued = false;
+    /// Load-shed reason ("overloaded" or "shutting_down") when an
+    /// evaluation request was refused by load state rather than by its
+    /// content; empty otherwise. The server turns these into access-log
+    /// records with disposition "shed".
+    std::string shed_code;
   };
 
   /// Routes one request line for connection `conn_id`. `draining`
@@ -147,6 +171,10 @@ class Server {
   /// The bound TCP port (resolves port 0).
   int port() const { return port_; }
 
+  /// The bound HTTP admin port (resolves admin_port 0), or -1 when the
+  /// admin plane is disabled.
+  int admin_port() const { return admin_ != nullptr ? admin_->port() : -1; }
+
   /// Requests graceful shutdown. Async-signal-safe (a single eventfd
   /// write), callable from any thread or a signal handler, idempotent.
   void Shutdown();
@@ -159,6 +187,19 @@ class Server {
   /// last-N completed requests. Thread-safe; this is what the `statusz`
   /// op returns and what the SIGUSR1 dump writes.
   std::string StatuszJson() const;
+
+  /// Build identity, effective options, and model summary as a JSON
+  /// object (the /varz admin page). Thread-safe.
+  std::string VarzJson() const;
+
+  /// The flight recorder's ring as NDJSON, one completed request per
+  /// line, oldest first (the /flightz admin page). Thread-safe.
+  std::string FlightzNdjson() const;
+
+  /// The most recent explain profiles as a JSON object (the /explainz
+  /// admin page). `query` is a raw HTTP query string; "last=N" caps the
+  /// result (newest first). Thread-safe.
+  std::string ExplainzJson(std::string_view query) const;
 
   /// The always-on ring of recently completed requests.
   const telemetry::FlightRecorder& flight_recorder() const {
@@ -218,6 +259,7 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<Coalescer> coalescer_;
   std::unique_ptr<Router> router_;
+  std::unique_ptr<AdminServer> admin_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -228,10 +270,23 @@ class Server {
   std::unordered_map<uint64_t, Connection> connections_;
   uint64_t next_conn_id_ = 16;  // Ids below 16 name the special fds.
   bool draining_ = false;        // Event-loop thread only.
+  // Cross-thread mirror of draining_ for the admin /healthz handler.
+  std::atomic<bool> draining_flag_{false};
   util::Stopwatch drain_watch_;  // Restarted when the drain begins.
 
   util::Mutex completion_mu_;
   std::vector<Completion> completions_ KARL_GUARDED_BY(completion_mu_);
+
+  // Ring of recent explain profiles for /explainz: pushed by
+  // FinishRequest (event-loop thread), snapshotted by the admin thread.
+  struct ExplainRecord {
+    uint64_t req = 0;
+    std::string client_id;
+    std::string kind;
+    std::string json;  // Pre-rendered explain object.
+  };
+  mutable util::Mutex explain_mu_;
+  std::deque<ExplainRecord> explain_ring_ KARL_GUARDED_BY(explain_mu_);
 
   telemetry::Counter* connections_total_ = nullptr;
   telemetry::Counter* dropped_slow_total_ = nullptr;
@@ -243,14 +298,14 @@ class Server {
   telemetry::RequestTracer tracer_;
   std::unique_ptr<telemetry::FlightRecorder> flight_recorder_;
   util::Stopwatch uptime_;
-  telemetry::Histogram* stage_read_us_ = nullptr;
-  telemetry::Histogram* stage_parse_us_ = nullptr;
-  telemetry::Histogram* stage_queue_wait_us_ = nullptr;
-  telemetry::Histogram* stage_coalesce_wait_us_ = nullptr;
-  telemetry::Histogram* stage_eval_us_ = nullptr;
-  telemetry::Histogram* stage_serialize_us_ = nullptr;
-  telemetry::Histogram* stage_write_us_ = nullptr;
-  telemetry::Histogram* stage_total_us_ = nullptr;
+  telemetry::RollingHistogram* stage_read_us_ = nullptr;
+  telemetry::RollingHistogram* stage_parse_us_ = nullptr;
+  telemetry::RollingHistogram* stage_queue_wait_us_ = nullptr;
+  telemetry::RollingHistogram* stage_coalesce_wait_us_ = nullptr;
+  telemetry::RollingHistogram* stage_eval_us_ = nullptr;
+  telemetry::RollingHistogram* stage_serialize_us_ = nullptr;
+  telemetry::RollingHistogram* stage_write_us_ = nullptr;
+  telemetry::RollingHistogram* stage_total_us_ = nullptr;
 
   // loop_thread_ is only joined under wait_mu_ (Wait may be called
   // concurrently from the signal-watcher path and the main path).

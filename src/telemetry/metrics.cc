@@ -8,6 +8,7 @@
 #include <fstream>
 #include <limits>
 
+#include "telemetry/rolling.h"
 #include "util/check.h"
 
 namespace karl::telemetry {
@@ -157,6 +158,9 @@ HistogramSnapshot Histogram::Snapshot() const {
   return snap;
 }
 
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
 void Registry::RegisterKind(const std::string& name, Kind kind) {
   const auto [it, inserted] = kinds_.emplace(name, kind);
   KARL_CHECK(it->second == kind)
@@ -187,6 +191,14 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+RollingHistogram* Registry::GetRollingHistogram(const std::string& name) {
+  const util::MutexLock lock(&mu_);
+  RegisterKind(name, Kind::kRollingHistogram);
+  auto& slot = rolling_[name];
+  if (slot == nullptr) slot = std::make_unique<RollingHistogram>();
+  return slot.get();
+}
+
 RegistrySnapshot Registry::Snapshot() const {
   const util::MutexLock lock(&mu_);
   RegistrySnapshot snap;
@@ -202,6 +214,14 @@ RegistrySnapshot Registry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms.emplace_back(name, histogram->Snapshot());
   }
+  snap.rolling.reserve(rolling_.size());
+  for (const auto& [name, rolling] : rolling_) {
+    RollingHistogramSnapshot rs;
+    rs.cumulative = rolling->CumulativeSnapshot();
+    rs.window = rolling->WindowSnapshot();
+    rs.window_span_s = RollingHistogram::WindowSpanSeconds();
+    snap.rolling.emplace_back(name, rs);
+  }
   return snap;
 }
 
@@ -210,38 +230,61 @@ Registry& GlobalRegistry() {
   return *kRegistry;
 }
 
+std::string MetricBaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+namespace {
+
+// One Prometheus summary block: TYPE line, the five quantile samples,
+// _sum and _count.
+void AppendSummaryText(std::string* out, const std::string& name,
+                       const HistogramSnapshot& h) {
+  *out += "# TYPE " + name + " summary\n";
+  const std::pair<const char*, double> quantiles[] = {
+      {"0", h.min},          {"0.5", h.Quantile(0.5)},
+      {"0.95", h.Quantile(0.95)}, {"0.99", h.Quantile(0.99)},
+      {"1", h.max}};
+  for (const auto& [q, value] : quantiles) {
+    *out += name + "{quantile=\"" + q + "\"} ";
+    AppendNumber(out, value);
+    *out += "\n";
+  }
+  *out += name + "_sum ";
+  AppendNumber(out, h.sum);
+  *out += "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s_count %llu\n", name.c_str(),
+                static_cast<unsigned long long>(h.count));
+  *out += line;
+}
+
+}  // namespace
+
 std::string DumpText(const Registry& registry) {
   const RegistrySnapshot snap = registry.Snapshot();
   std::string out;
   char line[160];
   for (const auto& [name, value] : snap.counters) {
-    out += "# TYPE " + name + " counter\n";
+    out += "# TYPE " + MetricBaseName(name) + " counter\n";
     std::snprintf(line, sizeof(line), " %llu\n",
                   static_cast<unsigned long long>(value));
     out += name + line;
   }
   for (const auto& [name, value] : snap.gauges) {
-    out += "# TYPE " + name + " gauge\n" + name + " ";
+    out += "# TYPE " + MetricBaseName(name) + " gauge\n" + name + " ";
     AppendNumber(&out, value);
     out += "\n";
   }
   for (const auto& [name, h] : snap.histograms) {
-    out += "# TYPE " + name + " summary\n";
-    const std::pair<const char*, double> quantiles[] = {
-        {"0", h.min},          {"0.5", h.Quantile(0.5)},
-        {"0.95", h.Quantile(0.95)}, {"0.99", h.Quantile(0.99)},
-        {"1", h.max}};
-    for (const auto& [q, value] : quantiles) {
-      out += name + "{quantile=\"" + q + "\"} ";
-      AppendNumber(&out, value);
-      out += "\n";
-    }
-    out += name + "_sum ";
-    AppendNumber(&out, h.sum);
-    out += "\n";
-    std::snprintf(line, sizeof(line), "%s_count %llu\n", name.c_str(),
-                  static_cast<unsigned long long>(h.count));
-    out += line;
+    AppendSummaryText(&out, name, h);
+  }
+  for (const auto& [name, r] : snap.rolling) {
+    AppendSummaryText(&out, name, r.cumulative);
+    AppendSummaryText(
+        &out, name + "_window" + std::to_string(r.window_span_s) + "s",
+        r.window);
   }
   return out;
 }
@@ -274,13 +317,11 @@ std::string DumpJson(const Registry& registry) {
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : snap.histograms) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    \"";
-    AppendEscaped(&out, name);
+  // {count, sum, min, max, p50, p95, p99, buckets} — shared between plain
+  // histograms, rolling cumulatives, and the nested window objects.
+  const auto append_histogram_body = [&out](const HistogramSnapshot& h) {
     char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "\": {\"count\": %llu, \"sum\": ",
+    std::snprintf(buffer, sizeof(buffer), "{\"count\": %llu, \"sum\": ",
                   static_cast<unsigned long long>(h.count));
     out += buffer;
     AppendNumber(&out, h.sum);
@@ -305,7 +346,27 @@ std::string DumpJson(const Registry& registry) {
                     static_cast<unsigned long long>(c));
       out += buffer;
     }
-    out += "]}";
+    out += "]";
+  };
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    append_histogram_body(h);
+    out += "}";
+  }
+  for (const auto& [name, r] : snap.rolling) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(&out, name);
+    out += "\": ";
+    append_histogram_body(r.cumulative);
+    out += ", \"window" + std::to_string(r.window_span_s) + "s\": ";
+    append_histogram_body(r.window);
+    out += "}}";
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";

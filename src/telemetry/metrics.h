@@ -114,12 +114,25 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+// Defined in telemetry/rolling.h; the registry stores rolling histograms
+// by pointer so this header stays free of the time-wheel machinery.
+class RollingHistogram;
+
+/// Cumulative + last-window views of one RollingHistogram, copied at a
+/// point in time.
+struct RollingHistogramSnapshot {
+  HistogramSnapshot cumulative;
+  HistogramSnapshot window;
+  uint64_t window_span_s = 0;
+};
+
 /// All metric values of one registry, copied at a point in time. Names are
 /// sorted, so exposition output is deterministic.
 struct RegistrySnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, RollingHistogramSnapshot>> rolling;
 };
 
 /// Named metric store. Get* returns the existing metric or creates it;
@@ -128,18 +141,25 @@ struct RegistrySnapshot {
 /// is a programming error and aborts.
 class Registry {
  public:
-  Registry() = default;
+  // Both out of line: RollingHistogram is incomplete here, and the
+  // member maps' unique_ptrs need the complete type to destroy.
+  Registry();
+  ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  /// Histogram that additionally tracks a rolling last-60s window; shows
+  /// up in the expositions under `name` (cumulative) and
+  /// `name_window60s` (windowed). See telemetry/rolling.h.
+  RollingHistogram* GetRollingHistogram(const std::string& name);
 
   RegistrySnapshot Snapshot() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kRollingHistogram };
   // Records the name→kind binding; aborts on a kind clash.
   void RegisterKind(const std::string& name, Kind kind)
       KARL_REQUIRES(mu_);
@@ -152,15 +172,23 @@ class Registry {
       KARL_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       KARL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_
+      KARL_GUARDED_BY(mu_);
 };
 
 /// The process-wide default registry (what the CLI flags and the bench
 /// sidecar expose).
 Registry& GlobalRegistry();
 
+/// Metric name with any trailing Prometheus label set ("{...}") removed —
+/// what `# TYPE` lines must carry for labeled series such as
+/// `karl_build_info{version="...",git_sha="..."}`.
+std::string MetricBaseName(const std::string& name);
+
 /// Prometheus-style text exposition: counters and gauges as single
 /// samples, histograms as summaries with {quantile="0|0.5|0.95|0.99|1"}
-/// plus _sum and _count.
+/// plus _sum and _count. Rolling histograms emit the cumulative summary
+/// under their name plus a `name_window60s` summary for the last window.
 std::string DumpText(const Registry& registry);
 
 /// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{name:

@@ -1,0 +1,33 @@
+#include "util/build_info.h"
+
+// Fallbacks keep non-CMake builds (and editors' flycheck) compiling.
+#ifndef KARL_BUILD_VERSION
+#define KARL_BUILD_VERSION "unknown"
+#endif
+#ifndef KARL_BUILD_GIT_SHA
+#define KARL_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef KARL_BUILD_TYPE
+#define KARL_BUILD_TYPE "unknown"
+#endif
+
+namespace karl::util {
+
+const char* BuildVersion() { return KARL_BUILD_VERSION; }
+
+const char* BuildGitSha() { return KARL_BUILD_GIT_SHA; }
+
+const char* BuildType() { return KARL_BUILD_TYPE; }
+
+std::string BuildInfoMetricName() {
+  std::string name = "karl_build_info{version=\"";
+  name += BuildVersion();
+  name += "\",git_sha=\"";
+  name += BuildGitSha();
+  name += "\",build_type=\"";
+  name += BuildType();
+  name += "\"}";
+  return name;
+}
+
+}  // namespace karl::util

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/evaluator.h"
+#include "core/traversal_profile.h"
 #include "data/synthetic.h"
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
@@ -340,6 +341,160 @@ TEST(EvaluatorTest, StatsAccumulateAcrossCalls) {
   const size_t after_one = stats.iterations + stats.kernel_evals;
   ev.QueryThreshold(q, 1.0, &stats);
   EXPECT_GE(stats.iterations + stats.kernel_evals, 2 * after_one);
+}
+
+
+// Asserts the reconciliation contract documented in traversal_profile.h
+// between one query's profile and its (fresh) EvalStats.
+void ExpectProfileReconciles(const TraversalProfile& profile,
+                             const EvalStats& stats) {
+  EXPECT_EQ(profile.iterations, stats.iterations);
+  EXPECT_EQ(profile.nodes_expanded, stats.nodes_expanded);
+  EXPECT_EQ(profile.kernel_evals, stats.kernel_evals);
+
+  uint64_t visited = 0, expanded = 0, pruned = 0, leaves = 0, kevals = 0;
+  for (const TraversalProfile::Level& level : profile.levels) {
+    visited += level.visited;
+    expanded += level.expanded;
+    pruned += level.pruned;
+    leaves += level.exact_leaves;
+    kevals += level.kernel_evals;
+  }
+  EXPECT_EQ(expanded, stats.nodes_expanded);
+  EXPECT_EQ(kevals, stats.kernel_evals);
+  // Every visited node is expanded, pruned, or folded as an exact leaf.
+  EXPECT_EQ(visited, expanded + pruned + leaves);
+
+  if (!profile.timeline_truncated) {
+    // Entry 0 is the post-admission state, then one entry per iteration.
+    EXPECT_EQ(profile.timeline.size(), profile.iterations + 1);
+  } else {
+    EXPECT_EQ(profile.timeline.size(), TraversalProfile::kMaxTimeline);
+  }
+  for (const TraversalProfile::Iteration& it : profile.timeline) {
+    EXPECT_LE(it.lb, it.ub + 1e-9);
+    EXPECT_LE(it.kernel_evals, profile.kernel_evals);
+  }
+  // The bound interval tightens monotonically along the timeline.
+  for (size_t i = 1; i < profile.timeline.size(); ++i) {
+    EXPECT_GE(profile.timeline[i].lb, profile.timeline[i - 1].lb - 1e-7);
+    EXPECT_LE(profile.timeline[i].ub, profile.timeline[i - 1].ub + 1e-7);
+    EXPECT_GE(profile.timeline[i].kernel_evals,
+              profile.timeline[i - 1].kernel_evals);
+  }
+}
+
+class ExplainProfileTest : public ::testing::TestWithParam<BoundKind> {};
+
+TEST_P(ExplainProfileTest, ThresholdProfileReconcilesWithStats) {
+  const auto wb = MakeBench(400, 4, 31, false);
+  const auto kernel = KernelParams::Gaussian(3.0);
+  Evaluator::Options options;
+  options.bounds = GetParam();
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+
+  util::Rng rng(32);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    const double exact = ExactAggregate(wb.points, wb.weights, kernel, q);
+    // Near-threshold queries force deep refinement; far ones stop early.
+    for (const double tau : {exact * 0.999, exact * 0.5, exact * 2.0}) {
+      EvalStats stats;
+      TraversalProfile profile;
+      const bool above = ev.QueryThreshold(q, tau, &stats, nullptr, &profile);
+      EXPECT_EQ(above, exact > tau);
+      EXPECT_EQ(profile.bounds, GetParam());
+      ExpectProfileReconciles(profile, stats);
+
+      // Profiling is observational: a profile-free run of the same query
+      // does identical work and reaches the identical answer.
+      EvalStats bare;
+      EXPECT_EQ(ev.QueryThreshold(q, tau, &bare), above);
+      EXPECT_EQ(bare.iterations, stats.iterations);
+      EXPECT_EQ(bare.nodes_expanded, stats.nodes_expanded);
+      EXPECT_EQ(bare.kernel_evals, stats.kernel_evals);
+    }
+  }
+}
+
+TEST_P(ExplainProfileTest, ApproximateProfileReconcilesWithStats) {
+  const auto wb = MakeBench(400, 4, 33, true);
+  const auto kernel = KernelParams::Gaussian(4.0);
+  Evaluator::Options options;
+  options.bounds = GetParam();
+  auto ev =
+      Evaluator::Create(wb.tree.get(), nullptr, kernel, options).ValueOrDie();
+
+  util::Rng rng(34);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+    EvalStats stats;
+    TraversalProfile profile;
+    const double value = ev.QueryApproximate(q, 0.05, &stats, nullptr,
+                                             &profile);
+    ExpectProfileReconciles(profile, stats);
+
+    EvalStats bare;
+    EXPECT_EQ(ev.QueryApproximate(q, 0.05, &bare), value);  // Bit-identical.
+    EXPECT_EQ(bare.kernel_evals, stats.kernel_evals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBounds, ExplainProfileTest,
+                         ::testing::Values(BoundKind::kSota, BoundKind::kKarl),
+                         [](const auto& info) {
+                           return std::string(BoundKindToString(info.param));
+                         });
+
+TEST(ExplainProfileTest, TypeThreeProfileMergesBothTreesByDepth) {
+  util::Rng rng(35);
+  const size_t n = 300, d = 4;
+  const data::Matrix pts = data::SampleClustered(n, d, 3, 0.1, rng);
+  std::vector<double> signed_w(n);
+  for (auto& w : signed_w) w = rng.Uniform(-1.0, 1.0);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < n; ++i) (signed_w[i] >= 0 ? pos : neg).push_back(i);
+  std::vector<double> pw, nw;
+  for (const size_t i : pos) pw.push_back(signed_w[i]);
+  for (const size_t i : neg) nw.push_back(-signed_w[i]);
+  auto ptree =
+      index::KdTree::Build(pts.SelectRows(pos), pw, 8).ValueOrDie();
+  auto ntree =
+      index::KdTree::Build(pts.SelectRows(neg), nw, 8).ValueOrDie();
+  Evaluator::Options options;
+  auto ev = Evaluator::Create(ptree.get(), ntree.get(),
+                              KernelParams::Gaussian(4.0), options)
+                .ValueOrDie();
+
+  std::vector<double> q(d, 0.5);
+  const double exact = ExactAggregate(pts, signed_w, KernelParams::Gaussian(4.0), q);
+  EvalStats stats;
+  TraversalProfile profile;
+  ev.QueryThreshold(q, exact * 0.999, &stats, nullptr, &profile);
+  ExpectProfileReconciles(profile, stats);
+  // Both roots were admitted, so depth 0 saw two visits.
+  ASSERT_FALSE(profile.levels.empty());
+  EXPECT_EQ(profile.levels[0].visited, 2u);
+}
+
+TEST(ExplainProfileTest, ProfileClearsBetweenQueries) {
+  const auto wb = MakeBench(200, 3, 36, true);
+  Evaluator::Options options;
+  auto ev = Evaluator::Create(wb.tree.get(), nullptr,
+                              KernelParams::Gaussian(2.0), options)
+                .ValueOrDie();
+  const std::vector<double> q(3, 0.5);
+  TraversalProfile profile;
+  EvalStats first;
+  ev.QueryThreshold(q, 1.0, &first, nullptr, &profile);
+  // Reused profile must describe only the second query, not accumulate.
+  EvalStats second;
+  ev.QueryThreshold(q, 1.0, &second, nullptr, &profile);
+  EXPECT_EQ(profile.iterations, second.iterations);
+  EXPECT_EQ(profile.kernel_evals, second.kernel_evals);
 }
 
 }  // namespace

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -15,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/evaluator.h"
 #include "core/karl.h"
 #include "data/synthetic.h"
 #include "server/client.h"
@@ -196,6 +202,11 @@ TEST_F(ServerTest, OverloadShedsWithExplicitErrorAndBoundedQueue) {
 
   Client client = Dial();
   const size_t total = 10;
+  // One write for the whole burst: the loopback delivers it as one
+  // buffer, so the event loop makes all ten admission decisions before
+  // any response can reach the client — deterministic 4-admitted/6-shed
+  // regardless of scheduling.
+  std::string burst;
   for (size_t i = 0; i < total; ++i) {
     Json request = Json::Object()
                        .Set("op", Json::Str("query"))
@@ -204,8 +215,9 @@ TEST_F(ServerTest, OverloadShedsWithExplicitErrorAndBoundedQueue) {
     Json q = Json::Array();
     for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
     request.Set("q", std::move(q));
-    ASSERT_TRUE(client.SendLine(request.Dump()).ok());
+    burst += request.Dump() + "\n";
   }
+  ASSERT_TRUE(client.SendLine(burst).ok());
 
   // First 4 fill the queue; 6 shed immediately. Collect all 10 responses
   // (order mixes shed errors and, after resume, the admitted answers).
@@ -735,6 +747,294 @@ TEST(ServerProtocolTest, ParseRequestValidates) {
   EXPECT_EQ(request.value().queries.rows(), 2u);
   EXPECT_EQ(request.value().queries.cols(), 2u);
   EXPECT_EQ(request.value().id, "z");
+}
+
+
+// ---------------------------------------------------------------------------
+// HTTP admin plane (PR 7 tentpole). The admin listener speaks plain
+// HTTP/1.1 with Connection: close, so a raw socket that sends one
+// request and reads to EOF is a complete client.
+
+std::string HttpFetch(int port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < raw_request.size()) {
+    const ssize_t n = ::send(fd, raw_request.data() + sent,
+                             raw_request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string HttpGet(int port, const std::string& target) {
+  return HttpFetch(port, "GET " + target + " HTTP/1.1\r\nHost: karl\r\n\r\n");
+}
+
+TEST_F(ServerTest, AdminEndpointsServeUnderConcurrentTraffic) {
+  ServerOptions options;
+  options.admin_port = 0;  // Ephemeral.
+  StartServerWith(std::move(options));
+  const int admin_port = server_->admin_port();
+  ASSERT_GT(admin_port, 0);
+
+  // Keep query traffic in flight on the data plane while scraping.
+  std::atomic<bool> stop{false};
+  std::thread traffic([this, &stop] {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    if (!client.ok()) return;
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)client.value().Exact(queries_.Row(i++ % queries_.rows()));
+    }
+  });
+
+  const std::string health = HttpGet(admin_port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos) << health;
+  EXPECT_NE(health.find("serving"), std::string::npos) << health;
+
+  const std::string metrics = HttpGet(admin_port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("karl_server_requests_total"), std::string::npos);
+  // Rolling stage histograms export cumulative + windowed twins...
+  EXPECT_NE(metrics.find("karl_server_total_us{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("karl_server_total_us_window60s"),
+            std::string::npos);
+  // ...and the build-info gauge carries its labels (satellite 2).
+  EXPECT_NE(metrics.find("karl_build_info{version="), std::string::npos);
+
+  const std::string statusz = HttpGet(admin_port, "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.1 200"), std::string::npos);
+  const size_t statusz_body = statusz.find("\r\n\r\n");
+  ASSERT_NE(statusz_body, std::string::npos);
+  auto statusz_json = Json::Parse(statusz.substr(statusz_body + 4));
+  ASSERT_TRUE(statusz_json.ok()) << statusz.substr(statusz_body + 4);
+  EXPECT_NE(statusz.find("\"window60s\""), std::string::npos);
+
+  const std::string varz = HttpGet(admin_port, "/varz");
+  EXPECT_NE(varz.find("HTTP/1.1 200"), std::string::npos);
+  const size_t varz_body = varz.find("\r\n\r\n");
+  ASSERT_NE(varz_body, std::string::npos);
+  auto varz_json = Json::Parse(varz.substr(varz_body + 4));
+  ASSERT_TRUE(varz_json.ok()) << varz.substr(varz_body + 4);
+  EXPECT_NE(varz.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(varz.find("\"model\""), std::string::npos);
+
+  const std::string flightz = HttpGet(admin_port, "/flightz");
+  EXPECT_NE(flightz.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(flightz.find("application/x-ndjson"), std::string::npos);
+
+  stop.store(true, std::memory_order_relaxed);
+  traffic.join();
+}
+
+TEST_F(ServerTest, AdminRejectsUnknownPathWrongMethodAndOversizedHead) {
+  ServerOptions options;
+  options.admin_port = 0;
+  StartServerWith(std::move(options));
+  const int admin_port = server_->admin_port();
+  ASSERT_GT(admin_port, 0);
+
+  const std::string missing = HttpGet(admin_port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+  // The 404 body lists the registered paths, self-documenting the plane.
+  EXPECT_NE(missing.find("/metrics"), std::string::npos) << missing;
+
+  const std::string post = HttpFetch(
+      admin_port, "POST /metrics HTTP/1.1\r\nHost: karl\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+  EXPECT_NE(post.find("Allow: GET"), std::string::npos) << post;
+
+  // A request head larger than the admin cap is refused, not buffered.
+  const std::string oversized = HttpFetch(
+      admin_port, "GET /healthz HTTP/1.1\r\nX-Pad: " +
+                      std::string(16 * 1024, 'x') + "\r\n\r\n");
+  EXPECT_NE(oversized.find("HTTP/1.1 431"), std::string::npos) << oversized;
+
+  // The plane survives all three rejections.
+  EXPECT_NE(HttpGet(admin_port, "/healthz").find("HTTP/1.1 200"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN op (PR 7 tentpole): the profile rides the normal protocol and
+// reconciles with what a local evaluator run reports.
+
+TEST_F(ServerTest, ExplainQueryReturnsProfileReconcilingWithLocalStats) {
+  ServerOptions options;
+  options.admin_port = 0;
+  StartServerWith(std::move(options));
+  Client client = Dial();
+
+  const auto q = queries_.Row(0);
+  Json request = Json::Object()
+                     .Set("op", Json::Str("explain"))
+                     .Set("kind", Json::Str("tkaq"))
+                     .Set("tau", Json::Number(kTau))
+                     .Set("id", Json::Str("e0"));
+  Json row = Json::Array();
+  for (const double v : q) row.Append(Json::Number(v));
+  request.Set("q", std::move(row));
+  ASSERT_TRUE(client.SendLine(request.Dump()).ok());
+  auto line = client.ReceiveLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  auto response = Json::Parse(line.value());
+  ASSERT_TRUE(response.ok()) << line.value();
+
+  const Json* above = response.value().Find("above");
+  ASSERT_NE(above, nullptr) << line.value();
+  EXPECT_EQ(above->bool_value(), engine_->Tkaq(q, kTau));
+
+  const Json* explain = response.value().Find("explain");
+  ASSERT_NE(explain, nullptr) << line.value();
+  // The server's profile must agree with a local run of the very same
+  // deterministic traversal.
+  core::EvalStats stats;
+  engine_->evaluator().QueryThreshold(q, kTau, &stats);
+  const Json* iterations = explain->Find("iterations");
+  const Json* expanded = explain->Find("nodes_expanded");
+  const Json* kernel_evals = explain->Find("kernel_evals");
+  ASSERT_NE(iterations, nullptr);
+  ASSERT_NE(expanded, nullptr);
+  ASSERT_NE(kernel_evals, nullptr);
+  EXPECT_EQ(static_cast<size_t>(iterations->number_value()),
+            stats.iterations);
+  EXPECT_EQ(static_cast<size_t>(expanded->number_value()),
+            stats.nodes_expanded);
+  EXPECT_EQ(static_cast<size_t>(kernel_evals->number_value()),
+            stats.kernel_evals);
+  const Json* levels = explain->Find("levels");
+  ASSERT_NE(levels, nullptr);
+  EXPECT_FALSE(levels->items().empty());
+  const Json* timeline = explain->Find("timeline");
+  ASSERT_NE(timeline, nullptr);
+  EXPECT_FALSE(timeline->items().empty());
+
+  // ekaq explain: the profiled answer is still the bit-identical value.
+  Json ekaq = Json::Object()
+                  .Set("op", Json::Str("explain"))
+                  .Set("kind", Json::Str("ekaq"))
+                  .Set("eps", Json::Number(kEps))
+                  .Set("id", Json::Str("e1"));
+  Json row2 = Json::Array();
+  for (const double v : q) row2.Append(Json::Number(v));
+  ekaq.Set("q", std::move(row2));
+  ASSERT_TRUE(client.SendLine(ekaq.Dump()).ok());
+  auto line2 = client.ReceiveLine();
+  ASSERT_TRUE(line2.ok()) << line2.status().ToString();
+  auto response2 = Json::Parse(line2.value());
+  ASSERT_TRUE(response2.ok()) << line2.value();
+  const Json* value = response2.value().Find("value");
+  ASSERT_NE(value, nullptr) << line2.value();
+  EXPECT_EQ(value->number_value(), engine_->Ekaq(q, kEps));
+
+  // Both explains landed in the admin ring, newest first.
+  const std::string explainz =
+      HttpGet(server_->admin_port(), "/explainz?last=8");
+  EXPECT_NE(explainz.find("HTTP/1.1 200"), std::string::npos);
+  const size_t body = explainz.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  auto parsed = Json::Parse(explainz.substr(body + 4));
+  ASSERT_TRUE(parsed.ok()) << explainz.substr(body + 4);
+  EXPECT_NE(explainz.find("\"explains\""), std::string::npos);
+  EXPECT_NE(explainz.find("\"e0\""), std::string::npos);
+  EXPECT_NE(explainz.find("\"e1\""), std::string::npos);
+  EXPECT_NE(explainz.find("\"kernel_evals\""), std::string::npos);
+}
+
+TEST_F(ServerTest, ExplainOnExactKindIsRejectedUpFront) {
+  StartServer();
+  Client client = Dial();
+  Json request = Json::Object()
+                     .Set("op", Json::Str("explain"))
+                     .Set("kind", Json::Str("exact"));
+  Json row = Json::Array();
+  for (const double v : queries_.Row(0)) row.Append(Json::Number(v));
+  request.Set("q", std::move(row));
+  ASSERT_TRUE(client.SendLine(request.Dump()).ok());
+  auto line = client.ReceiveLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_NE(line.value().find("bad_request"), std::string::npos)
+      << line.value();
+}
+
+// Satellite 3: shed requests are attributed in the access log with peer
+// and an explicit disposition, alongside the admitted records.
+TEST_F(ServerTest, AccessLogAttributesShedAndAdmittedDispositions) {
+  const std::string access_path = TempPath("server_access_shed.ndjson");
+  util::Logger::Options access_options;
+  access_options.ndjson = true;
+  auto access_log = util::Logger::Open(access_path, access_options);
+  ASSERT_TRUE(access_log.ok()) << access_log.status().ToString();
+
+  ServerOptions options;
+  options.access_log = access_log.value().get();
+  options.max_pending = 2;
+  StartServerWith(std::move(options));
+  server_->PauseCoalescerForTest();
+
+  Client client = Dial();
+  const size_t total = 6;
+  // One write for the whole burst (see OverloadSheds... above): all six
+  // admission decisions happen before any response is flushed.
+  std::string burst;
+  for (size_t i = 0; i < total; ++i) {
+    Json request = Json::Object()
+                       .Set("op", Json::Str("query"))
+                       .Set("kind", Json::Str("exact"))
+                       .Set("id", Json::Str("q" + std::to_string(i)));
+    Json q = Json::Array();
+    for (const double v : queries_.Row(i)) q.Append(Json::Number(v));
+    request.Set("q", std::move(q));
+    burst += request.Dump() + "\n";
+  }
+  ASSERT_TRUE(client.SendLine(burst).ok());
+  size_t shed = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (i == 0) server_->ResumeCoalescerForTest();
+    auto line = client.ReceiveLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    if (line.value().find("overloaded") != std::string::npos) ++shed;
+  }
+  ASSERT_GT(shed, 0u);
+  server_->Shutdown();
+  server_->Wait();
+
+  size_t shed_records = 0, admitted_records = 0;
+  for (const std::string& record : ReadLines(access_path)) {
+    if (record.find("\"disposition\":\"shed\"") != std::string::npos) {
+      ++shed_records;
+      EXPECT_NE(record.find("\"shed_code\":\"overloaded\""),
+                std::string::npos)
+          << record;
+      EXPECT_NE(record.find("\"peer\""), std::string::npos) << record;
+    } else if (record.find("\"disposition\":\"admitted\"") !=
+               std::string::npos) {
+      ++admitted_records;
+      EXPECT_NE(record.find("\"peer\""), std::string::npos) << record;
+    }
+  }
+  EXPECT_EQ(shed_records, shed);
+  EXPECT_EQ(admitted_records, total - shed);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "telemetry/context.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "telemetry/rolling.h"
 #include "telemetry/trace.h"
 
 namespace karl::telemetry {
@@ -575,6 +576,173 @@ TEST(FlightRecorderTest, ZeroCapacityIsClampedToOne) {
   record.ctx.id = 1;
   recorder.Record(std::move(record));
   EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(RollingHistogramTest, EmptyHistogramReportsZeroEverywhere) {
+  RollingHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  const HistogramSnapshot cumulative = h.CumulativeSnapshot();
+  EXPECT_EQ(cumulative.count, 0u);
+  EXPECT_EQ(cumulative.min, 0.0);
+  EXPECT_EQ(cumulative.max, 0.0);
+  const HistogramSnapshot window = h.WindowSnapshotAt(0);
+  EXPECT_EQ(window.count, 0u);
+  EXPECT_EQ(window.min, 0.0);
+  EXPECT_EQ(window.max, 0.0);
+  EXPECT_EQ(window.Quantile(0.95), 0.0);
+}
+
+TEST(RollingHistogramTest, WindowSpanIsSixtySeconds) {
+  EXPECT_EQ(RollingHistogram::WindowSpanSeconds(), 60u);
+}
+
+TEST(RollingHistogramTest, RecordLandsInBothViews) {
+  RollingHistogram h;
+  h.Record(25.0);  // Wall clock: just recorded, so still in-window.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.CumulativeSnapshot().count, 1u);
+  const HistogramSnapshot window = h.WindowSnapshot();
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.min, 25.0);
+  EXPECT_EQ(window.max, 25.0);
+}
+
+TEST(RollingHistogramTest, OldRecordsAgeOutOfWindowButNotCumulative) {
+  RollingHistogram h;
+  const uint64_t t0 = 1000 * RollingHistogram::kSubWindowUs;
+  h.RecordAt(10.0, t0);
+  h.RecordAt(20.0, t0 + 1);
+
+  HistogramSnapshot window = h.WindowSnapshotAt(t0 + 2);
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_EQ(window.min, 10.0);
+  EXPECT_EQ(window.max, 20.0);
+  EXPECT_NEAR(window.sum, 30.0, 1e-12);
+
+  // One full window later the records are outside the merge horizon.
+  const uint64_t later =
+      t0 + RollingHistogram::kMergedSubWindows * RollingHistogram::kSubWindowUs;
+  window = h.WindowSnapshotAt(later);
+  EXPECT_EQ(window.count, 0u);
+
+  // The cumulative view never forgets.
+  const HistogramSnapshot cumulative = h.CumulativeSnapshot();
+  EXPECT_EQ(cumulative.count, 2u);
+  EXPECT_EQ(cumulative.min, 10.0);
+  EXPECT_EQ(cumulative.max, 20.0);
+}
+
+TEST(RollingHistogramTest, WindowMergesAdjacentSubWindows) {
+  RollingHistogram h;
+  const uint64_t t0 = 50 * RollingHistogram::kSubWindowUs;
+  // One sample per sub-window across a full merge horizon.
+  for (int i = 0; i < RollingHistogram::kMergedSubWindows; ++i) {
+    h.RecordAt(static_cast<double>(i + 1),
+               t0 + static_cast<uint64_t>(i) * RollingHistogram::kSubWindowUs);
+  }
+  const uint64_t end =
+      t0 + static_cast<uint64_t>(RollingHistogram::kMergedSubWindows - 1) *
+               RollingHistogram::kSubWindowUs;
+  HistogramSnapshot window = h.WindowSnapshotAt(end);
+  EXPECT_EQ(window.count,
+            static_cast<uint64_t>(RollingHistogram::kMergedSubWindows));
+  EXPECT_EQ(window.min, 1.0);
+  EXPECT_EQ(window.max, 6.0);
+
+  // Advance one sub-window: the oldest sample falls out, the rest stay.
+  window = h.WindowSnapshotAt(end + RollingHistogram::kSubWindowUs);
+  EXPECT_EQ(window.count,
+            static_cast<uint64_t>(RollingHistogram::kMergedSubWindows - 1));
+  EXPECT_EQ(window.min, 2.0);
+  EXPECT_EQ(window.max, 6.0);
+}
+
+TEST(RollingHistogramTest, WheelSlotReuseClearsStaleCounts) {
+  RollingHistogram h;
+  const uint64_t t0 = 7 * RollingHistogram::kSubWindowUs;
+  h.RecordAt(5.0, t0);
+  // kWheelSlots epochs later the same physical slot is recycled; the
+  // stale epoch-7 contents must not leak into the new window.
+  const uint64_t t1 =
+      t0 + RollingHistogram::kWheelSlots * RollingHistogram::kSubWindowUs;
+  h.RecordAt(9.0, t1);
+  const HistogramSnapshot window = h.WindowSnapshotAt(t1);
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.min, 9.0);
+  EXPECT_EQ(window.max, 9.0);
+  EXPECT_EQ(h.CumulativeSnapshot().count, 2u);
+}
+
+TEST(RollingHistogramTest, WindowQuantilesTrackRecentValuesOnly) {
+  RollingHistogram h;
+  const uint64_t t0 = 200 * RollingHistogram::kSubWindowUs;
+  // An old regime of slow samples...
+  for (int i = 0; i < 100; ++i) h.RecordAt(10000.0, t0);
+  // ...then, ten sub-windows later, a fast regime.
+  const uint64_t t1 = t0 + 10 * RollingHistogram::kSubWindowUs;
+  for (int i = 0; i < 100; ++i) h.RecordAt(10.0, t1);
+
+  const HistogramSnapshot window = h.WindowSnapshotAt(t1);
+  EXPECT_EQ(window.count, 100u);
+  EXPECT_LT(window.Quantile(0.99), 100.0);  // Only the fast regime.
+  // The cumulative p50 straddles both regimes' total mass.
+  const HistogramSnapshot cumulative = h.CumulativeSnapshot();
+  EXPECT_EQ(cumulative.count, 200u);
+  EXPECT_GT(cumulative.Quantile(0.99), 1000.0);
+}
+
+TEST(RollingHistogramTest, ConcurrentRecordsKeepCumulativeExact) {
+  RollingHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kEpochs = 32;
+  constexpr int kPerEpoch = 50;
+  std::vector<std::thread> threads;
+  // All threads walk the same epoch sequence, racing on rotation. The
+  // windowed view tolerates perturbation (documented race); the
+  // cumulative count must stay exact.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (uint64_t e = 0; e < kEpochs; ++e) {
+        for (int i = 0; i < kPerEpoch; ++i) {
+          h.RecordAt(3.0, e * RollingHistogram::kSubWindowUs +
+                              static_cast<uint64_t>(i));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(),
+            static_cast<uint64_t>(kThreads) * kEpochs * kPerEpoch);
+  EXPECT_EQ(h.CumulativeSnapshot().count, h.count());
+}
+
+TEST(RegistryTest, RollingHistogramExposition) {
+  Registry registry;
+  RollingHistogram* h = registry.GetRollingHistogram("karl_test_stage_us");
+  EXPECT_EQ(h, registry.GetRollingHistogram("karl_test_stage_us"));
+  h->Record(42.0);
+  h->Record(84.0);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.rolling.size(), 1u);
+  EXPECT_EQ(snapshot.rolling[0].first, "karl_test_stage_us");
+  EXPECT_EQ(snapshot.rolling[0].second.cumulative.count, 2u);
+  EXPECT_EQ(snapshot.rolling[0].second.window_span_s, 60u);
+
+  const std::string text = DumpText(registry);
+  // Cumulative summary under the bare name...
+  EXPECT_NE(text.find("karl_test_stage_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("karl_test_stage_us_count 2"), std::string::npos);
+  // ...plus the windowed twin.
+  EXPECT_NE(text.find("karl_test_stage_us_window60s{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("karl_test_stage_us_window60s_count"),
+            std::string::npos);
+
+  const std::string json = DumpJson(registry);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"window60s\""), std::string::npos);
 }
 
 TEST(GlobalRegistryTest, IsASingleton) {

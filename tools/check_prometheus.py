@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format (version 0.0.4), stdlib only.
+
+Usage:
+    check_prometheus.py [FILE] [--require NAME ...]
+
+Reads the exposition from FILE (or stdin when omitted or "-"), checks
+every line against the format grammar, and exits non-zero with a
+line-numbered diagnosis on the first class of problem found. With
+--require, additionally fails unless each NAME appears as a sample
+(label sets and the _sum/_count/_bucket/window suffixes of summaries
+count, matching how a scraper sees series).
+
+Checked invariants:
+  * lines are comments (# HELP / # TYPE ...), blank, or samples
+  * metric and label names match the Prometheus grammar
+  * label values are well-formed quoted strings (escapes: \\ \" \n)
+  * sample values parse as floats (inf/nan/scientific accepted),
+    optional timestamps as integers
+  * # TYPE declares a known type, at most once per metric, before any
+    of that metric's samples
+  * counters end in _total and gauge/counter samples are single-valued
+
+The CI server-smoke job pipes `curl /metrics` through this script, so a
+malformed exposition fails the build rather than a scrape at 3am.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class FormatError(Exception):
+    def __init__(self, lineno, message):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_float(text):
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)
+
+
+def parse_labels(lineno, text):
+    """Parses the {...} label block; returns (labels dict, rest of line)."""
+    assert text[0] == "{"
+    labels = {}
+    i = 1
+    while True:
+        if i >= len(text):
+            raise FormatError(lineno, "unterminated label set")
+        if text[i] == "}":
+            return labels, text[i + 1:]
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[i:])
+        if not match:
+            raise FormatError(lineno, f"bad label name at ...{text[i:i+20]!r}")
+        name = match.group(0)
+        i += len(name)
+        if i >= len(text) or text[i] != "=":
+            raise FormatError(lineno, f"label {name!r} missing '='")
+        i += 1
+        if i >= len(text) or text[i] != '"':
+            raise FormatError(lineno, f"label {name!r} value not quoted")
+        i += 1
+        value = []
+        while True:
+            if i >= len(text):
+                raise FormatError(lineno, f"label {name!r} value unterminated")
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text) or text[i + 1] not in ('\\', '"', 'n'):
+                    raise FormatError(
+                        lineno, f"bad escape in label {name!r} value")
+                value.append(text[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            value.append(ch)
+            i += 1
+        labels[name] = "".join(value)
+        if i < len(text) and text[i] == ",":
+            i += 1
+
+
+def check(stream):
+    """Returns {metric base name -> declared type}; raises FormatError."""
+    types = {}       # name -> type from # TYPE
+    sampled = set()  # names that have emitted a sample already
+    seen_names = set()
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # Free-form comment: legal, ignored.
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise FormatError(lineno, f"malformed TYPE line: {line!r}")
+                _, _, name, kind = parts
+                if not METRIC_NAME_RE.match(name):
+                    raise FormatError(lineno, f"bad metric name {name!r}")
+                if kind not in KNOWN_TYPES:
+                    raise FormatError(lineno, f"unknown type {kind!r}")
+                if name in types:
+                    raise FormatError(lineno, f"duplicate TYPE for {name!r}")
+                if name in sampled:
+                    raise FormatError(
+                        lineno, f"TYPE for {name!r} after its samples")
+                types[name] = kind
+            elif len(parts) < 3 or not METRIC_NAME_RE.match(parts[2]):
+                raise FormatError(lineno, f"malformed HELP line: {line!r}")
+            continue
+
+        match = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line)
+        if not match:
+            raise FormatError(lineno, f"unparseable sample line: {line!r}")
+        name = match.group(0)
+        rest = line[len(name):]
+        if rest.startswith("{"):
+            _, rest = parse_labels(lineno, rest)
+        fields = rest.split()
+        if len(fields) not in (1, 2):
+            raise FormatError(
+                lineno, f"expected value [timestamp] after {name!r}")
+        try:
+            parse_float(fields[0])
+        except ValueError:
+            raise FormatError(
+                lineno, f"bad sample value {fields[0]!r} for {name!r}")
+        if len(fields) == 2:
+            try:
+                int(fields[1])
+            except ValueError:
+                raise FormatError(
+                    lineno, f"bad timestamp {fields[1]!r} for {name!r}")
+        sampled.add(name)
+        seen_names.add(name)
+
+        base = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+        if base in types and types[base] == "counter":
+            if not base.endswith("_total"):
+                raise FormatError(
+                    lineno, f"counter {base!r} does not end in _total")
+    return seen_names
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus text exposition format.")
+    parser.add_argument("file", nargs="?", default="-",
+                        help="exposition file (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless NAME appears as a sample "
+                             "(prefix match on series names)")
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.file == "-" else open(args.file)
+    try:
+        seen = check(stream)
+    except FormatError as error:
+        print(f"check_prometheus: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+
+    missing = [name for name in args.require
+               if not any(series == name or series.startswith(name + "_")
+                          or series.startswith(name + "{")
+                          for series in seen)]
+    if missing:
+        print(f"check_prometheus: required series missing: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: OK ({len(seen)} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,14 @@
 //       Builds an engine model from data (libsvm labels become weights)
 //       and saves it.
 //   query     --model <model.bin> --queries <file.csv>
-//             (--tau T | --eps E) [--limit N] [--threads N]
+//             (--tau T | --eps E) [--limit N] [--threads N] [--explain]
 //             [--metrics-out <file[.json]>] [--trace-out <file.json>]
 //       Runs TKAQ or eKAQ over every query row; prints results,
 //       throughput, and a per-query latency histogram summary.
+//       --explain swaps the per-query output for one JSON line per
+//       query carrying the EXPLAIN traversal profile (per-level
+//       visited/pruned/exact-leaf counts and the (lb,ub) convergence
+//       timeline); serial only.
 //       --threads > 1 fans the queries across a worker pool via the
 //       batch engine — output is bit-identical to the serial loop, in
 //       the same order (per-query latency lines are then omitted; the
@@ -45,8 +49,11 @@
 #include "data/csv_io.h"
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
+#include "core/traversal_profile.h"
 #include "ml/kde.h"
 #include "server/client.h"
+#include "server/json.h"
+#include "server/protocol.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/flags.h"
@@ -235,6 +242,11 @@ int RunQuery(const ParsedArgs& args) {
   if (!threads_flag.ok()) return Fail(threads_flag.status().ToString());
   const size_t threads =
       static_cast<size_t>(std::max<int64_t>(1, threads_flag.value()));
+  const bool explain = args.Has("explain");
+  if (explain && threads > 1) {
+    return Fail(
+        "query --explain profiles one traversal at a time; drop --threads");
+  }
 
   karl::telemetry::Histogram latency;
   karl::util::Stopwatch timer;
@@ -264,7 +276,27 @@ int RunQuery(const ParsedArgs& args) {
     karl::util::Stopwatch query_timer;
     for (size_t i = 0; i < count; ++i) {
       const auto q = queries.value().Row(i);
-      if (threshold_mode) {
+      if (explain) {
+        karl::core::TraversalProfile profile;
+        karl::core::EvalStats stats;
+        karl::server::Json out = karl::server::Json::Object();
+        out.Set("query",
+                karl::server::Json::Number(static_cast<double>(i)));
+        query_timer.Restart();
+        if (threshold_mode) {
+          const bool above = engine.value().evaluator().QueryThreshold(
+              q, tau.value(), &stats, nullptr, &profile);
+          latency.Record(query_timer.ElapsedSeconds() * 1e6);
+          out.Set("above", karl::server::Json::Bool(above));
+        } else {
+          const double value = engine.value().evaluator().QueryApproximate(
+              q, eps.value(), &stats, nullptr, &profile);
+          latency.Record(query_timer.ElapsedSeconds() * 1e6);
+          out.Set("value", karl::server::Json::Number(value));
+        }
+        out.Set("explain", karl::server::TraversalProfileJson(profile));
+        std::printf("%s\n", out.Dump().c_str());
+      } else if (threshold_mode) {
         query_timer.Restart();
         const bool above = engine.value().Tkaq(q, tau.value());
         latency.Record(query_timer.ElapsedSeconds() * 1e6);

@@ -4,7 +4,8 @@
 //               [--threads N] [--max-pending R] [--metrics-out <file>]
 //               [--log-level debug|info|warn|error] [--access-log <file>]
 //               [--slow-query-us N] [--trace-out <file>]
-//               [--statusz-out <file>]
+//               [--statusz-out <file>] [--admin-port P]
+//               [--admin-host 127.0.0.1]
 //
 // Loads the model, builds the engine (with the global telemetry
 // registry attached), and serves the newline-delimited JSON protocol
@@ -24,6 +25,11 @@
 //                    spans flow-linked across threads, written at exit.
 //   --statusz-out    where SIGUSR1 dumps the statusz JSON document
 //                    (stderr when unset). SIGUSR1 never stops serving.
+//   --admin-port     HTTP scrape plane (GET /metrics /healthz /statusz
+//                    /varz /flightz /explainz) on its own thread; -1
+//                    (default) disables, 0 binds an ephemeral port. The
+//                    chosen port is part of the "admin on" line printed
+//                    at startup.
 
 #include <csignal>
 #include <cstdio>
@@ -88,6 +94,8 @@ int main(int argc, char** argv) {
   const auto slow_query_us = args.GetInt("slow-query-us", 0);
   const std::string trace_out = args.GetString("trace-out");
   const std::string statusz_out = args.GetString("statusz-out");
+  const auto admin_port = args.GetInt("admin-port", -1);
+  const std::string admin_host = args.GetString("admin-host", "127.0.0.1");
   if (!port.ok()) return Fail(port.status().ToString());
   if (!threads.ok()) return Fail(threads.status().ToString());
   if (!max_pending.ok()) return Fail(max_pending.status().ToString());
@@ -98,6 +106,10 @@ int main(int argc, char** argv) {
   if (threads.value() < 0) return Fail("--threads must be >= 0");
   if (max_pending.value() <= 0) return Fail("--max-pending must be > 0");
   if (slow_query_us.value() < 0) return Fail("--slow-query-us must be >= 0");
+  if (!admin_port.ok()) return Fail(admin_port.status().ToString());
+  if (admin_port.value() < -1 || admin_port.value() > 65535) {
+    return Fail("--admin-port must be -1 (off) or in [0, 65535]");
+  }
   const auto log_level = karl::util::ParseLogLevel(log_level_name);
   if (!log_level.ok()) return Fail(log_level.status().ToString());
   for (const auto& flag : args.UnusedFlags()) {
@@ -153,6 +165,8 @@ int main(int argc, char** argv) {
   options.logger = &logger;
   options.access_log = access_log.get();
   options.slow_query_us = static_cast<uint64_t>(slow_query_us.value());
+  options.admin_port = static_cast<int>(admin_port.value());
+  options.admin_host = admin_host;
   auto server = karl::server::Server::Start(engine.value(), options);
   if (!server.ok()) return Fail(server.status().ToString());
 
@@ -175,6 +189,10 @@ int main(int argc, char** argv) {
   std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
               host.c_str(), server.value()->port(), model_path.c_str(),
               model.value().points.rows());
+  if (server.value()->admin_port() >= 0) {
+    std::printf("karl_server admin on %s:%d\n", admin_host.c_str(),
+                server.value()->admin_port());
+  }
   std::fflush(stdout);
 
   while (true) {
