@@ -18,6 +18,8 @@
 #include "core/bounds.h"
 #include "core/evaluator.h"
 #include "core/karl.h"
+#include "core/simd/simd.h"
+#include "core/simd/soa_block.h"
 #include "data/synthetic.h"
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
@@ -198,6 +200,69 @@ void BM_BatchTkaq(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchTkaq)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// SIMD hot-path micro-kernels, registered per reachable tier from
+// main() (see below): the exact-leaf aggregate over the blocked SoA
+// layout and the linear-bound dot product — the two inner loops the
+// core/simd tiers vectorize. Compare scalar vs avx2/avx512 instances of
+// the same benchmark to read off the tier speedup.
+
+void BM_SimdLeafAggregate(benchmark::State& state, karl::core::simd::Tier tier,
+                          size_t d) {
+  namespace simd = karl::core::simd;
+  const simd::Tier saved = simd::ActiveTier();
+  simd::ForceTier(tier);
+  const size_t n = 4096;
+  const auto pts = MakePoints(n, d);
+  const std::vector<double> weights(n, 0.7);
+  simd::SoaLeafBlocks soa;
+  soa.Build(pts, weights);
+  const auto kernel = KernelParams::Gaussian(3.0 / static_cast<double>(d));
+  const std::vector<double> q(d, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::LeafAggregate(kernel, soa, 0, static_cast<uint32_t>(n), q));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  simd::ForceTier(saved);
+}
+
+void BM_SimdLinearBoundDot(benchmark::State& state,
+                           karl::core::simd::Tier tier, size_t d) {
+  namespace simd = karl::core::simd;
+  const simd::Tier saved = simd::ActiveTier();
+  simd::ForceTier(tier);
+  karl::util::Rng rng(3);
+  std::vector<double> q(d), summary(d);
+  for (size_t j = 0; j < d; ++j) {
+    q[j] = rng.Uniform(-1.0, 1.0);
+    summary[j] = rng.Uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::Dot(q, summary));
+  }
+  simd::ForceTier(saved);
+}
+
+void RegisterSimdBenchmarks() {
+  namespace simd = karl::core::simd;
+  for (const simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (!simd::TierSupported(tier)) continue;
+    const std::string suffix(simd::TierName(tier));
+    for (const size_t d : {8, 16, 33, 64, 100}) {
+      benchmark::RegisterBenchmark(
+          ("BM_SimdLeafAggregate/" + suffix + "/d" + std::to_string(d))
+              .c_str(),
+          BM_SimdLeafAggregate, tier, d)
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          ("BM_SimdLinearBoundDot/" + suffix + "/d" + std::to_string(d))
+              .c_str(),
+          BM_SimdLinearBoundDot, tier, d);
+    }
+  }
+}
+
 }  // namespace
 
 // benchmark_main replacement so the binary accepts --threads=N (an
@@ -222,6 +287,7 @@ int main(int argc, char** argv) {
         ->Arg(extra_threads)
         ->Unit(benchmark::kMillisecond);
   }
+  RegisterSimdBenchmarks();
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());
   if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {

@@ -8,7 +8,11 @@
 // Determinism contract: each query runs the identical single-threaded
 // refinement it would run in a serial loop, and results are stored by
 // query index — so batch output is bit-identical to the serial loop for
-// every thread count and chunk size.
+// every thread count and chunk size. That holds whichever SIMD tier
+// (core/simd) the process runs under, because the tier is process-wide
+// and every row executes the same per-row code path; only *across*
+// tiers (e.g. a KARL_SIMD=scalar run vs an avx2 run) do results differ,
+// within the tolerance contract of core/simd/simd.h.
 //
 // Stats & telemetry: each executor accumulates work counters into its
 // own slot-local EvalStats and the slots are summed once per batch into

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd/simd.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -33,7 +34,9 @@ std::string_view BoundKindToString(BoundKind kind) {
 QueryContext QueryContext::Make(std::span<const double> q) {
   QueryContext ctx;
   ctx.q = q;
-  ctx.q_sqnorm = util::SquaredNorm(q);
+  // Tier-dispatched: the scalar tier is bit-identical to
+  // util::SquaredNorm (see core/simd/simd.h for the contract).
+  ctx.q_sqnorm = simd::SquaredNorm(q);
   return ctx;
 }
 
@@ -234,9 +237,10 @@ class KarlDistanceBounds final : public BoundFunction {
 
     // X = Σ w_i·x_i = s·(w_P‖q‖² − 2 q·a_P + b_P)  (Lemma 2/5), clamped
     // into its mathematically feasible range for numerical robustness.
+    // The q·a_P dot is the O(d) linear-bound hot spot — tier-dispatched.
     const double sum_x =
         util::Clamp(scale_ * (w * ctx.q_sqnorm -
-                              2.0 * util::Dot(ctx.q,
+                              2.0 * simd::Dot(ctx.q,
                                               tree.weighted_point_sum(id)) +
                               tree.weighted_sqnorm_sum(id)),
                     w * x_lo, w * x_hi);
@@ -296,7 +300,7 @@ IpNodeState MakeIpState(const KernelParams& params,
   st.x_hi = params.gamma * ip_max + params.beta;
   st.w = tree.weight_sum(id);
   st.sum_x = util::Clamp(
-      params.gamma * util::Dot(ctx.q, tree.weighted_point_sum(id)) +
+      params.gamma * simd::Dot(ctx.q, tree.weighted_point_sum(id)) +
           params.beta * st.w,
       st.w * st.x_lo, st.w * st.x_hi);
   return st;

@@ -8,6 +8,11 @@
 // points. Every query is therefore answered against the *current*
 // multiset, with the indexed bulk pruned by KARL bounds and only the
 // recent churn paid for linearly.
+//
+// Rebuilds go through Engine::Build, so the indexed snapshot always
+// carries the blocked SoA leaf layout the vectorized evaluator
+// (core/simd) reads; the delta buffer and tombstone scans stay scalar —
+// they are bounded by rebuild_fraction and never dominate.
 
 #ifndef KARL_CORE_DYNAMIC_ENGINE_H_
 #define KARL_CORE_DYNAMIC_ENGINE_H_

@@ -1,7 +1,12 @@
 // Engine persistence: save a built engine's model (kernel, index
 // configuration, points, weights) to a compact binary file and restore
 // it later. Index construction is deterministic, so the restored engine
-// answers queries identically to the saved one.
+// answers queries identically to the saved one — when both processes
+// run the same SIMD tier (core/simd). The blocked SoA leaf layout is
+// derived state: LoadEngine rebuilds it from the points, so the format
+// needs no SIMD-era version bump, and a model saved on an AVX-512 host
+// loads fine on a scalar-only one (answers then agree within the
+// core/simd tolerance contract, not bit-exactly).
 
 #ifndef KARL_CORE_ENGINE_IO_H_
 #define KARL_CORE_ENGINE_IO_H_

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/simd/simd.h"
 #include "telemetry/metrics.h"
 #include "telemetry/rolling.h"
 #include "telemetry/trace.h"
@@ -146,6 +147,13 @@ void Evaluator::RecordQueryMetrics(telemetry::Counter* query_counter,
 double Evaluator::LeafAggregate(const index::TreeIndex& tree, uint32_t begin,
                                 uint32_t end,
                                 std::span<const double> q) const {
+  // Vector tiers run over the tree's blocked SoA mirror; see the
+  // accuracy contract in core/simd/simd.h. The scalar tier keeps the
+  // literal pre-SIMD loop below so it stays the bit-exact oracle the
+  // differential tests (and KARL_SIMD=scalar runs) compare against.
+  if (simd::ActiveTier() != simd::Tier::kScalar) {
+    return simd::LeafAggregate(kernel_, tree.soa(), begin, end, q);
+  }
   const auto& points = tree.points();
   const auto weights = tree.weights();
   util::KahanAccumulator acc;

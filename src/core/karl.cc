@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/simd/simd.h"
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
 #include "telemetry/metrics.h"
@@ -127,6 +128,10 @@ util::Result<Engine> Engine::Build(const data::Matrix& points,
 
   if (options.metrics != nullptr) {
     telemetry::Registry& reg = *options.metrics;
+    // Which SIMD tier the evaluator hot path runs under (0 = scalar,
+    // 1 = avx2, 2 = avx512); see core/simd/simd.h.
+    reg.GetGauge("karl_simd_tier")
+        ->Set(static_cast<double>(core::simd::ActiveTier()));
     reg.GetCounter("karl_engine_builds_total")->Increment();
     reg.GetHistogram("karl_engine_build_usec")
         ->Record(build_timer->ElapsedSeconds() * 1e6);

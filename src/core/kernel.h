@@ -66,6 +66,13 @@ struct KernelParams {
 };
 
 /// Evaluates K(q, p) for the given kernel.
+///
+/// This scalar form is the reference the vectorized leaf kernels
+/// (core/simd) are tested against: the SIMD tiers must reproduce
+/// Σ wᵢ·KernelValue(...) within the tolerance contract stated in
+/// core/simd/simd.h, and any change to the argument constructions here
+/// must be mirrored there (simd_test's differential suite catches a
+/// divergence).
 double KernelValue(const KernelParams& params, std::span<const double> q,
                    std::span<const double> p);
 

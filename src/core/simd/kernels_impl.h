@@ -1,0 +1,312 @@
+// Width-generic SIMD kernel bodies, instantiated once per ISA
+// translation unit (kernels_avx2.cc, kernels_avx512.cc) against a
+// vector-ops policy `O`:
+//
+//   using Vec;                          // __m256d / __m512d
+//   static constexpr size_t kLanes;     // 4 / 8
+//   Vec  Load(const double*);           // unaligned
+//   void Store(double*, Vec);
+//   Vec  Set1(double);  Vec Zero();
+//   Vec  Add/Sub/Mul/Div(Vec, Vec);
+//   Vec  Fma(a, b, c)  = a*b + c;       // fused
+//   Vec  Fnma(a, b, c) = c - a*b;       // fused
+//   Vec  Min/Max(Vec, Vec);  Vec Sqrt(Vec);
+//   Vec  Round(Vec);                    // to nearest integer
+//   Vec  Ldexpk(Vec p, Vec k);          // p·2^k, k integral ∈ [-1022,1023]
+//   double ReduceAdd(Vec);
+//
+// Only the ISA translation units include this header; it must be
+// compiled with the matching -m flags.
+
+#ifndef KARL_CORE_SIMD_KERNELS_IMPL_H_
+#define KARL_CORE_SIMD_KERNELS_IMPL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/kernel.h"
+#include "core/simd/soa_block.h"
+
+namespace karl::core::simd::internal {
+
+// Two-part Cody–Waite ln2 split: kLn2Hi has 21 trailing zero bits, so
+// k·kLn2Hi is exact for the |k| ≤ 1024 range the [-708, 709] clamp
+// allows, making the reduction r = x − k·ln2 accurate to an ulp of r.
+inline constexpr double kInvLn2 = 1.4426950408889634;
+inline constexpr double kLn2Hi = 6.93145751953125e-1;
+inline constexpr double kLn2Lo = 1.42860682030941723212e-6;
+
+// Reciprocal factorials for the degree-13 Taylor expansion of exp on
+// |r| ≤ ln2/2; truncation there is ≈ r¹⁴/14! < 5e-18 relative.
+inline constexpr double kExpTaylor[14] = {
+    1.0,
+    1.0,
+    1.0 / 2,
+    1.0 / 6,
+    1.0 / 24,
+    1.0 / 120,
+    1.0 / 720,
+    1.0 / 5040,
+    1.0 / 40320,
+    1.0 / 362880,
+    1.0 / 3628800,
+    1.0 / 39916800,
+    1.0 / 479001600,
+    1.0 / 6227020800.0,
+};
+
+// exp(x) ≈ 2^k·P(r), k = round(x/ln2), r = x − k·ln2 — accurate to a
+// couple of ulp (contract: kVectorExpUlpBound). Arguments are clamped
+// to [-708, 709]: below the clamp the true result is subnormal or zero
+// and the clamped value ≤ 3.4e-308 (contract: kVectorExpUnderflowAbs);
+// above it the true result overflows and callers never produce it
+// (kernel profiles are ≤ 1).
+template <typename O>
+inline typename O::Vec VExp(typename O::Vec x) {
+  using V = typename O::Vec;
+  const V xc = O::Min(O::Max(x, O::Set1(-708.0)), O::Set1(709.0));
+  const V k = O::Round(O::Mul(xc, O::Set1(kInvLn2)));
+  V r = O::Fnma(k, O::Set1(kLn2Hi), xc);
+  r = O::Fnma(k, O::Set1(kLn2Lo), r);
+  V p = O::Set1(kExpTaylor[13]);
+  for (int i = 12; i >= 0; --i) p = O::Fma(p, r, O::Set1(kExpTaylor[i]));
+  return O::Ldexpk(p, k);
+}
+
+// x^e per lane with the same multiply sequence as scalar IntPow, so
+// every lane is bit-identical to the scalar kernel term.
+template <typename O>
+inline typename O::Vec IntPowV(typename O::Vec x, int e) {
+  typename O::Vec result = O::Set1(1.0);
+  typename O::Vec base = x;
+  while (e > 0) {
+    if (e & 1) result = O::Mul(result, base);
+    base = O::Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+// Kernel profile per lane. `arg` is scale·dist² for distance kernels
+// (scale = DistanceArgScale) and γ·(q·p)+β for inner-product kernels.
+// Sigmoid falls back to per-lane std::tanh: the vectorized win there is
+// the dot product, and a branch-free vector tanh accurate near 0 is not
+// worth the extra contract surface.
+template <typename O>
+inline typename O::Vec ProfileV(const KernelParams& kernel,
+                                typename O::Vec arg) {
+  using V = typename O::Vec;
+  const V zero = O::Zero();
+  const V one = O::Set1(1.0);
+  switch (kernel.type) {
+    case KernelType::kGaussian:
+      return VExp<O>(O::Sub(zero, arg));
+    case KernelType::kLaplacian:
+      return VExp<O>(O::Sub(zero, O::Sqrt(O::Max(arg, zero))));
+    case KernelType::kCauchy:
+      return O::Div(one, O::Add(one, arg));
+    case KernelType::kPolynomial:
+      return IntPowV<O>(arg, kernel.degree);
+    case KernelType::kSigmoid: {
+      alignas(64) double lanes[O::kLanes];
+      O::Store(lanes, arg);
+      for (size_t l = 0; l < O::kLanes; ++l) lanes[l] = std::tanh(lanes[l]);
+      return O::Load(lanes);
+    }
+  }
+  return zero;
+}
+
+// Σ wᵢ·K(q,pᵢ) over SoA rows [begin, end). D fixes the dimensionality at
+// compile time for the common dims (full unroll of the j-loops); D = -1
+// is the runtime-dim fallback.
+template <typename O, int D>
+double LeafAggregateImpl(const KernelParams& kernel, const SoaLeafBlocks& soa,
+                         uint32_t begin, uint32_t end, const double* q) {
+  using V = typename O::Vec;
+  constexpr size_t kB = SoaLeafBlocks::kBlockPoints;
+  constexpr size_t kVecs = kB / O::kLanes;
+  const size_t d = D >= 0 ? static_cast<size_t>(D) : soa.dims();
+  const bool inner_product = IsInnerProductKernel(kernel.type);
+  const double scale =
+      inner_product ? kernel.gamma : DistanceArgScale(kernel);
+
+  V acc = O::Zero();
+  const size_t first_block = begin / kB;
+  const size_t last_block = (end - 1) / kB;
+  alignas(64) double masked_weights[kB];
+  for (size_t b = first_block; b <= last_block; ++b) {
+    const size_t row0 = b * kB;
+    const double* w = soa.BlockWeights(b);
+    if (row0 < begin || row0 + kB > end) {
+      // Partial head/tail block: zero the out-of-range lanes' weights —
+      // a zero weight kills the lane's contribution exactly.
+      for (size_t l = 0; l < kB; ++l) {
+        const size_t row = row0 + l;
+        masked_weights[l] = (row >= begin && row < end) ? w[l] : 0.0;
+      }
+      w = masked_weights;
+    }
+    for (size_t v = 0; v < kVecs; ++v) {
+      const size_t off = v * O::kLanes;
+      V arg;
+      if (inner_product) {
+        V dot = O::Zero();
+        for (size_t j = 0; j < d; ++j) {
+          dot = O::Fma(O::Set1(q[j]), O::Load(soa.BlockDim(b, j) + off), dot);
+        }
+        arg = O::Fma(O::Set1(scale), dot, O::Set1(kernel.beta));
+      } else {
+        V sq = O::Zero();
+        for (size_t j = 0; j < d; ++j) {
+          const V diff =
+              O::Sub(O::Set1(q[j]), O::Load(soa.BlockDim(b, j) + off));
+          sq = O::Fma(diff, diff, sq);
+        }
+        arg = O::Mul(O::Set1(scale), sq);
+      }
+      acc = O::Fma(O::Load(w + off), ProfileV<O>(kernel, arg), acc);
+    }
+  }
+  return O::ReduceAdd(acc);
+}
+
+// Fixed-dim dispatch over the dims the registry datasets actually use
+// (home 8/16, susy 18, higgs 28, plus the small synthetic dims).
+template <typename O>
+double LeafAggregateN(const KernelParams& kernel, const SoaLeafBlocks& soa,
+                      uint32_t begin, uint32_t end, const double* q) {
+  switch (soa.dims()) {
+    case 2:
+      return LeafAggregateImpl<O, 2>(kernel, soa, begin, end, q);
+    case 3:
+      return LeafAggregateImpl<O, 3>(kernel, soa, begin, end, q);
+    case 4:
+      return LeafAggregateImpl<O, 4>(kernel, soa, begin, end, q);
+    case 8:
+      return LeafAggregateImpl<O, 8>(kernel, soa, begin, end, q);
+    case 16:
+      return LeafAggregateImpl<O, 16>(kernel, soa, begin, end, q);
+    case 18:
+      return LeafAggregateImpl<O, 18>(kernel, soa, begin, end, q);
+    case 28:
+      return LeafAggregateImpl<O, 28>(kernel, soa, begin, end, q);
+    case 32:
+      return LeafAggregateImpl<O, 32>(kernel, soa, begin, end, q);
+    case 64:
+      return LeafAggregateImpl<O, 64>(kernel, soa, begin, end, q);
+    default:
+      return LeafAggregateImpl<O, -1>(kernel, soa, begin, end, q);
+  }
+}
+
+// Dot product: two independent accumulators hide FMA latency; the < one
+// vector tail runs scalar (for d below the lane width this degenerates
+// to the plain scalar loop).
+template <typename O, int N>
+double DotImpl(const double* a, const double* b, size_t runtime_n) {
+  using V = typename O::Vec;
+  constexpr size_t W = O::kLanes;
+  const size_t n = N >= 0 ? static_cast<size_t>(N) : runtime_n;
+  V acc0 = O::Zero();
+  V acc1 = O::Zero();
+  size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    acc0 = O::Fma(O::Load(a + j), O::Load(b + j), acc0);
+    acc1 = O::Fma(O::Load(a + j + W), O::Load(b + j + W), acc1);
+  }
+  if (j + W <= n) {
+    acc0 = O::Fma(O::Load(a + j), O::Load(b + j), acc0);
+    j += W;
+  }
+  double total = O::ReduceAdd(O::Add(acc0, acc1));
+  // < W elements remain; the explicit t < W bound keeps the unroller
+  // from inventing unbounded trip counts for fixed-N instantiations.
+  for (size_t t = 0; t < W && j + t < n; ++t) total += a[j + t] * b[j + t];
+  return total;
+}
+
+template <typename O, int N>
+double SqnormImpl(const double* a, size_t runtime_n) {
+  using V = typename O::Vec;
+  constexpr size_t W = O::kLanes;
+  const size_t n = N >= 0 ? static_cast<size_t>(N) : runtime_n;
+  V acc0 = O::Zero();
+  V acc1 = O::Zero();
+  size_t j = 0;
+  for (; j + 2 * W <= n; j += 2 * W) {
+    const V v0 = O::Load(a + j);
+    const V v1 = O::Load(a + j + W);
+    acc0 = O::Fma(v0, v0, acc0);
+    acc1 = O::Fma(v1, v1, acc1);
+  }
+  if (j + W <= n) {
+    const V v = O::Load(a + j);
+    acc0 = O::Fma(v, v, acc0);
+    j += W;
+  }
+  double total = O::ReduceAdd(O::Add(acc0, acc1));
+  for (size_t t = 0; t < W && j + t < n; ++t) total += a[j + t] * a[j + t];
+  return total;
+}
+
+template <typename O>
+double DotN(const double* a, const double* b, size_t n) {
+  switch (n) {
+    case 8:
+      return DotImpl<O, 8>(a, b, n);
+    case 16:
+      return DotImpl<O, 16>(a, b, n);
+    case 18:
+      return DotImpl<O, 18>(a, b, n);
+    case 28:
+      return DotImpl<O, 28>(a, b, n);
+    case 32:
+      return DotImpl<O, 32>(a, b, n);
+    case 64:
+      return DotImpl<O, 64>(a, b, n);
+    default:
+      return DotImpl<O, -1>(a, b, n);
+  }
+}
+
+template <typename O>
+double SqnormN(const double* a, size_t n) {
+  switch (n) {
+    case 8:
+      return SqnormImpl<O, 8>(a, n);
+    case 16:
+      return SqnormImpl<O, 16>(a, n);
+    case 18:
+      return SqnormImpl<O, 18>(a, n);
+    case 28:
+      return SqnormImpl<O, 28>(a, n);
+    case 32:
+      return SqnormImpl<O, 32>(a, n);
+    case 64:
+      return SqnormImpl<O, 64>(a, n);
+    default:
+      return SqnormImpl<O, -1>(a, n);
+  }
+}
+
+template <typename O>
+void ExpBlockN(const double* in, double* out, size_t n) {
+  constexpr size_t W = O::kLanes;
+  size_t i = 0;
+  for (; i + W <= n; i += W) O::Store(out + i, VExp<O>(O::Load(in + i)));
+  if (i < n) {
+    alignas(64) double buf[W] = {0.0};
+    for (size_t l = 0; l < W; ++l) buf[l] = i + l < n ? in[i + l] : 0.0;
+    alignas(64) double res[W];
+    O::Store(res, VExp<O>(O::Load(buf)));
+    for (size_t l = 0; l < W; ++l) {
+      if (i + l < n) out[i + l] = res[l];
+    }
+  }
+}
+
+}  // namespace karl::core::simd::internal
+
+#endif  // KARL_CORE_SIMD_KERNELS_IMPL_H_

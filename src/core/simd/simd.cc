@@ -1,0 +1,189 @@
+#include "core/simd/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace karl::core::simd {
+
+namespace {
+
+// -----------------------------------------------------------------------
+// Scalar tier: the reference oracle. These are deliberately the plain
+// ascending loops of util::Dot / util::SquaredNorm and the legacy Kahan
+// leaf loop of Evaluator::LeafAggregate, so KARL_SIMD=scalar reproduces
+// pre-SIMD results bit-for-bit.
+// -----------------------------------------------------------------------
+
+double ScalarDot(const double* a, const double* b, size_t n) {
+  return util::Dot({a, n}, {b, n});
+}
+
+double ScalarSqnorm(const double* a, size_t n) {
+  return util::SquaredNorm({a, n});
+}
+
+double ScalarLeafAggregate(const KernelParams& kernel,
+                           const SoaLeafBlocks& soa, uint32_t begin,
+                           uint32_t end, const double* q) {
+  const size_t d = soa.dims();
+  util::KahanAccumulator acc;
+  for (uint32_t i = begin; i < end; ++i) {
+    double value;
+    if (IsInnerProductKernel(kernel.type)) {
+      double ip = 0.0;
+      for (size_t j = 0; j < d; ++j) ip += q[j] * soa.At(i, j);
+      value = KernelProfile(kernel, kernel.gamma * ip + kernel.beta);
+    } else {
+      double sq = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = q[j] - soa.At(i, j);
+        sq += diff * diff;
+      }
+      // Matches KernelValue's argument construction per family exactly.
+      value = kernel.type == KernelType::kLaplacian
+                  ? std::exp(-kernel.gamma * std::sqrt(sq))
+                  : KernelProfile(kernel, kernel.gamma * sq);
+    }
+    acc.Add(soa.WeightAt(i) * value);
+  }
+  return acc.Total();
+}
+
+void ScalarExpBlock(const double* in, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::exp(in[i]);
+}
+
+constexpr internal::Ops kScalarOps = {ScalarDot, ScalarSqnorm,
+                                      ScalarLeafAggregate, ScalarExpBlock};
+
+const internal::Ops& OpsForTier(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return kScalarOps;
+    case Tier::kAvx2: {
+      const internal::Ops* ops = internal::GetAvx2Ops();
+      KARL_CHECK(ops != nullptr) << ": avx2 tier active but not compiled";
+      return *ops;
+    }
+    case Tier::kAvx512: {
+      const internal::Ops* ops = internal::GetAvx512Ops();
+      KARL_CHECK(ops != nullptr) << ": avx512 tier active but not compiled";
+      return *ops;
+    }
+  }
+  return kScalarOps;
+}
+
+bool CpuSupports(Tier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return tier == Tier::kScalar;
+#endif
+}
+
+// -1 = not yet resolved from the environment.
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<const Ops*> g_active_ops{nullptr};
+
+const Ops& ResolveActiveOps() {
+  const Ops& resolved = OpsForTier(ActiveTier());
+  g_active_ops.store(&resolved, std::memory_order_release);
+  return resolved;
+}
+
+}  // namespace internal
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Tier ParseTier(std::string_view name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "avx512") return Tier::kAvx512;
+  KARL_CHECK(false) << ": invalid KARL_SIMD value \"" << name
+                    << "\"; expected scalar|avx2|avx512";
+  return Tier::kScalar;
+}
+
+bool TierCompiled(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return internal::GetAvx2Ops() != nullptr;
+    case Tier::kAvx512:
+      return internal::GetAvx512Ops() != nullptr;
+  }
+  return false;
+}
+
+bool TierSupported(Tier tier) { return TierCompiled(tier) && CpuSupports(tier); }
+
+Tier DetectBestTier() {
+  if (TierSupported(Tier::kAvx512)) return Tier::kAvx512;
+  if (TierSupported(Tier::kAvx2)) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+Tier ResolveTier(const char* env_value) {
+  if (env_value == nullptr || env_value[0] == '\0') return DetectBestTier();
+  const Tier tier = ParseTier(env_value);
+  KARL_CHECK(TierSupported(tier))
+      << ": KARL_SIMD=" << env_value
+      << " requests a tier this build/CPU cannot run (compiled="
+      << TierCompiled(tier) << ")";
+  return tier;
+}
+
+Tier ActiveTier() {
+  const int cached = g_active_tier.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<Tier>(cached);
+  // A concurrent first call resolves to the same value, so the race is
+  // benign.
+  const Tier resolved = ResolveTier(std::getenv("KARL_SIMD"));
+  g_active_tier.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+void ForceTier(Tier tier) {
+  KARL_CHECK(TierSupported(tier))
+      << ": cannot force unsupported tier " << TierName(tier);
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+  internal::g_active_ops.store(&OpsForTier(tier), std::memory_order_release);
+}
+
+void ExpBlock(std::span<const double> in, std::span<double> out) {
+  KARL_CHECK(in.size() == out.size())
+      << ": ExpBlock of mismatched lengths " << in.size() << " vs "
+      << out.size();
+  internal::ActiveOps().exp_block(in.data(), out.data(), in.size());
+}
+
+}  // namespace karl::core::simd

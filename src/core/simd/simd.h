@@ -1,0 +1,167 @@
+// Runtime-dispatched SIMD kernels for the evaluator hot path: the O(d)
+// linear-bound aggregation (dot products against node summaries) and the
+// exact leaf kernel sums over the blocked SoA layout (soa_block.h).
+//
+// Three tiers — scalar / AVX2+FMA / AVX-512F — selected once per process
+// by CPUID, overridable via the KARL_SIMD environment variable
+// ("scalar" | "avx2" | "avx512"). Requesting a tier the build or the CPU
+// cannot run, or any other value, crashes loudly via KARL_CHECK; silent
+// fallback would invalidate benchmark comparisons.
+//
+// Accuracy contract (the exact statement DESIGN.md §14 documents and
+// tests/simd_test.cc pins):
+//
+//  * The scalar tier is the oracle: bit-identical to the pre-SIMD code
+//    (plain ascending loops, Kahan leaf accumulation). KARL_SIMD=scalar
+//    therefore reproduces historical results exactly.
+//  * Vector tiers reorder reductions and use a polynomial vector exp, so
+//    results are NOT bit-identical; they agree with the scalar oracle
+//    within the relative tolerances below, measured against the sum of
+//    ABSOLUTE contributions (the natural conditioning scale for a
+//    reordered sum — cancellation can make the signed result arbitrarily
+//    smaller than the mass that produced it).
+//  * Bounds remain bounds: lb ≤ exact ≤ ub invariants are checked by the
+//    auditor against whatever tier is active, and keep holding because
+//    the evaluator's audit tolerances (1e-6/1e-7 relative) dominate the
+//    contract tolerances below by orders of magnitude.
+
+#ifndef KARL_CORE_SIMD_SIMD_H_
+#define KARL_CORE_SIMD_SIMD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/kernel.h"
+#include "core/simd/soa_block.h"
+#include "util/check.h"
+
+namespace karl::core::simd {
+
+/// Instruction-set tiers, ordered by preference. Values are stable: the
+/// karl_simd_tier gauge exports them numerically.
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// |vector − scalar| ≤ this × Σ|wᵢ·K(q,pᵢ)| for every leaf-range
+/// aggregate. Budget: reordered accumulation over ≤ ~10⁶ terms
+/// (n·ε ≈ 1e-10) plus per-term profile-argument rounding amplified by
+/// the profile derivative (≤ ~1e-12 for arguments that keep the kernel
+/// above underflow).
+inline constexpr double kLeafSumRelTolerance = 1e-9;
+
+/// |vector − scalar| ≤ this × Σ|aᵢ·bᵢ| for Dot / SquaredNorm (pure
+/// reordering of ≤ ~10³-dim reductions: d·ε plus slack).
+inline constexpr double kDotRelTolerance = 1e-12;
+
+/// Vector exp error vs std::exp in units-in-last-place, for arguments in
+/// [-708, 709] with normal (non-subnormal) results. Arguments below
+/// -708 are clamped, so results smaller than ~3.3e-308 carry an
+/// absolute error of at most kVectorExpUnderflowAbs instead.
+inline constexpr int kVectorExpUlpBound = 4;
+inline constexpr double kVectorExpUnderflowAbs = 1e-307;
+
+/// Human-readable tier name ("scalar" / "avx2" / "avx512").
+std::string_view TierName(Tier tier);
+
+/// Parses a KARL_SIMD value. Crashes via KARL_CHECK on anything other
+/// than "scalar" / "avx2" / "avx512".
+Tier ParseTier(std::string_view name);
+
+/// True iff this binary contains a real (intrinsics) implementation of
+/// the tier. The scalar tier is always compiled.
+bool TierCompiled(Tier tier);
+
+/// True iff the tier is compiled in AND the running CPU supports it.
+bool TierSupported(Tier tier);
+
+/// Best tier the host can run: avx512 ≻ avx2 ≻ scalar.
+Tier DetectBestTier();
+
+/// Resolves the tier from a KARL_SIMD-style value; nullptr means
+/// auto-detect. Crashes via KARL_CHECK when the value is invalid or
+/// names an unsupported tier.
+Tier ResolveTier(const char* env_value);
+
+/// The process-wide active tier, resolved from getenv("KARL_SIMD") on
+/// first use and cached. Thread-safe.
+Tier ActiveTier();
+
+/// Test/bench seam: overrides the active tier (must be supported).
+/// Takes effect for every subsequent hot-path call in the process.
+void ForceTier(Tier tier);
+
+namespace internal {
+
+/// Per-tier implementation table. One instance per compiled tier;
+/// re-read through the cached pointer below on every hot-path call so
+/// ForceTier takes effect immediately.
+struct Ops {
+  double (*dot)(const double* a, const double* b, size_t n);
+  double (*sqnorm)(const double* a, size_t n);
+  double (*leaf_aggregate)(const KernelParams& kernel,
+                           const SoaLeafBlocks& soa, uint32_t begin,
+                           uint32_t end, const double* q);
+  void (*exp_block)(const double* in, double* out, size_t n);
+};
+
+/// Defined in kernels_avx2.cc / kernels_avx512.cc; null when that
+/// translation unit was built without the ISA (stub fallback).
+const Ops* GetAvx2Ops();
+const Ops* GetAvx512Ops();
+
+/// Ops table of the active tier; null until first resolution. Written
+/// by ResolveActiveOps and ForceTier only. The hot-path wrappers below
+/// are header-inline reading this one atomic: a d=8 linear-bound dot is
+/// ~10 cycles of real work, so an extra call layer plus a dispatch
+/// switch per call would eat most of the vector win.
+extern std::atomic<const Ops*> g_active_ops;
+
+/// Slow path: resolves the tier (env / CPUID), caches its Ops table.
+const Ops& ResolveActiveOps();
+
+inline const Ops& ActiveOps() {
+  const Ops* ops = g_active_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? *ops : ResolveActiveOps();
+}
+
+}  // namespace internal
+
+/// Dot product of two equal-length vectors under the active tier.
+/// Scalar tier is bit-identical to util::Dot.
+inline double Dot(std::span<const double> a, std::span<const double> b) {
+  KARL_DCHECK(a.size() == b.size())
+      << ": Dot of mismatched lengths " << a.size() << " vs " << b.size();
+  return internal::ActiveOps().dot(a.data(), b.data(), a.size());
+}
+
+/// ‖a‖² under the active tier; scalar tier matches util::SquaredNorm.
+inline double SquaredNorm(std::span<const double> a) {
+  return internal::ActiveOps().sqnorm(a.data(), a.size());
+}
+
+/// Σ wᵢ·K(q, pᵢ) over SoA rows [begin, end) under the active tier.
+/// Scalar tier is bit-identical to the legacy Kahan row loop.
+inline double LeafAggregate(const KernelParams& kernel,
+                            const SoaLeafBlocks& soa, uint32_t begin,
+                            uint32_t end, std::span<const double> q) {
+  KARL_DCHECK(q.size() == soa.dims())
+      << ": query dim " << q.size() << " vs SoA dim " << soa.dims();
+  KARL_DCHECK(end <= soa.rows())
+      << ": range end " << end << " past " << soa.rows() << " rows";
+  if (begin >= end) return 0.0;
+  return internal::ActiveOps().leaf_aggregate(kernel, soa, begin, end,
+                                              q.data());
+}
+
+/// out[i] = exp(in[i]) under the active tier — the seam simd_test uses
+/// to pin kVectorExpUlpBound per tier. Spans must have equal length.
+void ExpBlock(std::span<const double> in, std::span<double> out);
+
+}  // namespace karl::core::simd
+
+#endif  // KARL_CORE_SIMD_SIMD_H_

@@ -1,0 +1,27 @@
+#include "core/simd/soa_block.h"
+
+#include "util/check.h"
+
+namespace karl::core::simd {
+
+void SoaLeafBlocks::Build(const data::Matrix& points,
+                          std::span<const double> weights) {
+  KARL_CHECK(weights.size() == points.rows())
+      << ": " << weights.size() << " weights for " << points.rows()
+      << " points";
+  rows_ = points.rows();
+  dims_ = points.cols();
+  num_blocks_ = (rows_ + kBlockPoints - 1) / kBlockPoints;
+  data_.assign(num_blocks_ * dims_ * kBlockPoints, 0.0);
+  weights_.assign(num_blocks_ * kBlockPoints, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const size_t block = i / kBlockPoints;
+    const size_t lane = i % kBlockPoints;
+    const auto row = points.Row(i);
+    double* base = data_.data() + block * dims_ * kBlockPoints + lane;
+    for (size_t j = 0; j < dims_; ++j) base[j * kBlockPoints] = row[j];
+    weights_[i] = weights[i];
+  }
+}
+
+}  // namespace karl::core::simd

@@ -1,0 +1,90 @@
+// Blocked structure-of-arrays (SoA) leaf storage for the vectorized
+// evaluator hot path (see DESIGN.md §14).
+//
+// The tree's permuted row-major point matrix is great for pointer-chased
+// per-row access but hostile to SIMD: gathering one dimension across 8
+// points touches 8 cache lines. SoaLeafBlocks re-materialises the SAME
+// permuted order as fixed-size blocks of kBlockPoints points, dimension-
+// major inside each block:
+//
+//   data[(block*d + dim)*kBlockPoints + lane]   lane = row % kBlockPoints
+//
+// so a vector load of lanes 0..7 of one dimension is one contiguous,
+// cache-friendly read. Weights are blocked the same way; padding lanes
+// past the last real row carry weight 0 and coordinate 0, which makes
+// every kernel contribution of a pad lane exactly 0 without branches.
+//
+// The layout is blocked over the ENTIRE permuted array, not per leaf:
+// any node range [begin, end) — a real leaf, a level-capped effective
+// leaf, or the full array for QueryExact — maps onto whole blocks plus
+// at most two partial blocks handled with masked weights.
+
+#ifndef KARL_CORE_SIMD_SOA_BLOCK_H_
+#define KARL_CORE_SIMD_SOA_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace karl::core::simd {
+
+/// Dimension-major blocked copy of a permuted point set + weights.
+class SoaLeafBlocks {
+ public:
+  /// Points per block == the widest vector width we target (AVX-512:
+  /// 8 doubles). AVX2 processes a block as two 4-lane half-blocks.
+  static constexpr size_t kBlockPoints = 8;
+
+  SoaLeafBlocks() = default;
+
+  /// (Re)builds the blocked layout from `points` (row-major, already in
+  /// tree-permuted order) and the matching `weights`. O(n·d) copy.
+  void Build(const data::Matrix& points, std::span<const double> weights);
+
+  /// True iff Build has not been called (or was called on empty input).
+  bool empty() const { return rows_ == 0; }
+
+  size_t rows() const { return rows_; }
+  size_t dims() const { return dims_; }
+  size_t num_blocks() const { return num_blocks_; }
+
+  /// The kBlockPoints lanes of dimension `dim` in block `block`.
+  const double* BlockDim(size_t block, size_t dim) const {
+    return data_.data() + (block * dims_ + dim) * kBlockPoints;
+  }
+
+  /// The kBlockPoints weight lanes of block `block` (pad lanes are 0).
+  const double* BlockWeights(size_t block) const {
+    return weights_.data() + block * kBlockPoints;
+  }
+
+  /// Scalar gather of one coordinate — the round-trip accessor the P7
+  /// property fuzz uses to prove Build is a bit-exact re-layout.
+  double At(size_t row, size_t dim) const {
+    return *(BlockDim(row / kBlockPoints, dim) + row % kBlockPoints);
+  }
+
+  /// Weight of one row through the blocked layout (pad-free rows only).
+  double WeightAt(size_t row) const {
+    return weights_[row];
+  }
+
+  /// Heap bytes held by the blocked copy (index memory accounting).
+  size_t MemoryUsageBytes() const {
+    return (data_.capacity() + weights_.capacity()) * sizeof(double);
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t dims_ = 0;
+  size_t num_blocks_ = 0;
+  std::vector<double> data_;     // num_blocks * dims * kBlockPoints.
+  std::vector<double> weights_;  // num_blocks * kBlockPoints.
+};
+
+}  // namespace karl::core::simd
+
+#endif  // KARL_CORE_SIMD_SOA_BLOCK_H_

@@ -83,7 +83,10 @@ void TreeIndex::BuildShared(const data::Matrix& input_points,
     weights_[i] = input_weights[perm_[i]];
   }
 
-  // Phase 3: aggregates and subclass region geometry.
+  // Phase 3: blocked SoA mirror for the vectorized leaf kernels.
+  soa_.Build(points_, weights_);
+
+  // Phase 4: aggregates and subclass region geometry.
   ComputeSummaries();
   ComputeRegions();
 }
@@ -129,7 +132,7 @@ size_t TreeIndex::MemoryUsageBytes() const {
           weights_.size()) *
              sizeof(double) +
          perm_.size() * sizeof(size_t) +
-         points_.values().size() * sizeof(double);
+         points_.values().size() * sizeof(double) + soa_.MemoryUsageBytes();
 }
 
 }  // namespace karl::index

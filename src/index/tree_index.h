@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/simd/soa_block.h"
 #include "data/matrix.h"
 
 namespace karl::index {
@@ -83,6 +84,11 @@ class TreeIndex {
   /// Maps permuted position -> original row index in the input matrix.
   std::span<const size_t> original_indices() const { return perm_; }
 
+  /// Blocked SoA mirror of points()/weights() in the same permuted
+  /// order, built once per (re)build — the layout the vectorized leaf
+  /// kernels (core/simd) read. Node ranges index into it directly.
+  const core::simd::SoaLeafBlocks& soa() const { return soa_; }
+
   /// w_P of the node (Σ w_i).
   double weight_sum(NodeId id) const { return weight_sums_[id]; }
 
@@ -139,6 +145,7 @@ class TreeIndex {
 
   data::Matrix points_;          // Permuted copy of the input.
   std::vector<double> weights_;  // Permuted weights.
+  core::simd::SoaLeafBlocks soa_;  // Blocked mirror of the two above.
   std::vector<size_t> perm_;     // Permuted position -> original index.
   std::vector<double> weight_sums_;
   std::vector<double> sqnorm_sums_;

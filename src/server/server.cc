@@ -14,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/simd/simd.h"
 #include "server/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/rolling.h"
@@ -827,6 +828,9 @@ std::string Server::VarzJson() const {
   root.Set("version", Json::Str(util::BuildVersion()));
   root.Set("git_sha", Json::Str(util::BuildGitSha()));
   root.Set("build_type", Json::Str(util::BuildType()));
+  root.Set("simd_tier",
+           Json::Str(std::string(core::simd::TierName(
+               core::simd::ActiveTier()))));
   root.Set("uptime_s", Json::Number(uptime_.ElapsedSeconds()));
   root.Set("pid", Json::Number(static_cast<double>(::getpid())));
   root.Set("port", Json::Number(static_cast<double>(port_)));

@@ -5,6 +5,15 @@
 // surface must be clean under TSan (CI job tsan-batch) with telemetry
 // attached.
 //
+// SIMD note: the serial-vs-batch EXPECT_EQs below stay bit-exact even
+// with the vectorized leaf path engaged, because both routes run the
+// SAME per-query evaluator code under the one process-wide SIMD tier
+// (core/simd) — work distribution never changes per-query arithmetic.
+// Only comparisons ACROSS tiers are tolerance-level (see the
+// cross-tier test at the bottom, and core/simd/simd.h for the
+// contract); BatchIsBitStableUnderEverySimdTier pins the bit-exact
+// half per reachable tier.
+//
 // KARL_TEST_THREADS (default 8) sets the largest pool size exercised.
 
 #include "core/batch.h"
@@ -18,6 +27,7 @@
 
 #include "core/dynamic_engine.h"
 #include "core/karl.h"
+#include "core/simd/simd.h"
 #include "data/synthetic.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -304,6 +314,80 @@ TEST(BatchEvaluatorTest, ConcurrentCallersOnOneEngine) {
   }
   for (auto& t : callers) t.join();
   for (int t = 0; t < 4; ++t) EXPECT_EQ(mismatches[t], 0) << "caller " << t;
+}
+
+// Satellite regression for the SIMD PR: under EVERY tier the host can
+// run — forced through the core/simd test seam — batch results across
+// thread counts and chunk sizes are bit-identical to each other and to
+// the serial per-query loop run under the same tier. Vectorization may
+// only change results across tiers, never across work distributions.
+TEST(BatchEvaluatorTest, BatchIsBitStableUnderEverySimdTier) {
+  namespace simd = core::simd;
+  BatchFixture fx;
+  ASSERT_TRUE(fx.engine.ok()) << fx.engine.status().ToString();
+
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  if (simd::TierSupported(simd::Tier::kAvx2)) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  if (simd::TierSupported(simd::Tier::kAvx512)) {
+    tiers.push_back(simd::Tier::kAvx512);
+  }
+  const simd::Tier saved = simd::ActiveTier();
+
+  for (const simd::Tier tier : tiers) {
+    simd::ForceTier(tier);
+    // Serial reference under this tier.
+    const size_t n = fx.queries.rows();
+    std::vector<double> serial(n);
+    for (size_t i = 0; i < n; ++i) {
+      serial[i] = fx.engine.value().Exact(fx.queries.Row(i));
+    }
+
+    for (const size_t threads : {size_t{1}, size_t{2}, TestThreads()}) {
+      util::ThreadPool pool(threads);
+      for (const size_t chunk : {size_t{0}, size_t{1}, size_t{7}}) {
+        BatchOptions options;
+        options.pool = &pool;
+        options.chunk = chunk;
+        const BatchEvaluator batch(fx.engine.value(), options);
+        EXPECT_EQ(batch.Exact(fx.queries), serial)  // Bit-identical.
+            << simd::TierName(tier) << " threads=" << threads
+            << " chunk=" << chunk;
+      }
+    }
+  }
+  simd::ForceTier(saved);
+}
+
+// The tolerance-aware half: results ACROSS tiers agree only within the
+// core/simd accuracy contract (reordered reductions + vector exp), not
+// bit-for-bit — this is the one place vectorization is allowed to move
+// a result, and the tolerance here is the documented bound, not a
+// loosened test.
+TEST(BatchEvaluatorTest, CrossTierBatchResultsAgreeWithinContract) {
+  namespace simd = core::simd;
+  BatchFixture fx;
+  ASSERT_TRUE(fx.engine.ok()) << fx.engine.status().ToString();
+  const simd::Tier saved = simd::ActiveTier();
+
+  simd::ForceTier(simd::Tier::kScalar);
+  const auto scalar = fx.engine.value().ExactBatch(fx.queries);
+
+  for (const simd::Tier tier : {simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (!simd::TierSupported(tier)) continue;
+    simd::ForceTier(tier);
+    const auto vec = fx.engine.value().ExactBatch(fx.queries);
+    ASSERT_EQ(vec.size(), scalar.size());
+    for (size_t i = 0; i < vec.size(); ++i) {
+      // Fixture weights are positive, so |exact| is the absolute mass;
+      // 4x covers the traversal splitting the sum across leaf ranges.
+      EXPECT_NEAR(vec[i], scalar[i],
+                  4.0 * simd::kLeafSumRelTolerance * (1.0 + scalar[i]))
+          << simd::TierName(tier) << " i=" << i;
+    }
+  }
+  simd::ForceTier(saved);
 }
 
 TEST(DynamicBatchTest, BatchMatchesSerialAcrossMutations) {

@@ -11,6 +11,9 @@
 //      increases during refinement.
 //  P5. Linear-bound functions sandwich the profile pointwise on the
 //      interval they were constructed for.
+//  P6. Randomised batch queries match brute force (see below).
+//  P7. The blocked SoA mirror is a bit-exact re-layout of the tree's
+//      permuted points, and vectorized queries match brute force.
 
 #include <gtest/gtest.h>
 
@@ -21,6 +24,7 @@
 #include "core/bounds.h"
 #include "core/evaluator.h"
 #include "core/karl.h"
+#include "core/simd/simd.h"
 #include "data/synthetic.h"
 #include "index/ball_tree.h"
 #include "index/kd_tree.h"
@@ -431,6 +435,111 @@ TEST(BatchQueryProperty, RandomisedBatchMatchesBruteForce) {
               << " eps=" << eps;
         }
       }
+    }
+  }
+}
+
+// P7a: the blocked SoA mirror every tree builds (core/simd/soa_block.h)
+// must be a bit-exact re-layout — every coordinate and weight read back
+// through the blocked accessors equals the permuted source EXACTLY, for
+// fuzzed shapes including ragged final blocks and n < kBlockPoints.
+TEST(SimdSoaProperty, BlockedLayoutRoundTripsBitExactly) {
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t d = 1 + static_cast<size_t>(rng.Uniform(0.0, 9.0));
+    const size_t n = 1 + static_cast<size_t>(rng.Uniform(0.0, 260.0));
+    data::Matrix pts(n, d);
+    for (size_t i = 0; i < n; ++i) {
+      for (double& v : pts.MutableRow(i)) v = rng.Uniform(-1.0, 1.0);
+    }
+    std::vector<double> weights(n);
+    for (auto& w : weights) w = rng.Uniform(-1.0, 1.0);
+
+    const PropertyCase pc{0, n, d,
+                          trial % 2 == 0 ? index::IndexKind::kKdTree
+                                         : index::IndexKind::kBallTree,
+                          1 + static_cast<size_t>(rng.Uniform(0.0, 31.0)),
+                          0, 2};
+    const auto tree = TreeForCase(pc, pts, weights);
+    const auto& soa = tree->soa();
+    ASSERT_EQ(soa.rows(), n) << "trial " << trial;
+    ASSERT_EQ(soa.dims(), d) << "trial " << trial;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(soa.WeightAt(i), tree->weights()[i])
+          << "trial " << trial << " row " << i;
+      for (size_t j = 0; j < d; ++j) {
+        ASSERT_EQ(soa.At(i, j), tree->points().Row(i)[j])
+            << "trial " << trial << " row " << i << " dim " << j;
+      }
+    }
+  }
+}
+
+// P7b: randomised vectorized-vs-brute-force. Under every tier the host
+// supports, fuzzed tKAQ/eKAQ/exact queries through the Engine (which
+// runs the vectorized leaf path on vector tiers) must agree with plain
+// brute-force aggregation: tKAQ exactly outside the noise floor, eKAQ
+// within (1±ε), exact within accumulation-order tolerance.
+TEST(SimdQueryProperty, VectorizedQueriesMatchBruteForce) {
+  namespace simd = core::simd;
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  if (simd::TierSupported(simd::Tier::kAvx2)) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  if (simd::TierSupported(simd::Tier::kAvx512)) {
+    tiers.push_back(simd::Tier::kAvx512);
+  }
+  const simd::Tier saved = simd::ActiveTier();
+
+  util::Rng rng(777);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t d = 2 + static_cast<size_t>(rng.Uniform(0.0, 5.0));
+    const size_t n = 150 + static_cast<size_t>(rng.Uniform(0.0, 200.0));
+    const data::Matrix pts = data::SampleClustered(n, d, 3, 0.08, rng);
+    std::vector<double> weights(n);
+    for (auto& w : weights) w = rng.Uniform(0.05, 1.5);
+
+    KernelParams kernel;
+    switch (trial % 3) {
+      case 0:
+        kernel = KernelParams::Gaussian(rng.Uniform(0.5, 8.0));
+        break;
+      case 1:
+        kernel = KernelParams::Laplacian(rng.Uniform(0.5, 5.0));
+        break;
+      default:
+        kernel = KernelParams::Cauchy(rng.Uniform(0.5, 6.0));
+        break;
+    }
+
+    EngineOptions options;
+    options.kernel = kernel;
+    options.leaf_capacity = 1 + static_cast<size_t>(rng.Uniform(0.0, 40.0));
+    auto engine = Engine::Build(pts, weights, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    for (int query = 0; query < 5; ++query) {
+      std::vector<double> q(d);
+      for (auto& v : q) v = rng.Uniform(-0.1, 1.1);
+      const double exact = core::ExactAggregate(pts, weights, kernel, q);
+      const double tau = exact * rng.Uniform(0.6, 1.4);
+      const double eps = rng.Uniform(0.05, 0.4);
+
+      for (const simd::Tier tier : tiers) {
+        simd::ForceTier(tier);
+        EXPECT_NEAR(engine.value().Exact(q), exact,
+                    1e-9 * (1.0 + std::abs(exact)))
+            << simd::TierName(tier) << " trial=" << trial << " q=" << query;
+        const double noise_floor = 1e-12 * (1.0 + std::abs(exact));
+        if (std::abs(exact - tau) > noise_floor) {
+          EXPECT_EQ(engine.value().Tkaq(q, tau), exact > tau)
+              << simd::TierName(tier) << " trial=" << trial << " q=" << query;
+        }
+        EXPECT_LE(std::abs(engine.value().Ekaq(q, eps) - exact),
+                  eps * std::abs(exact) + 1e-10)
+            << simd::TierName(tier) << " trial=" << trial << " q=" << query;
+      }
+      simd::ForceTier(saved);
     }
   }
 }

@@ -1,0 +1,439 @@
+// Differential tests for the SIMD hot path (core/simd): every vector
+// tier the host can run is compared against the scalar oracle across all
+// kernel families, weighting types, dimensionalities and leaf-range
+// alignments, pinning the accuracy contract stated in core/simd/simd.h:
+//
+//  * scalar tier == legacy loops, bit-for-bit (EXPECT_EQ on doubles);
+//  * vector leaf aggregates within kLeafSumRelTolerance of scalar,
+//    relative to the sum of absolute contributions;
+//  * vector Dot/SquaredNorm within kDotRelTolerance;
+//  * the vector exp within kVectorExpUlpBound ULPs of std::exp;
+//  * dispatch: tier parsing/forcing, loud failure on invalid values,
+//    and the karl_simd_tier gauge.
+//
+// The whole binary also runs under KARL_SIMD=scalar in CI (job
+// scalar-forced); the differential cases then degenerate to
+// scalar-vs-scalar and must still pass.
+
+#include "core/simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/karl.h"
+#include "core/kernel.h"
+#include "core/simd/soa_block.h"
+#include "data/matrix.h"
+#include "data/synthetic.h"
+#include "telemetry/metrics.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace karl {
+namespace {
+
+namespace simd = core::simd;
+using core::KernelParams;
+using core::KernelType;
+using simd::SoaLeafBlocks;
+using simd::Tier;
+
+// Restores the tier that was active at construction; every test that
+// calls ForceTier holds one so state never leaks across tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::ActiveTier()) {}
+  ~TierGuard() { simd::ForceTier(saved_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  Tier saved_;
+};
+
+std::vector<Tier> SupportedTiers() {
+  std::vector<Tier> tiers = {Tier::kScalar};
+  if (simd::TierSupported(Tier::kAvx2)) tiers.push_back(Tier::kAvx2);
+  if (simd::TierSupported(Tier::kAvx512)) tiers.push_back(Tier::kAvx512);
+  return tiers;
+}
+
+// Kernel parameter scales chosen so contributions stay well inside the
+// normal range for every tested dimensionality (no denormal kernel
+// values — those are covered by the dedicated ExpBlock underflow test).
+std::vector<KernelParams> KernelsForDim(size_t d) {
+  const double dd = static_cast<double>(d);
+  return {
+      KernelParams::Gaussian(3.0 / dd),
+      KernelParams::Laplacian(2.0 / std::sqrt(dd)),
+      KernelParams::Cauchy(1.5 / dd),
+      KernelParams::Polynomial(0.4 / dd, 0.1, 3),
+      KernelParams::Polynomial(0.3 / dd, -0.1, 2),
+      KernelParams::Sigmoid(0.3 / dd, 0.05),
+  };
+}
+
+std::vector<double> WeightsForType(int weighting, size_t n, util::Rng& rng) {
+  std::vector<double> w(n);
+  for (auto& v : w) {
+    switch (weighting) {
+      case 1:
+        v = 0.7;
+        break;
+      case 2:
+        v = rng.Uniform(0.05, 1.5);
+        break;
+      default:
+        v = rng.Uniform(-1.0, 1.0);
+        if (v == 0.0) v = 0.5;
+        break;
+    }
+  }
+  return w;
+}
+
+data::Matrix RandomMatrix(size_t n, size_t d, util::Rng& rng) {
+  data::Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (double& v : m.MutableRow(i)) v = rng.Uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+// Σ |wᵢ·K(q,pᵢ)| over [begin, end) — the conditioning scale the leaf
+// tolerance is stated against.
+double AbsMass(const KernelParams& kernel, const data::Matrix& pts,
+               std::span<const double> w, uint32_t begin, uint32_t end,
+               std::span<const double> q) {
+  double mass = 0.0;
+  for (uint32_t i = begin; i < end; ++i) {
+    mass += std::abs(w[i] * core::KernelValue(kernel, q, pts.Row(i)));
+  }
+  return mass;
+}
+
+// The legacy evaluator leaf loop verbatim: Kahan over wᵢ·KernelValue in
+// ascending row order. The scalar tier must reproduce this bit-for-bit.
+double LegacyLeafLoop(const KernelParams& kernel, const data::Matrix& pts,
+                      std::span<const double> w, uint32_t begin, uint32_t end,
+                      std::span<const double> q) {
+  util::KahanAccumulator acc;
+  for (uint32_t i = begin; i < end; ++i) {
+    acc.Add(w[i] * core::KernelValue(kernel, q, pts.Row(i)));
+  }
+  return acc.Total();
+}
+
+// ULP distance between two positive finite doubles (exp never returns
+// zero or a negative value for the arguments we feed it).
+int64_t UlpDiff(double a, double b) {
+  return std::abs(std::bit_cast<int64_t>(a) - std::bit_cast<int64_t>(b));
+}
+
+// ---------------------------------------------------------------------
+// Leaf-aggregate differential suite: tiers x kernels x weightings x
+// dims x leaf-range alignments.
+// ---------------------------------------------------------------------
+
+class SimdDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimdDifferentialTest, VectorLeafAggregatesMatchScalarOracle) {
+  const size_t d = GetParam();
+  const size_t n = 53;  // 7 blocks: 6 full + 1 ragged (5 pad lanes).
+  util::Rng rng(1234 + static_cast<uint64_t>(d));
+  const data::Matrix pts = RandomMatrix(n, d, rng);
+
+  // Aligned ranges, unaligned heads/tails, an intra-block sliver, the
+  // ragged final block, single rows and an empty range.
+  const std::pair<uint32_t, uint32_t> ranges[] = {
+      {0, 53}, {0, 8}, {8, 24}, {3, 5}, {5, 21},
+      {48, 53}, {7, 9}, {52, 53}, {4, 4}};
+
+  for (const int weighting : {1, 2, 3}) {
+    const auto weights = WeightsForType(weighting, n, rng);
+    SoaLeafBlocks soa;
+    soa.Build(pts, weights);
+
+    for (const KernelParams& kernel : KernelsForDim(d)) {
+      std::vector<double> q(d);
+      for (auto& v : q) v = rng.Uniform(-1.0, 1.0);
+
+      for (const auto& [begin, end] : ranges) {
+        TierGuard guard;
+        simd::ForceTier(Tier::kScalar);
+        const double scalar = simd::LeafAggregate(kernel, soa, begin, end, q);
+
+        // Scalar tier vs the legacy evaluator loop: bit-identical.
+        EXPECT_EQ(scalar, LegacyLeafLoop(kernel, pts, weights, begin, end, q))
+            << core::KernelTypeToString(kernel.type) << " w" << weighting
+            << " d=" << d << " [" << begin << "," << end << ")";
+
+        const double mass = AbsMass(kernel, pts, weights, begin, end, q);
+        for (const Tier tier : SupportedTiers()) {
+          simd::ForceTier(tier);
+          const double vec = simd::LeafAggregate(kernel, soa, begin, end, q);
+          EXPECT_LE(std::abs(vec - scalar),
+                    simd::kLeafSumRelTolerance * mass)
+              << simd::TierName(tier) << " "
+              << core::KernelTypeToString(kernel.type) << " w" << weighting
+              << " d=" << d << " [" << begin << "," << end
+              << ") scalar=" << scalar << " vec=" << vec;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimdDifferentialTest,
+                         ::testing::Values(1, 3, 7, 8, 16, 33, 100),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "D" + std::to_string(info.param);
+                         });
+
+TEST(SimdDifferentialTest, DotAndSquaredNormMatchScalarOracle) {
+  util::Rng rng(88);
+  for (const size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{7}, size_t{8},
+                         size_t{15}, size_t{16}, size_t{17}, size_t{18},
+                         size_t{28}, size_t{31}, size_t{32}, size_t{33},
+                         size_t{64}, size_t{100}, size_t{257}}) {
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Uniform(-2.0, 2.0);
+      b[i] = rng.Uniform(-2.0, 2.0);
+    }
+    double dot_mass = 0.0, norm_mass = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      dot_mass += std::abs(a[i] * b[i]);
+      norm_mass += a[i] * a[i];
+    }
+
+    TierGuard guard;
+    simd::ForceTier(Tier::kScalar);
+    // Scalar tier delegates to the util loops: bit-identical.
+    EXPECT_EQ(simd::Dot(a, b), util::Dot(a, b)) << "n=" << n;
+    EXPECT_EQ(simd::SquaredNorm(a), util::SquaredNorm(a)) << "n=" << n;
+
+    const double ref_dot = util::Dot(a, b);
+    const double ref_norm = util::SquaredNorm(a);
+    for (const Tier tier : SupportedTiers()) {
+      simd::ForceTier(tier);
+      EXPECT_LE(std::abs(simd::Dot(a, b) - ref_dot),
+                simd::kDotRelTolerance * dot_mass)
+          << simd::TierName(tier) << " n=" << n;
+      EXPECT_LE(std::abs(simd::SquaredNorm(a) - ref_norm),
+                simd::kDotRelTolerance * norm_mass)
+          << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Vector exp: ULP bound across the normal range, absolute bound in the
+// clamped underflow region.
+// ---------------------------------------------------------------------
+
+TEST(SimdExpTest, WithinUlpBoundOfStdExpAcrossNormalRange) {
+  util::Rng rng(4242);
+  std::vector<double> args;
+  // Dense random coverage of the full normal-result range plus the
+  // evaluator's actual operating region (small negative arguments).
+  for (int i = 0; i < 4000; ++i) args.push_back(rng.Uniform(-708.0, 709.0));
+  for (int i = 0; i < 4000; ++i) args.push_back(rng.Uniform(-40.0, 0.0));
+  // Edges: zero, ±tiny, the clamp boundaries, exact powers of two.
+  for (const double v : {0.0, 1e-300, -1e-300, -708.0, 709.0, 1.0, -1.0,
+                         64.0, -64.0, 0.5, -0.5}) {
+    args.push_back(v);
+  }
+
+  std::vector<double> out(args.size());
+  for (const Tier tier : SupportedTiers()) {
+    TierGuard guard;
+    simd::ForceTier(tier);
+    simd::ExpBlock(args, out);
+    for (size_t i = 0; i < args.size(); ++i) {
+      const double expected = std::exp(args[i]);
+      EXPECT_LE(UlpDiff(out[i], expected), simd::kVectorExpUlpBound)
+          << simd::TierName(tier) << " exp(" << args[i] << ") = " << out[i]
+          << " want " << expected;
+    }
+  }
+}
+
+TEST(SimdExpTest, ClampedUnderflowWithinAbsoluteBound) {
+  const std::vector<double> args = {-708.5, -709.0, -745.0, -1000.0, -1e6};
+  std::vector<double> out(args.size());
+  for (const Tier tier : SupportedTiers()) {
+    TierGuard guard;
+    simd::ForceTier(tier);
+    simd::ExpBlock(args, out);
+    for (size_t i = 0; i < args.size(); ++i) {
+      EXPECT_GE(out[i], 0.0) << simd::TierName(tier) << " " << args[i];
+      EXPECT_LE(std::abs(out[i] - std::exp(args[i])),
+                simd::kVectorExpUnderflowAbs)
+          << simd::TierName(tier) << " exp(" << args[i] << ") = " << out[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch: tier resolution, forcing, loud failures, the gauge.
+// ---------------------------------------------------------------------
+
+TEST(SimdDispatchTest, ActiveTierIsAlwaysSupported) {
+  EXPECT_TRUE(simd::TierSupported(simd::ActiveTier()));
+  EXPECT_TRUE(simd::TierCompiled(Tier::kScalar));
+  EXPECT_TRUE(simd::TierSupported(Tier::kScalar));
+}
+
+TEST(SimdDispatchTest, TierNamesRoundTripThroughParse) {
+  for (const Tier tier : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    EXPECT_EQ(simd::ParseTier(simd::TierName(tier)), tier);
+  }
+}
+
+TEST(SimdDispatchTest, ResolveNullOrEmptyAutoDetects) {
+  EXPECT_EQ(simd::ResolveTier(nullptr), simd::DetectBestTier());
+  EXPECT_EQ(simd::ResolveTier(""), simd::DetectBestTier());
+  // KARL_SIMD=scalar must force the fallback even on vector hardware.
+  EXPECT_EQ(simd::ResolveTier("scalar"), Tier::kScalar);
+}
+
+TEST(SimdDispatchTest, BestTierBeatsOrEqualsEveryOther) {
+  const Tier best = simd::DetectBestTier();
+  for (const Tier tier : SupportedTiers()) {
+    EXPECT_GE(static_cast<int>(best), static_cast<int>(tier));
+  }
+}
+
+TEST(SimdDispatchDeathTest, InvalidTierNameDiesLoudly) {
+  EXPECT_DEATH((void)simd::ParseTier("turbo"), "invalid KARL_SIMD value");
+  EXPECT_DEATH((void)simd::ResolveTier("AVX2"), "invalid KARL_SIMD value");
+}
+
+TEST(SimdDispatchDeathTest, UnsupportedTierRequestDiesLoudly) {
+  for (const Tier tier : {Tier::kAvx2, Tier::kAvx512}) {
+    if (simd::TierSupported(tier)) continue;
+    const std::string name(simd::TierName(tier));
+    EXPECT_DEATH((void)simd::ResolveTier(name.c_str()), "cannot run");
+    EXPECT_DEATH(simd::ForceTier(tier), "cannot force unsupported tier");
+  }
+}
+
+TEST(SimdDispatchTest, EngineBuildExportsTierGauge) {
+  util::Rng rng(5);
+  const data::Matrix pts = data::SampleClustered(100, 3, 2, 0.1, rng);
+  const std::vector<double> weights(100, 1.0);
+  telemetry::Registry registry;
+  EngineOptions options;
+  options.kernel = KernelParams::Gaussian(4.0);
+  options.metrics = &registry;
+  auto engine = Engine::Build(pts, weights, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(registry.GetGauge("karl_simd_tier")->value(),
+            static_cast<double>(simd::ActiveTier()));
+}
+
+// ---------------------------------------------------------------------
+// Engine-level cross-tier agreement: full queries (traversal + bounds +
+// leaf sums) under each vector tier agree with the scalar run within
+// the aggregate tolerance, and the auditor stays silent throughout.
+// ---------------------------------------------------------------------
+
+TEST(SimdEngineTest, ExactQueriesAgreeAcrossTiersWithinTolerance) {
+  util::Rng rng(31337);
+  const size_t d = 6;
+  const data::Matrix pts = data::SampleClustered(400, d, 3, 0.08, rng);
+  std::vector<double> weights(pts.rows());
+  for (auto& w : weights) w = rng.Uniform(0.05, 1.5);
+
+  for (const KernelParams& kernel :
+       {KernelParams::Gaussian(4.0), KernelParams::Laplacian(2.0),
+        KernelParams::Polynomial(0.2, 0.1, 3)}) {
+    EngineOptions options;
+    options.kernel = kernel;
+    options.audit_bounds = true;  // lb <= exact <= ub under every tier.
+    auto engine = Engine::Build(pts, weights, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<double> q(d);
+      for (auto& v : q) v = rng.Uniform(-0.1, 1.1);
+
+      TierGuard guard;
+      simd::ForceTier(Tier::kScalar);
+      const double scalar_exact = engine.value().Exact(q);
+      const double ekaq_scalar = engine.value().Ekaq(q, 0.1);
+
+      for (const Tier tier : SupportedTiers()) {
+        simd::ForceTier(tier);
+        // Positive weights: |exact| is itself the absolute mass. The 4x
+        // slack covers the extra reduction steps of the query traversal
+        // splitting one sum across many leaf ranges.
+        const double tol =
+            4.0 * simd::kLeafSumRelTolerance * (1.0 + std::abs(scalar_exact));
+        EXPECT_NEAR(engine.value().Exact(q), scalar_exact, tol)
+            << simd::TierName(tier) << " "
+            << core::KernelTypeToString(kernel.type) << " trial " << trial;
+        EXPECT_LE(std::abs(engine.value().Ekaq(q, 0.1) - scalar_exact),
+                  0.1 * std::abs(scalar_exact) + 1e-9)
+            << simd::TierName(tier) << " trial " << trial;
+        (void)ekaq_scalar;
+        const double tau = scalar_exact * 1.3 + 0.1;
+        EXPECT_EQ(engine.value().Tkaq(q, tau), scalar_exact > tau)
+            << simd::TierName(tier) << " trial " << trial;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// SoA layout unit coverage (the randomized round-trip fuzz lives in
+// property_test.cc P7).
+// ---------------------------------------------------------------------
+
+TEST(SoaBlockTest, LayoutRoundTripsAndPadsWithZeros) {
+  util::Rng rng(9);
+  const size_t n = 13, d = 5;  // 2 blocks, 3 pad lanes.
+  const data::Matrix pts = RandomMatrix(n, d, rng);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.Uniform(-1.0, 1.0);
+
+  SoaLeafBlocks soa;
+  soa.Build(pts, weights);
+  ASSERT_EQ(soa.rows(), n);
+  ASSERT_EQ(soa.dims(), d);
+  ASSERT_EQ(soa.num_blocks(), 2u);
+  EXPECT_GT(soa.MemoryUsageBytes(), 0u);
+
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(soa.WeightAt(i), weights[i]) << i;
+    for (size_t j = 0; j < d; ++j) {
+      EXPECT_EQ(soa.At(i, j), pts.Row(i)[j]) << i << "," << j;
+    }
+  }
+  // Pad lanes: weight 0 and coordinate 0, so a vector kernel evaluated
+  // over them contributes exactly 0.
+  for (size_t lane = n % SoaLeafBlocks::kBlockPoints;
+       lane < SoaLeafBlocks::kBlockPoints; ++lane) {
+    EXPECT_EQ(soa.BlockWeights(1)[lane], 0.0) << lane;
+    for (size_t j = 0; j < d; ++j) {
+      EXPECT_EQ(soa.BlockDim(1, j)[lane], 0.0) << lane << "," << j;
+    }
+  }
+}
+
+TEST(SoaBlockTest, EmptyInputStaysEmpty) {
+  SoaLeafBlocks soa;
+  EXPECT_TRUE(soa.empty());
+  soa.Build(data::Matrix(), {});
+  EXPECT_TRUE(soa.empty());
+  EXPECT_EQ(soa.num_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace karl
