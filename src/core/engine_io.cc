@@ -59,7 +59,7 @@ util::Status WriteEngineModel(std::ostream& out, const EngineModel& model) {
   // Data.
   WriteU64(out, model.points.rows());
   WriteU64(out, model.points.cols());
-  const auto& values = model.points.values();
+  const auto values = model.points.Flat();
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(double)));
   out.write(reinterpret_cast<const char*>(model.weights.data()),
@@ -139,7 +139,13 @@ util::Result<EngineModel> LoadEngineModel(const std::string& path) {
     return util::Status::IOError("cannot open " + path + ": " +
                                  util::ErrnoString(errno));
   }
-  return ReadEngineModel(in);
+  auto model = ReadEngineModel(in);
+  if (!model.ok()) {
+    // Corruption diagnostics must name the file, not just the defect.
+    return util::Status(model.status().code(),
+                        path + ": " + model.status().message());
+  }
+  return model;
 }
 
 util::Result<Engine> LoadEngine(const std::string& path) {

@@ -164,6 +164,56 @@ util::Result<Engine> Engine::Build(const data::Matrix& points,
   return engine;
 }
 
+util::Result<Engine> Engine::Attach(
+    std::unique_ptr<index::TreeIndex> plus_tree,
+    std::unique_ptr<index::TreeIndex> minus_tree, WeightingType weighting,
+    const EngineOptions& options) {
+  if (plus_tree == nullptr) {
+    return util::Status::InvalidArgument(
+        "attach requires a positive-side tree");
+  }
+  if (weighting == WeightingType::kTypeIII && minus_tree == nullptr) {
+    return util::Status::InvalidArgument(
+        "Type III weighting requires a negative-side tree");
+  }
+  KARL_RETURN_NOT_OK(options.kernel.Validate());
+
+  std::optional<util::Stopwatch> attach_timer;
+  if (options.metrics != nullptr) attach_timer.emplace();
+
+  Engine engine;
+  engine.options_ = options;
+  engine.weighting_type_ = weighting;
+  engine.plus_tree_ = std::move(plus_tree);
+  engine.minus_tree_ = std::move(minus_tree);
+
+  core::Evaluator::Options eval_options;
+  eval_options.bounds = options.bounds;
+  eval_options.max_level = options.max_level;
+  eval_options.audit_bounds = options.audit_bounds;
+  eval_options.metrics = options.metrics;
+  eval_options.tracer = options.tracer;
+  auto evaluator =
+      core::Evaluator::Create(engine.plus_tree_.get(),
+                              engine.minus_tree_.get(), options.kernel,
+                              eval_options);
+  if (!evaluator.ok()) return evaluator.status();
+  engine.evaluator_ = std::make_unique<core::Evaluator>(
+      std::move(evaluator).ValueOrDie());
+
+  if (options.metrics != nullptr) {
+    telemetry::Registry& reg = *options.metrics;
+    reg.GetGauge("karl_simd_tier")
+        ->Set(static_cast<double>(core::simd::ActiveTier()));
+    reg.GetCounter("karl_engine_attaches_total")->Increment();
+    reg.GetHistogram("karl_engine_attach_usec")
+        ->Record(attach_timer->ElapsedSeconds() * 1e6);
+    reg.GetGauge("karl_engine_index_bytes")
+        ->Set(static_cast<double>(engine.MemoryUsageBytes()));
+  }
+  return engine;
+}
+
 util::Result<Engine> Engine::BuildUniform(const data::Matrix& points,
                                           double common_weight,
                                           const EngineOptions& options) {

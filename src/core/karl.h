@@ -95,6 +95,17 @@ class Engine {
                                            double common_weight,
                                            const EngineOptions& options);
 
+  /// Wires an engine over trees that are already materialised — the mmap
+  /// snapshot attach path (registry/snapshot.h). Takes ownership of the
+  /// tree objects; any external memory the trees view (e.g. a mapping)
+  /// must outlive the engine. `minus_tree` may be null (Type I/II);
+  /// `weighting` is trusted from the snapshot header rather than
+  /// re-derived (the weights may live in mapped memory).
+  static util::Result<Engine> Attach(
+      std::unique_ptr<index::TreeIndex> plus_tree,
+      std::unique_ptr<index::TreeIndex> minus_tree, WeightingType weighting,
+      const EngineOptions& options);
+
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
 

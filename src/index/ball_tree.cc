@@ -92,36 +92,59 @@ size_t BallTree::Partition(const data::Matrix& input_points,
   return mid;
 }
 
-void BallTree::ComputeRegions() {
-  balls_.resize(nodes_.size());
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const Node& nd = nodes_[id];
-    balls_[id] = BoundingBall::FitRange(points(), nd.begin, nd.end);
+util::Result<std::unique_ptr<BallTree>> BallTree::Attach(
+    const TreeIndexView& view) {
+  const size_t num = view.nodes.size();
+  if (view.region_a.size() != num * view.cols ||
+      view.region_b.size() != num) {
+    return util::Status::InvalidArgument(
+        "attach: ball-tree centre/radius arrays have " +
+        std::to_string(view.region_a.size()) + "/" +
+        std::to_string(view.region_b.size()) + " values, want " +
+        std::to_string(num * view.cols) + "/" + std::to_string(num));
   }
+  std::unique_ptr<BallTree> tree(new BallTree());
+  KARL_RETURN_NOT_OK(tree->AttachShared(view));
+  tree->centers_ = view.region_a;
+  tree->radii_ = view.region_b;
+  return tree;
+}
+
+void BallTree::ComputeRegions() {
+  const size_t num = num_nodes();
+  const size_t d = points().cols();
+  owned_balls_.assign(num * d + num, 0.0);
+  double* centers = owned_balls_.data();
+  double* radii = centers + num * d;
+  for (size_t id = 0; id < num; ++id) {
+    const Node& nd = node(static_cast<NodeId>(id));
+    const BoundingBall ball = BoundingBall::FitRange(points(), nd.begin, nd.end);
+    std::copy(ball.center().begin(), ball.center().end(), centers + id * d);
+    radii[id] = ball.radius();
+  }
+  centers_ = {centers, num * d};
+  radii_ = {radii, num};
 }
 
 void BallTree::DistanceBounds(NodeId id, std::span<const double> q,
                               double* min_sq, double* max_sq) const {
-  // One centre-distance evaluation serves both bounds.
-  const double dist =
-      std::sqrt(util::SquaredDistance(q, balls_[id].center()));
-  const double min_dist = std::max(0.0, dist - balls_[id].radius());
-  const double max_dist = dist + balls_[id].radius();
-  *min_sq = min_dist * min_dist;
-  *max_sq = max_dist * max_dist;
+  const size_t d = points().cols();
+  BoundingBall::DistanceBoundsFlat(
+      centers_.subspan(static_cast<size_t>(id) * d, d), radii_[id], q,
+      min_sq, max_sq);
 }
 
 void BallTree::InnerProductBounds(NodeId id, std::span<const double> q,
                                   double* ip_min, double* ip_max) const {
-  balls_[id].InnerProductBounds(q, ip_min, ip_max);
+  const size_t d = points().cols();
+  BoundingBall::InnerProductBoundsFlat(
+      centers_.subspan(static_cast<size_t>(id) * d, d), radii_[id], q,
+      ip_min, ip_max);
 }
 
 size_t BallTree::MemoryUsageBytes() const {
-  size_t bytes = TreeIndex::MemoryUsageBytes();
-  for (const auto& ball : balls_) {
-    bytes += ball.center().size() * sizeof(double) + sizeof(BoundingBall);
-  }
-  return bytes;
+  return TreeIndex::MemoryUsageBytes() +
+         (centers_.size() + radii_.size()) * sizeof(double);
 }
 
 }  // namespace karl::index

@@ -13,12 +13,22 @@
 namespace karl::index {
 
 /// Ball-tree over a weighted point set.
+///
+/// Node balls are kept as a packed centre array (num_nodes × d) plus a
+/// radius array (num_nodes) rather than per-node objects, so an attached
+/// tree can read them straight out of a memory-mapped snapshot section.
 class BallTree final : public TreeIndex {
  public:
   /// Builds a ball-tree. Fails on empty input or mismatched weight count.
   static util::Result<std::unique_ptr<BallTree>> Build(
       const data::Matrix& points, std::span<const double> weights,
       size_t leaf_capacity);
+
+  /// Attaches over pre-built external storage (see TreeIndexView):
+  /// region_a = packed centres (num_nodes × d), region_b = radii
+  /// (num_nodes). Nothing is copied except the derived SoA mirror.
+  static util::Result<std::unique_ptr<BallTree>> Attach(
+      const TreeIndexView& view);
 
   void DistanceBounds(NodeId id, std::span<const double> q, double* min_sq,
                       double* max_sq) const override;
@@ -27,8 +37,15 @@ class BallTree final : public TreeIndex {
   IndexKind kind() const override { return IndexKind::kBallTree; }
   size_t MemoryUsageBytes() const override;
 
-  /// The bounding ball of a node (exposed for tests/diagnostics).
-  const BoundingBall& ball(NodeId id) const { return balls_[id]; }
+  std::span<const double> region_data_a() const override { return centers_; }
+  std::span<const double> region_data_b() const override { return radii_; }
+
+  /// Per-node ball accessors (tests/diagnostics).
+  std::span<const double> node_center(NodeId id) const {
+    const size_t d = points().cols();
+    return centers_.subspan(static_cast<size_t>(id) * d, d);
+  }
+  double node_radius(NodeId id) const { return radii_[id]; }
 
  private:
   BallTree() = default;
@@ -38,7 +55,10 @@ class BallTree final : public TreeIndex {
                    size_t end) override;
   void ComputeRegions() override;
 
-  std::vector<BoundingBall> balls_;
+  // Owned backing (build path): centres then radii.
+  std::vector<double> owned_balls_;
+  std::span<const double> centers_;  // num_nodes x d.
+  std::span<const double> radii_;    // num_nodes.
 };
 
 }  // namespace karl::index

@@ -45,9 +45,27 @@ double BoundingBall::MaxSquaredDistance(std::span<const double> q) const {
 
 void BoundingBall::InnerProductBounds(std::span<const double> q,
                                       double* ip_min, double* ip_max) const {
+  InnerProductBoundsFlat(center_, radius_, q, ip_min, ip_max);
+}
+
+void BoundingBall::DistanceBoundsFlat(std::span<const double> center,
+                                      double radius,
+                                      std::span<const double> q,
+                                      double* min_sq, double* max_sq) {
+  const double dist = std::sqrt(util::SquaredDistance(q, center));
+  const double min_dist = std::max(0.0, dist - radius);
+  const double max_dist = dist + radius;
+  *min_sq = min_dist * min_dist;
+  *max_sq = max_dist * max_dist;
+}
+
+void BoundingBall::InnerProductBoundsFlat(std::span<const double> center,
+                                          double radius,
+                                          std::span<const double> q,
+                                          double* ip_min, double* ip_max) {
   // q·p = q·c + q·(p-c); |q·(p-c)| <= ||q||·r by Cauchy–Schwarz.
-  const double qc = util::Dot(q, center_);
-  const double slack = std::sqrt(util::SquaredNorm(q)) * radius_;
+  const double qc = util::Dot(q, center);
+  const double slack = std::sqrt(util::SquaredNorm(q)) * radius;
   *ip_min = qc - slack;
   *ip_max = qc + slack;
 }

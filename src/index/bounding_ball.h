@@ -32,6 +32,18 @@ class BoundingBall {
   void InnerProductBounds(std::span<const double> q, double* ip_min,
                           double* ip_max) const;
 
+  /// Flat variants operating on a raw (centre, radius) pair — the
+  /// representation the ball-tree keeps its per-node geometry in
+  /// (packed, possibly memory-mapped). One centre-distance evaluation
+  /// serves both squared-distance bounds.
+  static void DistanceBoundsFlat(std::span<const double> center,
+                                 double radius, std::span<const double> q,
+                                 double* min_sq, double* max_sq);
+  static void InnerProductBoundsFlat(std::span<const double> center,
+                                     double radius,
+                                     std::span<const double> q,
+                                     double* ip_min, double* ip_max);
+
   /// Ball centre.
   const std::vector<double>& center() const { return center_; }
 

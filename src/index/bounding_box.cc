@@ -79,14 +79,26 @@ double BoundingBox::MaxSquaredDistance(std::span<const double> q) const {
 void BoundingBox::SquaredDistanceBounds(std::span<const double> q,
                                         double* min_sq,
                                         double* max_sq) const {
-  KARL_DCHECK(q.size() == lower_.size())
+  SquaredDistanceBoundsFlat(lower_, upper_, q, min_sq, max_sq);
+}
+
+void BoundingBox::InnerProductBounds(std::span<const double> q,
+                                     double* ip_min, double* ip_max) const {
+  InnerProductBoundsFlat(lower_, upper_, q, ip_min, ip_max);
+}
+
+void BoundingBox::SquaredDistanceBoundsFlat(std::span<const double> lower,
+                                            std::span<const double> upper,
+                                            std::span<const double> q,
+                                            double* min_sq, double* max_sq) {
+  KARL_DCHECK(q.size() == lower.size() && q.size() == upper.size())
       << ": query has dimension " << q.size() << ", box has "
-      << lower_.size();
+      << lower.size();
   double min_s = 0.0;
   double max_s = 0.0;
   for (size_t j = 0; j < q.size(); ++j) {
-    const double to_lower = q[j] - lower_[j];
-    const double to_upper = upper_[j] - q[j];
+    const double to_lower = q[j] - lower[j];
+    const double to_upper = upper[j] - q[j];
     if (to_lower < 0.0) {
       min_s += to_lower * to_lower;
     } else if (to_upper < 0.0) {
@@ -99,18 +111,20 @@ void BoundingBox::SquaredDistanceBounds(std::span<const double> q,
   *max_sq = max_s;
 }
 
-void BoundingBox::InnerProductBounds(std::span<const double> q,
-                                     double* ip_min, double* ip_max) const {
-  KARL_DCHECK(q.size() == lower_.size())
+void BoundingBox::InnerProductBoundsFlat(std::span<const double> lower,
+                                         std::span<const double> upper,
+                                         std::span<const double> q,
+                                         double* ip_min, double* ip_max) {
+  KARL_DCHECK(q.size() == lower.size() && q.size() == upper.size())
       << ": query has dimension " << q.size() << ", box has "
-      << lower_.size();
+      << lower.size();
   double lo = 0.0;
   double hi = 0.0;
   for (size_t j = 0; j < q.size(); ++j) {
     // q_j * p_j over p_j in [l_j, u_j]: extremes at the interval ends,
     // which end depends on the sign of q_j.
-    const double a = q[j] * lower_[j];
-    const double b = q[j] * upper_[j];
+    const double a = q[j] * lower[j];
+    const double b = q[j] * upper[j];
     lo += std::min(a, b);
     hi += std::max(a, b);
   }

@@ -39,6 +39,19 @@ class BoundingBox {
   void InnerProductBounds(std::span<const double> q, double* ip_min,
                           double* ip_max) const;
 
+  /// Flat-span variants of the two bound computations, operating on raw
+  /// corner arrays — the representation the trees keep their per-node
+  /// geometry in (packed, possibly memory-mapped). The member functions
+  /// above delegate here.
+  static void SquaredDistanceBoundsFlat(std::span<const double> lower,
+                                        std::span<const double> upper,
+                                        std::span<const double> q,
+                                        double* min_sq, double* max_sq);
+  static void InnerProductBoundsFlat(std::span<const double> lower,
+                                     std::span<const double> upper,
+                                     std::span<const double> q,
+                                     double* ip_min, double* ip_max);
+
   /// Lower corner (per-dimension minima).
   const std::vector<double>& lower() const { return lower_; }
 

@@ -55,30 +55,58 @@ size_t KdTree::Partition(const data::Matrix& input_points,
   return mid;
 }
 
-void KdTree::ComputeRegions() {
-  boxes_.resize(nodes_.size());
-  for (size_t id = 0; id < nodes_.size(); ++id) {
-    const Node& nd = nodes_[id];
-    boxes_[id] = BoundingBox::FitRange(points(), nd.begin, nd.end);
+util::Result<std::unique_ptr<KdTree>> KdTree::Attach(
+    const TreeIndexView& view) {
+  const size_t want = view.nodes.size() * view.cols;
+  if (view.region_a.size() != want || view.region_b.size() != want) {
+    return util::Status::InvalidArgument(
+        "attach: kd-tree corner arrays have " +
+        std::to_string(view.region_a.size()) + "/" +
+        std::to_string(view.region_b.size()) + " values, want " +
+        std::to_string(want));
   }
+  std::unique_ptr<KdTree> tree(new KdTree());
+  KARL_RETURN_NOT_OK(tree->AttachShared(view));
+  tree->lower_ = view.region_a;
+  tree->upper_ = view.region_b;
+  return tree;
+}
+
+void KdTree::ComputeRegions() {
+  const size_t num = num_nodes();
+  const size_t d = points().cols();
+  owned_corners_.assign(2 * num * d, 0.0);
+  double* lo = owned_corners_.data();
+  double* up = lo + num * d;
+  for (size_t id = 0; id < num; ++id) {
+    const Node& nd = node(static_cast<NodeId>(id));
+    const BoundingBox box = BoundingBox::FitRange(points(), nd.begin, nd.end);
+    std::copy(box.lower().begin(), box.lower().end(), lo + id * d);
+    std::copy(box.upper().begin(), box.upper().end(), up + id * d);
+  }
+  lower_ = {lo, num * d};
+  upper_ = {up, num * d};
 }
 
 void KdTree::DistanceBounds(NodeId id, std::span<const double> q,
                             double* min_sq, double* max_sq) const {
-  boxes_[id].SquaredDistanceBounds(q, min_sq, max_sq);
+  const size_t d = points().cols();
+  BoundingBox::SquaredDistanceBoundsFlat(
+      lower_.subspan(static_cast<size_t>(id) * d, d),
+      upper_.subspan(static_cast<size_t>(id) * d, d), q, min_sq, max_sq);
 }
 
 void KdTree::InnerProductBounds(NodeId id, std::span<const double> q,
                                 double* ip_min, double* ip_max) const {
-  boxes_[id].InnerProductBounds(q, ip_min, ip_max);
+  const size_t d = points().cols();
+  BoundingBox::InnerProductBoundsFlat(
+      lower_.subspan(static_cast<size_t>(id) * d, d),
+      upper_.subspan(static_cast<size_t>(id) * d, d), q, ip_min, ip_max);
 }
 
 size_t KdTree::MemoryUsageBytes() const {
-  size_t bytes = TreeIndex::MemoryUsageBytes();
-  for (const auto& box : boxes_) {
-    bytes += 2 * box.dimensions() * sizeof(double) + sizeof(BoundingBox);
-  }
-  return bytes;
+  return TreeIndex::MemoryUsageBytes() +
+         (lower_.size() + upper_.size()) * sizeof(double);
 }
 
 }  // namespace karl::index

@@ -13,12 +13,22 @@
 namespace karl::index {
 
 /// kd-tree over a weighted point set.
+///
+/// Node rectangles are kept as two packed corner arrays (lower and upper,
+/// each num_nodes × d) rather than per-node objects, so an attached tree
+/// can read them straight out of a memory-mapped snapshot section.
 class KdTree final : public TreeIndex {
  public:
   /// Builds a kd-tree. Fails on empty input or mismatched weight count.
   static util::Result<std::unique_ptr<KdTree>> Build(
       const data::Matrix& points, std::span<const double> weights,
       size_t leaf_capacity);
+
+  /// Attaches over pre-built external storage (see TreeIndexView):
+  /// region_a = packed lower corners, region_b = packed upper corners,
+  /// each num_nodes × d. Nothing is copied except the derived SoA mirror.
+  static util::Result<std::unique_ptr<KdTree>> Attach(
+      const TreeIndexView& view);
 
   void DistanceBounds(NodeId id, std::span<const double> q, double* min_sq,
                       double* max_sq) const override;
@@ -27,8 +37,18 @@ class KdTree final : public TreeIndex {
   IndexKind kind() const override { return IndexKind::kKdTree; }
   size_t MemoryUsageBytes() const override;
 
-  /// The bounding rectangle of a node (exposed for tests/diagnostics).
-  const BoundingBox& box(NodeId id) const { return boxes_[id]; }
+  std::span<const double> region_data_a() const override { return lower_; }
+  std::span<const double> region_data_b() const override { return upper_; }
+
+  /// Per-node corner accessors (tests/diagnostics).
+  std::span<const double> node_lower(NodeId id) const {
+    const size_t d = points().cols();
+    return lower_.subspan(static_cast<size_t>(id) * d, d);
+  }
+  std::span<const double> node_upper(NodeId id) const {
+    const size_t d = points().cols();
+    return upper_.subspan(static_cast<size_t>(id) * d, d);
+  }
 
  private:
   KdTree() = default;
@@ -38,7 +58,10 @@ class KdTree final : public TreeIndex {
                    size_t end) override;
   void ComputeRegions() override;
 
-  std::vector<BoundingBox> boxes_;
+  // Owned backing (build path): lower corners then upper corners.
+  std::vector<double> owned_corners_;
+  std::span<const double> lower_;  // num_nodes x d.
+  std::span<const double> upper_;  // num_nodes x d.
 };
 
 }  // namespace karl::index

@@ -29,44 +29,46 @@ void TreeIndex::BuildShared(const data::Matrix& input_points,
 
   leaf_capacity_ = leaf_capacity;
   const size_t n = input_points.rows();
-  perm_.resize(n);
-  std::iota(perm_.begin(), perm_.end(), size_t{0});
+  owned_perm_.resize(n);
+  std::iota(owned_perm_.begin(), owned_perm_.end(), size_t{0});
 
   // Phase 1: recursive structure build over the permutation. Explicit
   // stack to stay robust on deep trees (leaf capacity 1, skewed splits).
-  nodes_.clear();
+  owned_nodes_.clear();
   struct Frame {
     NodeId id;
     size_t begin, end;
   };
   std::vector<Frame> stack;
-  nodes_.push_back(Node{kInvalidNode, kInvalidNode, 0,
-                        static_cast<uint32_t>(n), 0});
+  owned_nodes_.push_back(Node{kInvalidNode, kInvalidNode, 0,
+                              static_cast<uint32_t>(n), 0});
   stack.push_back({0, 0, n});
   max_depth_ = 0;
 
   while (!stack.empty()) {
     const Frame frame = stack.back();
     stack.pop_back();
-    Node& nd = nodes_[frame.id];
+    Node& nd = owned_nodes_[frame.id];
     if (nd.count() <= leaf_capacity) continue;
 
     const size_t mid =
-        Partition(input_points, perm_, frame.begin, frame.end);
+        Partition(input_points, owned_perm_, frame.begin, frame.end);
     // A degenerate split (all points identical) keeps the node a leaf.
     if (mid <= frame.begin || mid >= frame.end) continue;
 
-    const uint16_t child_depth = static_cast<uint16_t>(nodes_[frame.id].depth + 1);
-    const NodeId left_id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(Node{kInvalidNode, kInvalidNode,
-                          static_cast<uint32_t>(frame.begin),
-                          static_cast<uint32_t>(mid), child_depth});
-    const NodeId right_id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(Node{kInvalidNode, kInvalidNode,
-                          static_cast<uint32_t>(mid),
-                          static_cast<uint32_t>(frame.end), child_depth});
-    nodes_[frame.id].left = left_id;
-    nodes_[frame.id].right = right_id;
+    const uint16_t child_depth =
+        static_cast<uint16_t>(owned_nodes_[frame.id].depth + 1);
+    const NodeId left_id = static_cast<NodeId>(owned_nodes_.size());
+    owned_nodes_.push_back(Node{kInvalidNode, kInvalidNode,
+                                static_cast<uint32_t>(frame.begin),
+                                static_cast<uint32_t>(mid), child_depth});
+    const NodeId right_id = static_cast<NodeId>(owned_nodes_.size());
+    owned_nodes_.push_back(Node{kInvalidNode, kInvalidNode,
+                                static_cast<uint32_t>(mid),
+                                static_cast<uint32_t>(frame.end),
+                                child_depth});
+    owned_nodes_[frame.id].left = left_id;
+    owned_nodes_[frame.id].right = right_id;
     max_depth_ = std::max(max_depth_, static_cast<size_t>(child_depth));
     stack.push_back({left_id, frame.begin, mid});
     stack.push_back({right_id, mid, frame.end});
@@ -75,52 +77,146 @@ void TreeIndex::BuildShared(const data::Matrix& input_points,
   // Phase 2: materialise the permuted point matrix and weights.
   const size_t d = input_points.cols();
   points_ = data::Matrix(n, d);
-  weights_.resize(n);
+  owned_weights_.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    const auto src = input_points.Row(perm_[i]);
+    const auto src = input_points.Row(owned_perm_[i]);
     auto dst = points_.MutableRow(i);
     for (size_t j = 0; j < d; ++j) dst[j] = src[j];
-    weights_[i] = input_weights[perm_[i]];
+    owned_weights_[i] = input_weights[owned_perm_[i]];
   }
 
   // Phase 3: blocked SoA mirror for the vectorized leaf kernels.
-  soa_.Build(points_, weights_);
+  soa_.Build(points_, owned_weights_);
 
-  // Phase 4: aggregates and subclass region geometry.
+  // Phase 4: aggregates, then point the read-side spans at the owned
+  // storage (all vectors have reached their final size), then the
+  // subclass region geometry (ComputeRegions reads via the spans).
   ComputeSummaries();
+  nodes_ = owned_nodes_;
+  weights_ = owned_weights_;
+  perm_ = owned_perm_;
+  weight_sums_ = owned_weight_sums_;
+  sqnorm_sums_ = owned_sqnorm_sums_;
+  point_sums_ = owned_point_sums_;
   ComputeRegions();
+}
+
+util::Status TreeIndex::AttachShared(const TreeIndexView& view) {
+  const size_t n = view.rows;
+  const size_t d = view.cols;
+  const size_t num = view.nodes.size();
+  if (num == 0 || n == 0 || d == 0) {
+    return util::Status::InvalidArgument(
+        "attach: empty tree (nodes=" + std::to_string(num) +
+        ", rows=" + std::to_string(n) + ", cols=" + std::to_string(d) + ")");
+  }
+  if (view.leaf_capacity < 1) {
+    return util::Status::InvalidArgument("attach: leaf capacity must be >= 1");
+  }
+  if (view.weights.size() != n || view.perm.size() != n) {
+    return util::Status::InvalidArgument(
+        "attach: weights/perm length does not match row count");
+  }
+  if (view.weight_sums.size() != num || view.sqnorm_sums.size() != num ||
+      view.point_sums.size() != num * d) {
+    return util::Status::InvalidArgument(
+        "attach: aggregate array length does not match node count");
+  }
+  // Structural sweep: the root covers every point, every internal node's
+  // children appear after it and tile its range exactly. This is what the
+  // traversal and the bottom-up aggregate contract rely on; a snapshot
+  // that passed the checksum but violates these is rejected rather than
+  // trusted.
+  const auto& nodes = view.nodes;
+  if (nodes[0].begin != 0 || nodes[0].end != n) {
+    return util::Status::InvalidArgument("attach: root does not cover all points");
+  }
+  for (size_t id = 0; id < num; ++id) {
+    const TreeIndex::Node& nd = nodes[id];
+    if (nd.begin > nd.end || nd.end > n) {
+      return util::Status::InvalidArgument(
+          "attach: node " + std::to_string(id) + " has bad point range");
+    }
+    const bool has_left = nd.left != kInvalidNode;
+    const bool has_right = nd.right != kInvalidNode;
+    if (has_left != has_right) {
+      return util::Status::InvalidArgument(
+          "attach: node " + std::to_string(id) + " has exactly one child");
+    }
+    if (has_left) {
+      if (nd.left <= static_cast<NodeId>(id) ||
+          nd.right <= static_cast<NodeId>(id) ||
+          static_cast<size_t>(nd.left) >= num ||
+          static_cast<size_t>(nd.right) >= num) {
+        return util::Status::InvalidArgument(
+            "attach: node " + std::to_string(id) + " has bad child ids");
+      }
+      const TreeIndex::Node& l = nodes[nd.left];
+      const TreeIndex::Node& r = nodes[nd.right];
+      if (l.begin != nd.begin || l.end != r.begin || r.end != nd.end) {
+        return util::Status::InvalidArgument(
+            "attach: children of node " + std::to_string(id) +
+            " do not tile its range");
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (view.perm[i] >= n) {
+      return util::Status::InvalidArgument(
+          "attach: permutation entry out of range");
+    }
+  }
+
+  leaf_capacity_ = view.leaf_capacity;
+  max_depth_ = view.max_depth;
+  points_ = data::Matrix::View(n, d, view.points);
+  nodes_ = view.nodes;
+  weights_ = view.weights;
+  perm_ = view.perm;
+  weight_sums_ = view.weight_sums;
+  sqnorm_sums_ = view.sqnorm_sums;
+  point_sums_ = view.point_sums;
+
+  // The SoA mirror is derived state and always rebuilt (same contract as
+  // LoadEngine): it is the only per-model allocation of an attach.
+  soa_.Build(points_, weights_);
+  return util::Status::OK();
 }
 
 void TreeIndex::ComputeSummaries() {
   const size_t d = points_.cols();
-  const size_t num = nodes_.size();
-  weight_sums_.assign(num, 0.0);
-  sqnorm_sums_.assign(num, 0.0);
-  point_sums_.assign(num * d, 0.0);
+  const size_t num = owned_nodes_.size();
+  owned_weight_sums_.assign(num, 0.0);
+  owned_sqnorm_sums_.assign(num, 0.0);
+  owned_point_sums_.assign(num * d, 0.0);
 
-  // Bottom-up: children appear after parents in nodes_, so a reverse pass
-  // can merge child aggregates into parents. Leaves are computed directly.
+  // Bottom-up: children appear after parents in the node array, so a
+  // reverse pass can merge child aggregates into parents. Leaves are
+  // computed directly.
   for (size_t idx = num; idx-- > 0;) {
-    const Node& nd = nodes_[idx];
-    double* sums = point_sums_.data() + idx * d;
+    const Node& nd = owned_nodes_[idx];
+    double* sums = owned_point_sums_.data() + idx * d;
     if (nd.is_leaf()) {
       double w_sum = 0.0;
       double b_sum = 0.0;
       for (size_t i = nd.begin; i < nd.end; ++i) {
-        const double w = weights_[i];
+        const double w = owned_weights_[i];
         const auto row = points_.Row(i);
         w_sum += w;
         b_sum += w * util::SquaredNorm(row);
         for (size_t j = 0; j < d; ++j) sums[j] += w * row[j];
       }
-      weight_sums_[idx] = w_sum;
-      sqnorm_sums_[idx] = b_sum;
+      owned_weight_sums_[idx] = w_sum;
+      owned_sqnorm_sums_[idx] = b_sum;
     } else {
-      weight_sums_[idx] = weight_sums_[nd.left] + weight_sums_[nd.right];
-      sqnorm_sums_[idx] = sqnorm_sums_[nd.left] + sqnorm_sums_[nd.right];
-      const double* left = point_sums_.data() + static_cast<size_t>(nd.left) * d;
+      owned_weight_sums_[idx] =
+          owned_weight_sums_[nd.left] + owned_weight_sums_[nd.right];
+      owned_sqnorm_sums_[idx] =
+          owned_sqnorm_sums_[nd.left] + owned_sqnorm_sums_[nd.right];
+      const double* left =
+          owned_point_sums_.data() + static_cast<size_t>(nd.left) * d;
       const double* right =
-          point_sums_.data() + static_cast<size_t>(nd.right) * d;
+          owned_point_sums_.data() + static_cast<size_t>(nd.right) * d;
       for (size_t j = 0; j < d; ++j) sums[j] = left[j] + right[j];
     }
   }
@@ -132,7 +228,7 @@ size_t TreeIndex::MemoryUsageBytes() const {
           weights_.size()) *
              sizeof(double) +
          perm_.size() * sizeof(size_t) +
-         points_.values().size() * sizeof(double) + soa_.MemoryUsageBytes();
+         points_.Flat().size() * sizeof(double) + soa_.MemoryUsageBytes();
 }
 
 }  // namespace karl::index

@@ -1,9 +1,9 @@
 // Common interface and storage for KARL's hierarchical indexes (kd-tree,
 // ball-tree).
 //
-// A TreeIndex owns a permuted copy of the point set (each node's points are
-// contiguous), per-point weights, and per-node *weighted aggregates* that
-// let KARL's linear bound functions be evaluated in O(d) per node
+// A TreeIndex holds a permuted copy of the point set (each node's points
+// are contiguous), per-point weights, and per-node *weighted aggregates*
+// that let KARL's linear bound functions be evaluated in O(d) per node
 // (paper Lemma 2 / Lemma 5):
 //
 //   weight_sum            w_P  = Σ w_i
@@ -12,6 +12,14 @@
 //
 // Concrete trees supply the node geometry (distance and inner-product
 // bounds); everything else is shared.
+//
+// Storage duality: a tree is either *built* (BuildShared — it owns every
+// array) or *attached* (AttachShared — node, point, weight, aggregate and
+// geometry arrays are non-owning views into caller-provided memory,
+// typically an mmap(2)-ed snapshot; see registry/snapshot.h). All read
+// accessors go through spans that point at whichever storage is active,
+// so the query path is identical for both. Only the blocked SoA leaf
+// mirror is always rebuilt in memory — it is derived state.
 
 #ifndef KARL_INDEX_TREE_INDEX_H_
 #define KARL_INDEX_TREE_INDEX_H_
@@ -23,6 +31,7 @@
 
 #include "core/simd/soa_block.h"
 #include "data/matrix.h"
+#include "util/status.h"
 
 namespace karl::index {
 
@@ -39,21 +48,28 @@ enum class IndexKind {
 /// Human-readable name ("kd-tree" / "ball-tree").
 std::string_view IndexKindToString(IndexKind kind);
 
+struct TreeIndexView;
+
 /// Abstract hierarchical index over a weighted point set.
 class TreeIndex {
  public:
   /// Tree node: children plus the contiguous range of permuted points it
   /// covers. Leaves have left == right == kInvalidNode.
+  ///
+  /// The layout is part of the snapshot format (registry/snapshot.h):
+  /// 20 bytes, little-endian, two zero padding bytes after `depth`.
   struct Node {
     NodeId left = kInvalidNode;
     NodeId right = kInvalidNode;
     uint32_t begin = 0;  ///< First permuted point index (inclusive).
     uint32_t end = 0;    ///< Last permuted point index (exclusive).
     uint16_t depth = 0;  ///< Root has depth 0.
+    uint16_t pad = 0;    ///< Always zero (reserved, keeps layout explicit).
 
     bool is_leaf() const { return left == kInvalidNode; }
     size_t count() const { return end - begin; }
   };
+  static_assert(sizeof(Node) == 20, "Node layout is a serialized format");
 
   virtual ~TreeIndex() = default;
 
@@ -68,6 +84,9 @@ class TreeIndex {
 
   /// Node accessor.
   const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// All nodes, in build order (children after parents).
+  std::span<const Node> nodes() const { return nodes_; }
 
   /// Deepest node depth (root = 0).
   size_t max_depth() const { return max_depth_; }
@@ -85,8 +104,9 @@ class TreeIndex {
   std::span<const size_t> original_indices() const { return perm_; }
 
   /// Blocked SoA mirror of points()/weights() in the same permuted
-  /// order, built once per (re)build — the layout the vectorized leaf
-  /// kernels (core/simd) read. Node ranges index into it directly.
+  /// order, built once per (re)build or attach — the layout the
+  /// vectorized leaf kernels (core/simd) read. Node ranges index into it
+  /// directly.
   const core::simd::SoaLeafBlocks& soa() const { return soa_; }
 
   /// w_P of the node (Σ w_i).
@@ -98,8 +118,20 @@ class TreeIndex {
   /// a_P of the node (Σ w_i p_i), as a length-d span.
   std::span<const double> weighted_point_sum(NodeId id) const {
     const size_t d = points_.cols();
-    return {point_sums_.data() + static_cast<size_t>(id) * d, d};
+    return point_sums_.subspan(static_cast<size_t>(id) * d, d);
   }
+
+  /// Whole per-node aggregate arrays (snapshot serialization).
+  std::span<const double> node_weight_sums() const { return weight_sums_; }
+  std::span<const double> node_sqnorm_sums() const { return sqnorm_sums_; }
+  std::span<const double> node_point_sums() const { return point_sums_; }
+
+  /// Flat per-node region geometry, for snapshot serialization. The
+  /// meaning is kind-specific: kd-tree → (box lower corners num_nodes×d,
+  /// box upper corners num_nodes×d); ball-tree → (ball centres
+  /// num_nodes×d, ball radii num_nodes).
+  virtual std::span<const double> region_data_a() const = 0;
+  virtual std::span<const double> region_data_b() const = 0;
 
   /// Squared-distance bounds of the node region from `q`:
   /// mindist(q,R)² and maxdist(q,R)².
@@ -113,7 +145,9 @@ class TreeIndex {
   /// The concrete index kind.
   virtual IndexKind kind() const = 0;
 
-  /// Total heap bytes used by node storage (diagnostics).
+  /// Total bytes of index data reachable from this tree (diagnostics).
+  /// For an attached tree this counts the mapped sections it references,
+  /// not heap — mapped pages are resident memory all the same.
   virtual size_t MemoryUsageBytes() const;
 
  protected:
@@ -125,6 +159,15 @@ class TreeIndex {
   void BuildShared(const data::Matrix& input_points,
                    std::span<const double> input_weights,
                    size_t leaf_capacity);
+
+  /// Shared attach driver: adopts pre-built arrays (typically views into
+  /// an mmap-ed snapshot section — see registry/snapshot.h) without
+  /// copying points, nodes, weights, or aggregates; only the derived SoA
+  /// leaf mirror is rebuilt. Validates structural invariants (root
+  /// coverage, child ranges, array lengths) and fails rather than adopt
+  /// an inconsistent tree. Region geometry stays with the subclass
+  /// (see KdTree::Attach / BallTree::Attach).
+  util::Status AttachShared(const TreeIndexView& view);
 
   /// Subclass hook: reorders perm[begin, end) (indices into
   /// `input_points`) and returns the split position `mid` in (begin, end)
@@ -138,20 +181,49 @@ class TreeIndex {
   /// geometry from its contiguous range.
   virtual void ComputeRegions() = 0;
 
-  std::vector<Node> nodes_;
-
  private:
   void ComputeSummaries();
 
-  data::Matrix points_;          // Permuted copy of the input.
-  std::vector<double> weights_;  // Permuted weights.
-  core::simd::SoaLeafBlocks soa_;  // Blocked mirror of the two above.
-  std::vector<size_t> perm_;     // Permuted position -> original index.
-  std::vector<double> weight_sums_;
-  std::vector<double> sqnorm_sums_;
-  std::vector<double> point_sums_;  // num_nodes x d, flattened.
+  // Owned storage; empty for an attached tree.
+  std::vector<Node> owned_nodes_;
+  std::vector<double> owned_weights_;
+  std::vector<size_t> owned_perm_;
+  std::vector<double> owned_weight_sums_;
+  std::vector<double> owned_sqnorm_sums_;
+  std::vector<double> owned_point_sums_;  // num_nodes x d, flattened.
+
+  // Active storage: spans over the owned vectors (built tree) or over
+  // caller-provided memory (attached tree). All read accessors go here.
+  std::span<const Node> nodes_;
+  std::span<const double> weights_;
+  std::span<const size_t> perm_;
+  std::span<const double> weight_sums_;
+  std::span<const double> sqnorm_sums_;
+  std::span<const double> point_sums_;
+
+  data::Matrix points_;  // Permuted copy of the input, or a view.
+  core::simd::SoaLeafBlocks soa_;  // Derived mirror; always rebuilt.
   size_t leaf_capacity_ = 0;
   size_t max_depth_ = 0;
+};
+
+/// Non-owning description of a fully materialised tree, used to attach a
+/// TreeIndex over external (e.g. mmap-ed) memory. All spans must stay
+/// valid for the lifetime of the attached tree.
+struct TreeIndexView {
+  std::span<const TreeIndex::Node> nodes;
+  size_t rows = 0;
+  size_t cols = 0;
+  const double* points = nullptr;       ///< rows × cols, row-major.
+  std::span<const double> weights;      ///< rows.
+  std::span<const size_t> perm;         ///< rows.
+  std::span<const double> weight_sums;  ///< num_nodes.
+  std::span<const double> sqnorm_sums;  ///< num_nodes.
+  std::span<const double> point_sums;   ///< num_nodes × cols.
+  std::span<const double> region_a;     ///< kd: lower; ball: centres.
+  std::span<const double> region_b;     ///< kd: upper; ball: radii.
+  size_t leaf_capacity = 0;
+  size_t max_depth = 0;
 };
 
 }  // namespace karl::index

@@ -1,0 +1,396 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "core/engine_io.h"
+#include "telemetry/metrics.h"
+#include "util/stopwatch.h"
+
+namespace karl::registry {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Artifact kinds a registry entry can point at, decided by file magic
+// (not extension) so --model works with any filename.
+enum class ArtifactKind { kSnapshot, kLegacy, kUnknown };
+
+ArtifactKind SniffKind(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good()) return ArtifactKind::kUnknown;
+  if (std::string_view(magic, 4) == "KSNP") return ArtifactKind::kSnapshot;
+  if (std::string_view(magic, 4) == "KARL") return ArtifactKind::kLegacy;
+  return ArtifactKind::kUnknown;
+}
+
+// Model name of a scanned file: the stem ("home.snap" → "home").
+std::string StemName(const fs::path& path) { return path.stem().string(); }
+
+int64_t MtimeNanos(const fs::path& path, std::error_code& ec) {
+  const auto t = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  return static_cast<int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<ModelRegistry>> ModelRegistry::Open(
+    const std::string& model_dir, const RegistryOptions& options) {
+  std::unique_ptr<ModelRegistry> registry(
+      new ModelRegistry(model_dir, options));
+  if (!model_dir.empty()) {
+    std::map<std::string, Entry> found;
+    KARL_RETURN_NOT_OK(registry->ScanDir(&found));
+    util::MutexLock lock(&registry->mu_);
+    registry->models_ = std::move(found);
+  }
+  return registry;
+}
+
+util::Status ModelRegistry::ScanDir(
+    std::map<std::string, Entry>* found) const {
+  std::error_code ec;
+  fs::directory_iterator it(model_dir_, ec);
+  if (ec) {
+    return util::Status::IOError("cannot scan model dir " + model_dir_ +
+                                 ": " + ec.message());
+  }
+  for (const auto& dirent : it) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const fs::path& p = dirent.path();
+    const std::string ext = p.extension().string();
+    if (ext != ".snap" && ext != ".bin") continue;
+    const std::string name = StemName(p);
+    if (name.empty()) continue;
+    Entry entry;
+    entry.path = p.string();
+    entry.from_scan = true;
+    entry.file_bytes = static_cast<uint64_t>(fs::file_size(p, ec));
+    entry.mtime_ns = MtimeNanos(p, ec);
+    // Same stem in both formats: the snapshot wins (it is the compiled
+    // artifact of the .bin next to it).
+    auto existing = found->find(name);
+    if (existing != found->end() &&
+        fs::path(existing->second.path).extension() == ".snap") {
+      continue;
+    }
+    (*found)[name] = std::move(entry);
+  }
+  return util::Status::OK();
+}
+
+util::Status ModelRegistry::AddModelFile(const std::string& name,
+                                         const std::string& path) {
+  if (name.empty()) {
+    return util::Status::InvalidArgument("model name must not be empty");
+  }
+  std::error_code ec;
+  const uint64_t bytes = static_cast<uint64_t>(fs::file_size(path, ec));
+  if (ec) {
+    return util::Status::IOError("cannot stat model file " + path + ": " +
+                                 ec.message());
+  }
+  Entry entry;
+  entry.path = path;
+  entry.file_bytes = bytes;
+  entry.mtime_ns = MtimeNanos(path, ec);
+  util::MutexLock lock(&mu_);
+  models_[name] = std::move(entry);
+  return util::Status::OK();
+}
+
+void ModelRegistry::AdoptEngine(const std::string& name,
+                                const Engine* engine) {
+  std::shared_ptr<LoadedModel> loaded(new LoadedModel());
+  loaded->external_ = engine;
+  loaded->resident_bytes_ = engine->MemoryUsageBytes();
+  Entry entry;
+  entry.adopted = true;
+  entry.loaded = std::move(loaded);
+  util::MutexLock lock(&mu_);
+  models_[name] = std::move(entry);
+  UpdateResidentGauge();
+}
+
+util::Result<ModelHandle> ModelRegistry::Acquire(const std::string& name) {
+  util::MutexLock lock(&mu_);
+  std::string resolved = name;
+  if (resolved.empty()) {
+    resolved = options_.default_model;
+    if (resolved.empty()) {
+      if (models_.size() == 1) {
+        resolved = models_.begin()->first;
+      } else {
+        return util::Status::InvalidArgument(
+            "request names no model and the registry serves " +
+            std::to_string(models_.size()) +
+            " models with no default configured");
+      }
+    }
+  }
+  auto it = models_.find(resolved);
+  if (it == models_.end()) {
+    std::string known;
+    for (const auto& [model_name, entry] : models_) {
+      if (!known.empty()) known += ", ";
+      known += model_name;
+    }
+    return util::Status::NotFound("unknown model '" + resolved +
+                                  "' (known: " +
+                                  (known.empty() ? "none" : known) + ")");
+  }
+  Entry& entry = it->second;
+  entry.last_used_tick = ++tick_;
+  ++entry.queries;
+  if (entry.loaded != nullptr) return entry.loaded;
+
+  auto handle = LoadEntry(resolved, &entry);
+  if (!handle.ok()) return handle.status();
+  entry.loaded = handle.value();
+  EnforceBudget();
+  UpdateResidentGauge();
+  return std::move(handle).ValueOrDie();
+}
+
+util::Result<ModelHandle> ModelRegistry::LoadEntry(const std::string& name,
+                                                   Entry* entry) {
+  util::Stopwatch timer;
+  std::shared_ptr<LoadedModel> loaded(new LoadedModel());
+  LoadedModel* model = loaded.get();
+  const ArtifactKind kind = SniffKind(entry->path);
+  if (kind == ArtifactKind::kSnapshot) {
+    auto snapshot = MappedSnapshot::Map(entry->path);
+    if (!snapshot.ok()) return snapshot.status();
+    model->snapshot_.emplace(std::move(snapshot).ValueOrDie());
+    auto engine = AttachEngine(*model->snapshot_, options_.metrics, nullptr);
+    if (!engine.ok()) return engine.status();
+    model->engine_ =
+        std::make_unique<Engine>(std::move(engine).ValueOrDie());
+  } else if (kind == ArtifactKind::kLegacy) {
+    auto legacy = core::LoadEngineModel(entry->path);
+    if (!legacy.ok()) return legacy.status();
+    EngineOptions options = legacy.value().options;
+    options.metrics = options_.metrics;
+    auto engine = Engine::Build(legacy.value().points,
+                                legacy.value().weights, options);
+    if (!engine.ok()) {
+      return util::Status(engine.status().code(),
+                          entry->path + ": " + engine.status().message());
+    }
+    model->engine_ =
+        std::make_unique<Engine>(std::move(engine).ValueOrDie());
+  } else {
+    return util::Status::InvalidArgument(
+        "model file " + entry->path +
+        " is neither a KARL snapshot nor a legacy engine model");
+  }
+  model->resident_bytes_ = model->engine_->MemoryUsageBytes();
+  model->coldstart_us_ =
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+
+  ++entry->loads;
+  entry->coldstart_us = model->coldstart_us_;
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("karl_model_loads_total")->Increment();
+    options_.metrics->GetHistogram("karl_model_coldstart_us")
+        ->Record(static_cast<double>(model->coldstart_us_));
+  }
+  util::Log(options_.logger, util::LogLevel::kInfo, "model_load",
+            {{"model", name},
+             {"path", entry->path},
+             {"mmap", kind == ArtifactKind::kSnapshot},
+             {"coldstart_us", model->coldstart_us_},
+             {"resident_bytes",
+              static_cast<uint64_t>(model->resident_bytes_)}});
+  return ModelHandle(std::move(loaded));
+}
+
+void ModelRegistry::EnforceBudget() {
+  if (options_.memory_budget_bytes == 0) return;
+  while (ResidentBytesLocked() > options_.memory_budget_bytes) {
+    // LRU sweep over evictable entries: resident, not adopted, and not
+    // pinned — use_count() == 1 means the registry holds the only
+    // reference, so releasing it frees (or defers to the last in-flight
+    // handle, which cannot exist when the count is 1 under this lock).
+    auto victim = models_.end();
+    for (auto it = models_.begin(); it != models_.end(); ++it) {
+      Entry& entry = it->second;
+      if (entry.adopted || entry.loaded == nullptr) continue;
+      if (entry.loaded.use_count() > 1) continue;  // Pinned by queries.
+      if (victim == models_.end() ||
+          entry.last_used_tick < victim->second.last_used_tick) {
+        victim = it;
+      }
+    }
+    if (victim == models_.end()) return;  // Everything pinned or adopted.
+    Entry& entry = victim->second;
+    entry.loaded.reset();  // The munmap happens here (count was 1).
+    ++entry.evictions;
+    ++evictions_total_;
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("karl_model_evictions")->Increment();
+    }
+    util::Log(options_.logger, util::LogLevel::kInfo, "model_evict",
+              {{"model", victim->first},
+               {"resident_bytes", ResidentBytesLocked()}});
+  }
+}
+
+util::Status ModelRegistry::Reload() {
+  util::Status first_error = util::Status::OK();
+  util::MutexLock lock(&mu_);
+  ++reloads_total_;
+
+  std::map<std::string, Entry> found;
+  if (!model_dir_.empty()) {
+    util::Status scan = ScanDir(&found);
+    if (!scan.ok()) return scan;
+  }
+
+  // Drop scanned entries whose file disappeared; in-flight queries keep
+  // their handles, the name just stops resolving.
+  for (auto it = models_.begin(); it != models_.end();) {
+    if (it->second.from_scan && found.find(it->first) == found.end()) {
+      util::Log(options_.logger, util::LogLevel::kInfo, "model_gone",
+                {{"model", it->first}});
+      it = models_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Add new files; refresh changed ones (scan set and explicit files).
+  for (auto& [name, fresh] : found) {
+    auto it = models_.find(name);
+    if (it == models_.end()) {
+      util::Log(options_.logger, util::LogLevel::kInfo, "model_found",
+                {{"model", name}, {"path", fresh.path}});
+      models_[name] = std::move(fresh);
+      continue;
+    }
+    if (it->second.adopted) continue;  // Adopted names shadow files.
+    Entry& entry = it->second;
+    const bool changed = entry.path != fresh.path ||
+                         entry.file_bytes != fresh.file_bytes ||
+                         entry.mtime_ns != fresh.mtime_ns;
+    if (!changed) continue;
+    entry.path = fresh.path;
+    entry.file_bytes = fresh.file_bytes;
+    entry.mtime_ns = fresh.mtime_ns;
+    if (entry.loaded == nullptr) continue;  // Next Acquire loads fresh.
+    // RCU swap: load the new artifact, then replace the handle. Queries
+    // holding the old handle finish on the old mapping; its memory is
+    // released when the last of them drops it.
+    auto handle = LoadEntry(name, &entry);
+    if (!handle.ok()) {
+      util::Log(options_.logger, util::LogLevel::kWarn,
+                "model_reload_failed",
+                {{"model", name},
+                 {"error", handle.status().message()}});
+      if (first_error.ok()) first_error = handle.status();
+      continue;  // Keep serving the old version.
+    }
+    entry.loaded = std::move(handle).ValueOrDie();
+    util::Log(options_.logger, util::LogLevel::kInfo, "model_reload",
+              {{"model", name}, {"path", entry.path}});
+  }
+
+  // Explicit (non-scan) files: refresh stats so a changed file is
+  // noticed; swap resident ones just like scanned entries.
+  for (auto& [name, entry] : models_) {
+    if (entry.from_scan || entry.adopted) continue;
+    std::error_code ec;
+    const uint64_t bytes =
+        static_cast<uint64_t>(fs::file_size(entry.path, ec));
+    if (ec) continue;  // Keep serving what we have.
+    const int64_t mtime = MtimeNanos(entry.path, ec);
+    if (bytes == entry.file_bytes && mtime == entry.mtime_ns) continue;
+    entry.file_bytes = bytes;
+    entry.mtime_ns = mtime;
+    if (entry.loaded == nullptr) continue;
+    auto handle = LoadEntry(name, &entry);
+    if (!handle.ok()) {
+      if (first_error.ok()) first_error = handle.status();
+      continue;
+    }
+    entry.loaded = std::move(handle).ValueOrDie();
+    util::Log(options_.logger, util::LogLevel::kInfo, "model_reload",
+              {{"model", name}, {"path", entry.path}});
+  }
+
+  EnforceBudget();
+  UpdateResidentGauge();
+  return first_error;
+}
+
+std::vector<ModelInfo> ModelRegistry::List() const {
+  util::MutexLock lock(&mu_);
+  std::vector<ModelInfo> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) {
+    ModelInfo info;
+    info.name = name;
+    info.path = entry.path;
+    info.adopted = entry.adopted;
+    info.resident = entry.loaded != nullptr;
+    info.mmap_backed =
+        entry.loaded != nullptr && entry.loaded->mmap_backed();
+    info.file_bytes = entry.file_bytes;
+    info.resident_bytes =
+        entry.loaded != nullptr ? entry.loaded->resident_bytes() : 0;
+    info.coldstart_us = entry.coldstart_us;
+    info.queries = entry.queries;
+    info.loads = entry.loads;
+    info.evictions = entry.evictions;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string ModelRegistry::default_model() const {
+  util::MutexLock lock(&mu_);
+  if (!options_.default_model.empty()) return options_.default_model;
+  if (models_.size() == 1) return models_.begin()->first;
+  return "";
+}
+
+uint64_t ModelRegistry::resident_bytes() const {
+  util::MutexLock lock(&mu_);
+  return ResidentBytesLocked();
+}
+
+uint64_t ModelRegistry::evictions() const {
+  util::MutexLock lock(&mu_);
+  return evictions_total_;
+}
+
+uint64_t ModelRegistry::reloads() const {
+  util::MutexLock lock(&mu_);
+  return reloads_total_;
+}
+
+uint64_t ModelRegistry::ResidentBytesLocked() const {
+  uint64_t total = 0;
+  for (const auto& [name, entry] : models_) {
+    if (entry.loaded != nullptr) total += entry.loaded->resident_bytes();
+  }
+  return total;
+}
+
+void ModelRegistry::UpdateResidentGauge() {
+  if (options_.metrics == nullptr) return;
+  options_.metrics->GetGauge("karl_model_resident_bytes")
+      ->Set(static_cast<double>(ResidentBytesLocked()));
+}
+
+}  // namespace karl::registry

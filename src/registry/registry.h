@@ -1,0 +1,197 @@
+// Multi-model serving registry: named models, lazy mmap, LRU eviction.
+//
+// A ModelRegistry maps model names to on-disk artifacts (mmap snapshots,
+// registry/snapshot.h, or legacy engine-model files, core/engine_io.h)
+// and serves refcounted engine handles to the query path:
+//
+//   * Lazy residency — a model is mapped/built on first Acquire, not at
+//     scan time. Cold-start latency is recorded per model.
+//   * Pinning — Acquire returns a shared_ptr handle; a model's mapping
+//     is released only when the registry entry drops it AND every
+//     in-flight query handle is gone, so eviction never unmaps memory a
+//     query is reading (RCU-style grace period via shared_ptr).
+//   * LRU eviction — when resident bytes exceed the budget, the least
+//     recently used unpinned, non-adopted model is released. Entries
+//     whose handles are still held by queries are skipped (pinned).
+//   * Hot reload — Reload() rescans the directory; new files appear,
+//     deleted files disappear, and changed files (size/mtime) are
+//     re-loaded and swapped in atomically: in-flight queries finish on
+//     the old mapping, new queries see the new one.
+//
+// Thread safety: every public method is safe to call concurrently; one
+// annotated util::Mutex guards the table. Loads run under the lock —
+// snapshot attach is cheap by design (mmap + SoA rebuild), which is the
+// point of the format.
+
+#ifndef KARL_REGISTRY_REGISTRY_H_
+#define KARL_REGISTRY_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/karl.h"
+#include "registry/snapshot.h"
+#include "util/log.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace karl::registry {
+
+/// Registry construction parameters.
+struct RegistryOptions {
+  /// Model served when a request names none. Empty: single-model
+  /// registries fall back to their only model; multi-model registries
+  /// reject unnamed requests.
+  std::string default_model;
+  /// Resident-byte budget enforced by LRU eviction; 0 = unlimited.
+  /// Adopted engines count toward residency but are never evicted.
+  uint64_t memory_budget_bytes = 0;
+  telemetry::Registry* metrics = nullptr;   ///< Null disables metrics.
+  util::Logger* logger = nullptr;           ///< Null disables logging.
+};
+
+/// One resident model: the engine plus whatever keeps its memory alive
+/// (a snapshot mapping, or nothing for adopted engines). Immutable after
+/// construction; destroyed when the registry entry and every query
+/// handle release it — the destructor is what finally munmaps.
+class LoadedModel {
+ public:
+  const Engine& engine() const {
+    return external_ != nullptr ? *external_ : *engine_;
+  }
+  /// Bytes this model keeps resident (mapped sections + derived heap).
+  size_t resident_bytes() const { return resident_bytes_; }
+  /// Load latency (mmap+attach or parse+build), microseconds.
+  uint64_t coldstart_us() const { return coldstart_us_; }
+  /// True when backed by an mmap snapshot (false: legacy build/adopted).
+  bool mmap_backed() const { return snapshot_.has_value(); }
+
+ private:
+  friend class ModelRegistry;
+  LoadedModel() = default;
+
+  // Declaration order is a destruction contract: engine_ (which views
+  // the mapping) must be destroyed before snapshot_ unmaps.
+  std::optional<MappedSnapshot> snapshot_;
+  std::unique_ptr<Engine> engine_;
+  const Engine* external_ = nullptr;  // Adopted engines (non-owning).
+  size_t resident_bytes_ = 0;
+  uint64_t coldstart_us_ = 0;
+};
+
+/// Refcounted pin on a resident model. Holding it keeps the engine (and
+/// any backing mapping) valid even across eviction or hot reload.
+using ModelHandle = std::shared_ptr<const LoadedModel>;
+
+/// Per-model state for /modelz and tests.
+struct ModelInfo {
+  std::string name;
+  std::string path;        ///< Empty for adopted engines.
+  bool adopted = false;
+  bool resident = false;
+  bool mmap_backed = false;
+  uint64_t file_bytes = 0;
+  uint64_t resident_bytes = 0;  ///< 0 when not resident.
+  uint64_t coldstart_us = 0;    ///< Last load; 0 before first load.
+  uint64_t queries = 0;
+  uint64_t loads = 0;
+  uint64_t evictions = 0;
+};
+
+/// See file comment.
+class ModelRegistry {
+ public:
+  /// Opens a registry over `model_dir` (scanned for *.snap and *.bin;
+  /// empty string = no directory, models come from AddModelFile/
+  /// AdoptEngine). Fails if a named directory cannot be scanned.
+  static util::Result<std::unique_ptr<ModelRegistry>> Open(
+      const std::string& model_dir, const RegistryOptions& options);
+
+  /// Registers one explicit model file (legacy .bin or .snap) under
+  /// `name`. The file is stat-ed now, loaded on first Acquire.
+  util::Status AddModelFile(const std::string& name,
+                            const std::string& path) KARL_EXCLUDES(mu_);
+
+  /// Registers an externally owned engine as a permanently resident,
+  /// never-evicted model. `engine` must outlive the registry.
+  void AdoptEngine(const std::string& name, const Engine* engine)
+      KARL_EXCLUDES(mu_);
+
+  /// Resolves `name` ("" = default model) to a pinned handle, loading
+  /// the model first if it is not resident. May evict colder models to
+  /// satisfy the memory budget.
+  util::Result<ModelHandle> Acquire(const std::string& name)
+      KARL_EXCLUDES(mu_);
+
+  /// Rescans the directory and refreshes explicit files: adds new
+  /// models, drops deleted ones, and atomically swaps entries whose
+  /// file changed (in-flight queries keep the old mapping). Returns the
+  /// first load error encountered; unaffected entries still refresh.
+  util::Status Reload() KARL_EXCLUDES(mu_);
+
+  /// Snapshot of every model's state (sorted by name).
+  std::vector<ModelInfo> List() const KARL_EXCLUDES(mu_);
+
+  /// The effective default model name ("" when unresolved).
+  std::string default_model() const KARL_EXCLUDES(mu_);
+
+  /// Sum of resident bytes over loaded models.
+  uint64_t resident_bytes() const KARL_EXCLUDES(mu_);
+
+  /// Total evictions since construction.
+  uint64_t evictions() const KARL_EXCLUDES(mu_);
+
+  /// Number of reloads that completed (SIGHUP/protocol-op driven).
+  uint64_t reloads() const KARL_EXCLUDES(mu_);
+
+  const RegistryOptions& options() const { return options_; }
+  const std::string& model_dir() const { return model_dir_; }
+
+ private:
+  struct Entry {
+    std::string path;          // Empty for adopted engines.
+    bool adopted = false;
+    bool from_scan = false;    // Discovered by directory scan.
+    uint64_t file_bytes = 0;
+    int64_t mtime_ns = 0;
+    ModelHandle loaded;        // Null when not resident.
+    uint64_t last_used_tick = 0;
+    uint64_t queries = 0;
+    uint64_t loads = 0;
+    uint64_t evictions = 0;
+    uint64_t coldstart_us = 0;
+  };
+
+  explicit ModelRegistry(std::string model_dir, RegistryOptions options)
+      : model_dir_(std::move(model_dir)), options_(std::move(options)) {}
+
+  /// Scans model_dir_ into (name → path/stat); no table mutation.
+  util::Status ScanDir(std::map<std::string, Entry>* found) const;
+
+  /// Loads entry's file into a fresh LoadedModel (snapshot or legacy).
+  util::Result<ModelHandle> LoadEntry(const std::string& name, Entry* entry)
+      KARL_REQUIRES(mu_);
+
+  /// Evicts LRU unpinned non-adopted entries until the budget holds.
+  void EnforceBudget() KARL_REQUIRES(mu_);
+
+  uint64_t ResidentBytesLocked() const KARL_REQUIRES(mu_);
+  void UpdateResidentGauge() KARL_REQUIRES(mu_);
+
+  const std::string model_dir_;
+  const RegistryOptions options_;
+
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry> models_ KARL_GUARDED_BY(mu_);
+  uint64_t tick_ KARL_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_total_ KARL_GUARDED_BY(mu_) = 0;
+  uint64_t reloads_total_ KARL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace karl::registry
+
+#endif  // KARL_REGISTRY_REGISTRY_H_

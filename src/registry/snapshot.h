@@ -1,0 +1,122 @@
+// Zero-deserialization engine snapshots.
+//
+// A snapshot is a flat, pointer-free, little-endian binary image of a
+// *built* engine: the tree node arrays, the permuted point matrix, the
+// weights, the permutation, and the precomputed per-node linear-bound
+// aggregates (w_P, a_P, b_P — the coefficients of paper Lemma 2/5) plus
+// the node region geometry, each stored as a 64-byte-aligned,
+// offset-addressed section. An engine is *constructed over* the mapping
+// with mmap(2): no point matrix or tree copy is made — only the derived
+// blocked SoA leaf mirror is rebuilt, exactly as LoadEngine rebuilds it
+// from the legacy format today.
+//
+// On-disk layout (all integers little-endian; doubles IEEE-754):
+//
+//   [0,256)  header — magic "KSNP", version, geometry counts, engine
+//            options, weighting type, file size, FNV-1a checksum of the
+//            entire file (checksum field zeroed during hashing).
+//   [256,…)  per-tree sections in fixed order, each aligned to 64 bytes:
+//            nodes, points, weights, perm, weight_sums, sqnorm_sums,
+//            point_sums, region_a, region_b. Type III engines store two
+//            trees (positive then negative side); I/II store one.
+//
+// Section offsets are *derived* from the header counts, not stored: the
+// layout is a pure function of (rows, num_nodes, cols, index kind), so a
+// reader computes offsets and validates that the final offset equals the
+// file size.
+//
+// Determinism and portability: index construction is deterministic, so
+// compile-snapshot produces identical bytes for identical inputs. As
+// with the legacy format, a snapshot written on one SIMD tier loads on
+// any other (the SoA mirror is rebuilt); answers are then subject to the
+// core/simd tolerance contract rather than bit-equality.
+
+#ifndef KARL_REGISTRY_SNAPSHOT_H_
+#define KARL_REGISTRY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/karl.h"
+#include "index/tree_index.h"
+#include "util/status.h"
+
+namespace karl::registry {
+
+/// Format constants, exported so tests can corrupt specific fields.
+inline constexpr uint32_t kSnapshotMagic = 0x504E534Bu;  // "KSNP" LE.
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr size_t kSnapshotHeaderBytes = 256;
+inline constexpr size_t kSnapshotSectionAlign = 64;
+inline constexpr size_t kSnapshotChecksumOffset = 80;
+
+/// Serializes a built engine to `path`. The engine may itself be
+/// attached (re-snapshotting round-trips). Overwrites any existing file.
+util::Status WriteSnapshot(const std::string& path, const Engine& engine);
+
+/// A validated, read-only mmap(2) of a snapshot file.
+///
+/// Map() maps the file, verifies magic/version/size/checksum, and
+/// resolves the per-tree section views; every failure names the path.
+/// The mapping (and therefore every engine attached over it) stays valid
+/// until destruction — including after the file is unlinked, per POSIX
+/// mmap semantics. Truncating a live snapshot file in place is NOT safe
+/// (SIGBUS on fault); replace-by-rename and reload instead.
+class MappedSnapshot {
+ public:
+  static util::Result<MappedSnapshot> Map(const std::string& path);
+
+  ~MappedSnapshot();
+  MappedSnapshot(MappedSnapshot&& other) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&& other) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  /// Engine construction options recorded in the header (kernel, bounds,
+  /// index kind, leaf capacity; telemetry sinks are left null).
+  const EngineOptions& options() const { return options_; }
+
+  /// Weighting taxonomy of the serialized engine.
+  WeightingType weighting() const { return weighting_; }
+
+  /// 1 (Type I/II) or 2 (Type III: positive then negative side).
+  size_t num_trees() const { return num_trees_; }
+
+  /// Section views of tree `i` (< num_trees()), pointing into the
+  /// mapping. Valid for this object's lifetime.
+  const index::TreeIndexView& tree_view(size_t i) const {
+    return views_[i];
+  }
+
+  /// Total mapped bytes (the file size).
+  size_t file_bytes() const { return bytes_; }
+
+  /// The path the snapshot was mapped from (diagnostics).
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedSnapshot() = default;
+
+  util::Status Parse();  // Fills options_/weighting_/views_ from data_.
+
+  void* data_ = nullptr;  // nullptr iff moved-from/default.
+  size_t bytes_ = 0;
+  std::string path_;
+  EngineOptions options_;
+  WeightingType weighting_ = WeightingType::kTypeI;
+  size_t num_trees_ = 0;
+  index::TreeIndexView views_[2];
+};
+
+/// Constructs an engine over a mapped snapshot (no copies; the SoA leaf
+/// mirror is rebuilt). `snapshot` must outlive the returned engine —
+/// callers typically keep both in one owning object (registry
+/// LoadedModel). `metrics`/`tracer` may be null.
+util::Result<Engine> AttachEngine(const MappedSnapshot& snapshot,
+                                  telemetry::Registry* metrics,
+                                  telemetry::TraceRecorder* tracer);
+
+}  // namespace karl::registry
+
+#endif  // KARL_REGISTRY_SNAPSHOT_H_

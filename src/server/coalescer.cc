@@ -24,12 +24,10 @@ core::BatchOptions Coalescer::ObservedOptions(util::ThreadPool* pool,
   return options;
 }
 
-Coalescer::Coalescer(const Engine& engine, util::ThreadPool* pool,
-                     size_t max_pending_rows, CompletionSink sink,
-                     telemetry::Registry* metrics,
+Coalescer::Coalescer(util::ThreadPool* pool, size_t max_pending_rows,
+                     CompletionSink sink, telemetry::Registry* metrics,
                      telemetry::RequestTracer tracer)
-    : engine_(engine),
-      evaluator_(engine, ObservedOptions(pool, this)),
+    : pool_(pool),
       sink_(std::move(sink)),
       max_pending_rows_(max_pending_rows),
       tracer_(tracer) {
@@ -113,10 +111,13 @@ void Coalescer::DispatchLoop() {
     }
 
     // Pop the oldest item; when it is a plain single query, sweep every
-    // other queued plain single with the same (kind, param) into the
-    // group, in arrival order. Different-parameter items stay queued
-    // for a later group of their own. Explain items never coalesce in
-    // either direction: the profile must describe one query alone.
+    // other queued plain single with the same (engine, kind, param)
+    // into the group, in arrival order. Different-parameter (or
+    // different-model) items stay queued for a later group of their
+    // own. The engine is compared by handle identity, not model name,
+    // so items straddling a hot reload never mix generations. Explain
+    // items never coalesce in either direction: the profile must
+    // describe one query alone.
     std::vector<WorkItem> group;
     group.push_back(std::move(queue_.front()));
     queue_.pop_front();
@@ -124,9 +125,10 @@ void Coalescer::DispatchLoop() {
     if (!group.front().is_batch && !group.front().explain) {
       const QueryKind kind = group.front().kind;
       const double param = group.front().param;
+      const registry::LoadedModel* engine_id = group.front().handle.get();
       for (auto it = queue_.begin(); it != queue_.end();) {
         if (!it->is_batch && !it->explain && it->kind == kind &&
-            it->param == param) {
+            it->param == param && it->handle.get() == engine_id) {
           rows += it->queries.rows();
           group.push_back(std::move(*it));
           it = queue_.erase(it);
@@ -176,17 +178,18 @@ void Coalescer::RunExplain(WorkItem item) {
   // on the dispatcher keeps the hot path untouched.
   core::TraversalProfile profile;
   core::EvalStats stats;
+  const Engine& engine = item.handle->engine();
   const std::span<const double> q = item.queries.Row(0);
   const uint64_t eval_begin_us = telemetry::MonotonicMicros();
   util::Stopwatch timer;
   bool above = false;
   double value = 0.0;
   if (item.kind == QueryKind::kTkaq) {
-    above = engine_.evaluator().QueryThreshold(q, item.param, &stats,
-                                               nullptr, &profile);
+    above = engine.evaluator().QueryThreshold(q, item.param, &stats,
+                                              nullptr, &profile);
   } else {
-    value = engine_.evaluator().QueryApproximate(q, item.param, &stats,
-                                                 nullptr, &profile);
+    value = engine.evaluator().QueryApproximate(q, item.param, &stats,
+                                                nullptr, &profile);
   }
   const double usec = timer.ElapsedSeconds() * 1e6;
   const uint64_t eval_end_us = telemetry::MonotonicMicros();
@@ -293,18 +296,24 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
     }
   }
 
+  // Per-group evaluator over the group's pinned engine — cheap to
+  // construct (it only resolves telemetry handles), and the handle
+  // keeps the engine's backing memory alive for the whole call even if
+  // the registry evicts or swaps the model meanwhile.
+  const core::BatchEvaluator evaluator(group.front().handle->engine(),
+                                       ObservedOptions(pool_, this));
   util::Stopwatch timer;
   std::vector<uint8_t> bools;
   std::vector<double> values;
   switch (kind) {
     case QueryKind::kTkaq:
-      bools = evaluator_.Tkaq(*queries, param);
+      bools = evaluator.Tkaq(*queries, param);
       break;
     case QueryKind::kEkaq:
-      values = evaluator_.Ekaq(*queries, param);
+      values = evaluator.Ekaq(*queries, param);
       break;
     case QueryKind::kExact:
-      values = evaluator_.Exact(*queries);
+      values = evaluator.Exact(*queries);
       break;
   }
   const double usec = timer.ElapsedSeconds() * 1e6;

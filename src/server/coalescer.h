@@ -3,11 +3,16 @@
 //
 // The event loop enqueues WorkItems (one per query/batch request) into
 // a bounded queue; a dedicated dispatcher thread drains it. Each drain
-// gathers every queued *single* query with the same (kind, parameter)
-// into one core::BatchEvaluator call fanned across the work-stealing
-// ThreadPool — so a flood of concurrent single-query clients is served
-// with batch efficiency while each response keeps its per-request
-// identity (connection + echoed id). Explicit batch requests dispatch
+// gathers every queued *single* query with the same (model, kind,
+// parameter) into one core::BatchEvaluator call fanned across the
+// work-stealing ThreadPool — so a flood of concurrent single-query
+// clients is served with batch efficiency while each response keeps its
+// per-request identity (connection + echoed id). Each item carries its
+// own pinned registry handle (registry/registry.h), so the engine a
+// group evaluates against stays mapped even if the registry evicts or
+// hot-reloads the model mid-flight; grouping compares engine identity
+// (the handle), not just the name, so requests admitted across a reload
+// never share a batch with a different model generation. Explicit batch requests dispatch
 // as their own evaluator call. While one group runs, newly arriving
 // queries accumulate and form the next group: coalescing emerges from
 // backpressure rather than from a timer, adding no idle latency.
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "registry/registry.h"
 #include "server/protocol.h"
 #include "telemetry/context.h"
 #include "util/mutex.h"
@@ -55,6 +61,12 @@ struct WorkItem {
   /// the profile must describe exactly one query's traversal) with the
   /// EXPLAIN profiler attached.
   bool explain = false;
+  /// Resolved model name (diagnostics; "" = default).
+  std::string model;
+  /// Pinned engine this item evaluates against. The handle keeps the
+  /// model resident (mapping and all) until every item referencing it
+  /// has completed — the router acquires it, the coalescer releases it.
+  registry::ModelHandle handle;
   data::Matrix queries;
   /// Observability context; the coalescer stamps the dispatch/eval/
   /// serialize stages and attributes engine work per request.
@@ -80,8 +92,9 @@ struct Completion {
 };
 
 /// See file comment. Construction spawns the dispatcher thread;
-/// destruction drains the queue and joins. The engine and pool must
-/// outlive the coalescer.
+/// destruction drains the queue and joins. The pool (and every engine
+/// still referenced by queued items' handles) must outlive the
+/// coalescer; the handles themselves guarantee the latter.
 class Coalescer {
  public:
   /// Called on the dispatcher thread with every completion of one
@@ -92,9 +105,8 @@ class Coalescer {
 
   /// `tracer` (default: disabled) emits dispatcher-side group spans,
   /// worker-side per-row spans, and per-request flow steps.
-  Coalescer(const Engine& engine, util::ThreadPool* pool,
-            size_t max_pending_rows, CompletionSink sink,
-            telemetry::Registry* metrics,
+  Coalescer(util::ThreadPool* pool, size_t max_pending_rows,
+            CompletionSink sink, telemetry::Registry* metrics,
             telemetry::RequestTracer tracer = {});
   ~Coalescer();
 
@@ -140,8 +152,7 @@ class Coalescer {
   void ObserveRow(size_t row, uint64_t begin_us, uint64_t end_us,
                   const core::EvalStats& stats);
 
-  const Engine& engine_;
-  core::BatchEvaluator evaluator_;
+  util::ThreadPool* pool_;
   CompletionSink sink_;
   const size_t max_pending_rows_;
   telemetry::RequestTracer tracer_;

@@ -87,7 +87,8 @@ util::Result<Request> ParseRequest(std::string_view line) {
   const Json* op = root.Find("op");
   if (op == nullptr || !op->is_string()) {
     return BadRequest(
-        "missing \"op\" (query|batch|explain|health|metrics|statusz)");
+        "missing \"op\" "
+        "(query|batch|explain|health|metrics|statusz|reload)");
   }
   const std::string& name = op->string_value();
   if (name == "health") {
@@ -101,6 +102,14 @@ util::Result<Request> ParseRequest(std::string_view line) {
   if (name == "statusz") {
     request.op = Request::Op::kStatusz;
     return request;
+  }
+  if (name == "reload") {
+    request.op = Request::Op::kReload;
+    return request;
+  }
+  if (const Json* model = root.Find("model"); model != nullptr) {
+    if (!model->is_string()) return BadRequest("\"model\" must be a string");
+    request.model = model->string_value();
   }
 
   std::vector<double> row;
@@ -141,7 +150,7 @@ util::Result<Request> ParseRequest(std::string_view line) {
     return request;
   }
   return BadRequest("unknown op '" + name +
-                    "' (query|batch|explain|health|metrics|statusz)");
+                    "' (query|batch|explain|health|metrics|statusz|reload)");
 }
 
 std::string OkBoolResponse(const std::string& id, bool above) {

@@ -10,6 +10,12 @@
 //   {"op":"health"}
 //   {"op":"metrics"}
 //   {"op":"statusz"}
+//   {"op":"reload"}
+// Evaluation requests (query/batch/explain) accept an optional
+// "model":"<name>" field naming which registry model answers; omitted,
+// the server's default model serves the request. "reload" rescans the
+// model directory (registry/registry.h) — the request-path twin of
+// SIGHUP.
 //
 // Responses always carry "ok". On success:
 //   tkaq:   {"ok":true,"above":true}            (batch: "above":[...])
@@ -25,8 +31,10 @@
 //   statusz:{"ok":true,"statusz":{...}}         (uptime, stage latency
 //           histograms, gauges, and the flight recorder's last-N
 //           completed requests; see Server::StatuszJson)
+//   reload: {"ok":true,"status":"reloaded"}
 // On failure: {"ok":false,"error":"<code>","detail":"..."} with codes
-// "bad_request", "overloaded", "shutting_down", "internal".
+// "bad_request", "not_found" (unknown model name), "overloaded",
+// "shutting_down", "internal".
 // A request "id" (string) is echoed verbatim on its response, so
 // clients that pipeline can match answers to questions; responses to
 // coalesced queries may complete out of request order.
@@ -58,7 +66,15 @@ std::string_view QueryKindToString(QueryKind kind);
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kQuery, kBatch, kExplain, kHealth, kMetrics, kStatusz };
+  enum class Op {
+    kQuery,
+    kBatch,
+    kExplain,
+    kHealth,
+    kMetrics,
+    kStatusz,
+    kReload
+  };
 
   Op op = Op::kHealth;
   QueryKind kind = QueryKind::kTkaq;
@@ -68,6 +84,8 @@ struct Request {
   data::Matrix queries;
   /// Optional client-chosen correlation token, echoed on the response.
   std::string id;
+  /// Registry model this request targets ("" = the default model).
+  std::string model;
 };
 
 /// Parses one request line. Validates shape and values (finite query

@@ -83,14 +83,13 @@ Json RequestRecordJson(const telemetry::RequestRecord& r) {
 
 // ---------------------------------------------------------------- Router
 
-Router::Router(const Engine& engine, Coalescer* coalescer,
+Router::Router(registry::ModelRegistry* models, Coalescer* coalescer,
                telemetry::Registry* metrics,
                telemetry::RequestTracer tracer,
                std::function<std::string()> statusz_source)
-    : engine_(engine),
+    : models_(models),
       coalescer_(coalescer),
       metrics_(metrics),
-      dims_(engine.plus_tree().points().cols()),
       tracer_(tracer),
       statusz_source_(std::move(statusz_source)) {
   requests_total_ = metrics->GetCounter("karl_server_requests_total");
@@ -125,6 +124,15 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
       outcome.immediate_response =
           OkStatuszResponse(statusz_source_ ? statusz_source_() : "{}");
       return outcome;
+    case Request::Op::kReload: {
+      // The request-path twin of SIGHUP: rescan the model directory.
+      // Served even while draining — it is an admin op, not new work.
+      const util::Status st = models_->Reload();
+      outcome.immediate_response =
+          st.ok() ? OkStatusResponse("reloaded")
+                  : ErrorResponse("", "internal", st.message());
+      return outcome;
+    }
     case Request::Op::kQuery:
     case Request::Op::kBatch:
     case Request::Op::kExplain:
@@ -145,16 +153,36 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
             : OkValuesResponse(request.id, {});
     return outcome;
   }
-  if (request.queries.cols() != dims_) {
+  // Resolve (and pin) the model this request evaluates against. The
+  // handle rides the work item into the coalescer, so the engine stays
+  // resident for the whole evaluation even if a reload or eviction
+  // hits the registry meanwhile.
+  auto acquired = models_->Acquire(request.model);
+  if (!acquired.ok()) {
+    const util::Status& st = acquired.status();
+    std::string_view code = "internal";
+    if (st.code() == util::StatusCode::kNotFound) code = "not_found";
+    if (st.code() == util::StatusCode::kInvalidArgument) {
+      code = "bad_request";
+    }
+    if (code != "internal") bad_request_total_->Increment();
+    outcome.immediate_response =
+        ErrorResponse(request.id, code, st.message());
+    return outcome;
+  }
+  registry::ModelHandle handle = std::move(acquired).ValueOrDie();
+  const Engine& engine = handle->engine();
+  const size_t dims = engine.plus_tree().points().cols();
+  if (request.queries.cols() != dims) {
     bad_request_total_->Increment();
     outcome.immediate_response = ErrorResponse(
         request.id, "bad_request",
         "query dimensionality " + std::to_string(request.queries.cols()) +
-            " does not match the model (" + std::to_string(dims_) + ")");
+            " does not match the model (" + std::to_string(dims) + ")");
     return outcome;
   }
   if (request.kind == QueryKind::kEkaq &&
-      engine_.weighting_type() == WeightingType::kTypeIII) {
+      engine.weighting_type() == WeightingType::kTypeIII) {
     bad_request_total_->Increment();
     outcome.immediate_response =
         ErrorResponse(request.id, "bad_request",
@@ -169,6 +197,8 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
   item.param = request.param;
   item.is_batch = request.op == Request::Op::kBatch;
   item.explain = request.op == Request::Op::kExplain;
+  item.model = std::move(request.model);
+  item.handle = std::move(handle);
   item.queries = std::move(request.queries);
   const std::string id = item.request_id;  // Enqueue consumes the item.
   const uint64_t rows = item.queries.rows();
@@ -204,8 +234,31 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
 
 util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
                                                     ServerOptions options) {
+  // Single-engine serving is registry serving with one adopted model:
+  // wrap the engine in an owned registry whose only (and default)
+  // entry is "default". The wire protocol is identical either way.
+  registry::RegistryOptions registry_options;
+  registry_options.default_model = "default";
+  registry_options.metrics = options.metrics != nullptr
+                                 ? options.metrics
+                                 : &telemetry::GlobalRegistry();
+  registry_options.logger = options.logger;
+  auto owned = registry::ModelRegistry::Open("", registry_options);
+  if (!owned.ok()) return owned.status();
+  std::unique_ptr<registry::ModelRegistry> models =
+      std::move(owned).ValueOrDie();
+  models->AdoptEngine("default", &engine);
+  auto started = StartWithRegistry(models.get(), std::move(options));
+  if (!started.ok()) return started.status();
+  std::unique_ptr<Server> server = std::move(started).ValueOrDie();
+  server->owned_registry_ = std::move(models);
+  return server;
+}
+
+util::Result<std::unique_ptr<Server>> Server::StartWithRegistry(
+    registry::ModelRegistry* models, ServerOptions options) {
   std::unique_ptr<Server> server(new Server());
-  server->engine_ = &engine;
+  server->models_ = models;
   server->options_ = std::move(options);
   server->registry_ = server->options_.metrics != nullptr
                           ? server->options_.metrics
@@ -228,7 +281,7 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
 
   Server* raw = server.get();
   server->coalescer_ = std::make_unique<Coalescer>(
-      engine, server->pool_.get(), server->options_.max_pending,
+      server->pool_.get(), server->options_.max_pending,
       [raw](std::vector<Completion> completions) {
         {
           const util::MutexLock lock(&raw->completion_mu_);
@@ -240,7 +293,7 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
       },
       server->registry_, server->tracer_);
   server->router_ = std::make_unique<Router>(
-      engine, server->coalescer_.get(), server->registry_, server->tracer_,
+      models, server->coalescer_.get(), server->registry_, server->tracer_,
       [raw] { return raw->StatuszJson(); });
 
   server->connections_total_ =
@@ -295,6 +348,9 @@ util::Result<std::unique_ptr<Server>> Server::Start(const Engine& engine,
     server->admin_->Register(
         "/flightz", "application/x-ndjson",
         [raw](std::string_view) { return raw->FlightzNdjson(); });
+    server->admin_->Register(
+        "/modelz", "application/json",
+        [raw](std::string_view) { return raw->ModelzJson(); });
     server->admin_->Register(
         "/explainz", "application/json",
         [raw](std::string_view query) { return raw->ExplainzJson(query); });
@@ -855,23 +911,94 @@ std::string Server::VarzJson() const {
             Json::Number(static_cast<double>(options_.slow_query_us)));
   root.Set("options", std::move(flags));
 
+  // Registry summary; per-model detail lives on /modelz. When the
+  // default model happens to be resident its shape is included — varz
+  // never forces a load just to describe it.
+  const std::vector<registry::ModelInfo> infos = models_->List();
   Json model = Json::Object();
-  model.Set("weighting_type",
-            Json::Str(std::string(
-                WeightingTypeToString(engine_->weighting_type()))));
-  model.Set("bounds",
-            Json::Str(std::string(
-                core::BoundKindToString(engine_->options().bounds))));
-  model.Set("dims", Json::Number(static_cast<double>(
-                        engine_->plus_tree().points().cols())));
-  size_t points = engine_->plus_tree().points().rows();
-  if (engine_->minus_tree() != nullptr) {
-    points += engine_->minus_tree()->points().rows();
+  const std::string default_name = models_->default_model();
+  model.Set("default", Json::Str(default_name));
+  model.Set("count", Json::Number(static_cast<double>(infos.size())));
+  model.Set("resident_bytes",
+            Json::Number(static_cast<double>(models_->resident_bytes())));
+  model.Set("memory_budget_bytes",
+            Json::Number(static_cast<double>(
+                models_->options().memory_budget_bytes)));
+  model.Set("evictions",
+            Json::Number(static_cast<double>(models_->evictions())));
+  model.Set("reloads",
+            Json::Number(static_cast<double>(models_->reloads())));
+  if (auto handle = ResidentDefaultModel(); handle != nullptr) {
+    const Engine& engine = handle->engine();
+    model.Set("weighting_type",
+              Json::Str(std::string(
+                  WeightingTypeToString(engine.weighting_type()))));
+    model.Set("bounds",
+              Json::Str(std::string(
+                  core::BoundKindToString(engine.options().bounds))));
+    model.Set("dims", Json::Number(static_cast<double>(
+                          engine.plus_tree().points().cols())));
+    size_t points = engine.plus_tree().points().rows();
+    if (engine.minus_tree() != nullptr) {
+      points += engine.minus_tree()->points().rows();
+    }
+    model.Set("points", Json::Number(static_cast<double>(points)));
+    model.Set("index_memory_bytes",
+              Json::Number(static_cast<double>(engine.MemoryUsageBytes())));
   }
-  model.Set("points", Json::Number(static_cast<double>(points)));
-  model.Set("index_memory_bytes",
-            Json::Number(static_cast<double>(engine_->MemoryUsageBytes())));
   root.Set("model", std::move(model));
+  return root.Dump();
+}
+
+registry::ModelHandle Server::ResidentDefaultModel() const {
+  const std::string name = models_->default_model();
+  if (name.empty()) return nullptr;
+  for (const registry::ModelInfo& info : models_->List()) {
+    if (info.name == name && info.resident) {
+      // Already resident, so Acquire is a cheap pin (no load, no
+      // eviction sweep).
+      auto handle = models_->Acquire(name);
+      if (handle.ok()) return std::move(handle).ValueOrDie();
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::string Server::ModelzJson() const {
+  Json root = Json::Object();
+  root.Set("default", Json::Str(models_->default_model()));
+  root.Set("model_dir", Json::Str(models_->model_dir()));
+  root.Set("memory_budget_bytes",
+           Json::Number(static_cast<double>(
+               models_->options().memory_budget_bytes)));
+  root.Set("resident_bytes",
+           Json::Number(static_cast<double>(models_->resident_bytes())));
+  root.Set("evictions",
+           Json::Number(static_cast<double>(models_->evictions())));
+  root.Set("reloads",
+           Json::Number(static_cast<double>(models_->reloads())));
+  Json entries = Json::Array();
+  for (const registry::ModelInfo& info : models_->List()) {
+    entries.Append(
+        Json::Object()
+            .Set("name", Json::Str(info.name))
+            .Set("path", Json::Str(info.path))
+            .Set("adopted", Json::Bool(info.adopted))
+            .Set("resident", Json::Bool(info.resident))
+            .Set("mmap_backed", Json::Bool(info.mmap_backed))
+            .Set("file_bytes",
+                 Json::Number(static_cast<double>(info.file_bytes)))
+            .Set("resident_bytes",
+                 Json::Number(static_cast<double>(info.resident_bytes)))
+            .Set("coldstart_us",
+                 Json::Number(static_cast<double>(info.coldstart_us)))
+            .Set("queries", Json::Number(static_cast<double>(info.queries)))
+            .Set("loads", Json::Number(static_cast<double>(info.loads)))
+            .Set("evictions",
+                 Json::Number(static_cast<double>(info.evictions))));
+  }
+  root.Set("models", std::move(entries));
   return root.Dump();
 }
 

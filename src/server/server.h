@@ -1,4 +1,7 @@
-// Epoll-based TCP front end for a built KARL engine.
+// Epoll-based TCP front end for KARL engines served out of a model
+// registry (registry/registry.h): requests pick a model by name,
+// SIGHUP / op=reload hot-reloads the registry, and a single built
+// engine is served through the same path via the Start() wrapper.
 //
 // Threading model (three kinds of threads, strict ownership):
 //   * one event-loop thread owns every socket, connection buffer, and
@@ -31,10 +34,10 @@
 //
 // Admin plane: with admin_port >= 0 a fourth thread runs the HTTP
 // scrape listener (server/http_admin.h) serving /metrics, /healthz,
-// /statusz, /varz, /flightz and /explainz. Its handlers only snapshot
-// thread-safe state (registry, flight recorder, explain ring, an
-// atomic draining flag), so a stuck scraper never touches the query
-// path.
+// /statusz, /varz, /flightz, /modelz and /explainz. Its handlers only
+// snapshot thread-safe state (registry, model registry, flight
+// recorder, explain ring, an atomic draining flag), so a stuck scraper
+// never touches the query path.
 
 #ifndef KARL_SERVER_SERVER_H_
 #define KARL_SERVER_SERVER_H_
@@ -50,6 +53,7 @@
 #include <vector>
 
 #include "core/karl.h"
+#include "registry/registry.h"
 #include "server/coalescer.h"
 #include "server/http_admin.h"
 #include "telemetry/flight_recorder.h"
@@ -96,7 +100,8 @@ struct ServerOptions {
   /// remembers.
   size_t flight_recorder_capacity = 256;
   /// HTTP admin/scrape listener port (server/http_admin.h): GET
-  /// /metrics, /healthz, /statusz, /varz, /flightz, /explainz. -1
+  /// /metrics, /healthz, /statusz, /varz, /flightz, /modelz,
+  /// /explainz. -1
   /// disables the admin plane entirely; 0 binds an ephemeral port
   /// (read it back via admin_port()).
   int admin_port = -1;
@@ -106,16 +111,17 @@ struct ServerOptions {
   size_t explain_ring_capacity = 32;
 };
 
-/// Maps one parsed request to its action: answer health/metrics inline,
-/// validate query/batch requests against the engine (dimensionality,
-/// weighting type) and admit them to the coalescer. Owns no sockets —
-/// the Connection layer handles transport.
+/// Maps one parsed request to its action: answer health/metrics/reload
+/// inline, resolve the request's model through the registry, validate
+/// query/batch requests against that engine (dimensionality, weighting
+/// type) and admit them to the coalescer with the model pinned. Owns no
+/// sockets — the Connection layer handles transport.
 class Router {
  public:
   /// `tracer` emits the event-loop-side request spans (req/read,
   /// req/parse) and the flow start; `statusz_source` renders the
   /// `statusz` op body (empty object when unset).
-  Router(const Engine& engine, Coalescer* coalescer,
+  Router(registry::ModelRegistry* models, Coalescer* coalescer,
          telemetry::Registry* metrics,
          telemetry::RequestTracer tracer = {},
          std::function<std::string()> statusz_source = {});
@@ -143,10 +149,9 @@ class Router {
                  telemetry::RequestContext ctx = {});
 
  private:
-  const Engine& engine_;
+  registry::ModelRegistry* models_;
   Coalescer* coalescer_;
   telemetry::Registry* metrics_;
-  const size_t dims_;
   telemetry::RequestTracer tracer_;
   std::function<std::string()> statusz_source_;
   telemetry::Counter* requests_total_ = nullptr;
@@ -157,10 +162,19 @@ class Router {
 /// The serving process: listener + event loop + coalescer + pool.
 class Server {
  public:
-  /// Binds, spawns the event loop, and starts serving. The engine must
-  /// outlive the server.
+  /// Binds, spawns the event loop, and starts serving the single
+  /// `engine`, which must outlive the server. Internally this wraps the
+  /// engine in an owned single-model registry (adopted as "default"),
+  /// so the wire protocol — including `"model"` and op=reload — behaves
+  /// identically to a registry-backed server.
   static util::Result<std::unique_ptr<Server>> Start(const Engine& engine,
                                                      ServerOptions options);
+
+  /// Binds, spawns the event loop, and serves every model in `models`
+  /// (requests pick one with `"model":"<name>"`; op=reload / SIGHUP
+  /// rescans). The registry must outlive the server.
+  static util::Result<std::unique_ptr<Server>> StartWithRegistry(
+      registry::ModelRegistry* models, ServerOptions options);
 
   /// Triggers shutdown (if still running) and joins everything.
   ~Server();
@@ -195,6 +209,11 @@ class Server {
   /// The flight recorder's ring as NDJSON, one completed request per
   /// line, oldest first (the /flightz admin page). Thread-safe.
   std::string FlightzNdjson() const;
+
+  /// Per-model registry state as a JSON object (the /modelz admin
+  /// page): default model, budget, resident bytes, and one entry per
+  /// model with residency/usage/eviction counters. Thread-safe.
+  std::string ModelzJson() const;
 
   /// The most recent explain profiles as a JSON object (the /explainz
   /// admin page). `query` is a raw HTTP query string; "last=N" caps the
@@ -251,8 +270,15 @@ class Server {
   // Runs exactly once per admitted request, on the event-loop thread.
   void FinishRequest(const Completion& completion, bool ok,
                      const std::string& peer);
+  // A pin on the default model iff it is already resident (never
+  // triggers a load); null otherwise. Used by VarzJson.
+  registry::ModelHandle ResidentDefaultModel() const;
 
-  const Engine* engine_ = nullptr;
+  // owned_registry_ backs the single-engine Start() overload; declared
+  // before the coalescer/router so it outlives everything that holds
+  // model handles during destruction.
+  std::unique_ptr<registry::ModelRegistry> owned_registry_;
+  registry::ModelRegistry* models_ = nullptr;
   ServerOptions options_;
   telemetry::Registry* registry_ = nullptr;
 

@@ -119,6 +119,22 @@ TEST(EngineIoTest, RejectsCorruptEnumValues) {
   EXPECT_FALSE(ReadEngineModel(corrupt).ok());
 }
 
+TEST(EngineIoTest, CorruptFileErrorNamesPath) {
+  // A corrupt model file must be diagnosed by path, not just defect.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "karl_engine_io_corrupt.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "KARLgarbage";
+  }
+  auto result = LoadEngineModel(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path), std::string::npos)
+      << result.status().ToString();
+  std::filesystem::remove(path);
+}
+
 TEST(EngineIoTest, MissingFileIsIOError) {
   auto result = LoadEngineModel("/nonexistent/karl/model.bin");
   ASSERT_FALSE(result.ok());

@@ -1,0 +1,683 @@
+// Tests for the model registry subsystem: snapshot round trips over
+// mmap, corruption rejection, lazy loading, LRU eviction with pinning,
+// and RCU-style hot reload.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine_io.h"
+#include "util/check.h"
+#include "core/karl.h"
+#include "data/synthetic.h"
+#include "registry/registry.h"
+#include "registry/snapshot.h"
+#include "telemetry/metrics.h"
+#include "util/rng.h"
+
+namespace karl::registry {
+namespace {
+
+namespace fs = std::filesystem;
+
+data::Matrix MakePoints(uint64_t seed, size_t rows = 400) {
+  util::Rng rng(seed);
+  return data::SampleClustered(rows, 4, 3, 0.08, rng);
+}
+
+// Type III: mixed-sign weights (positive and negative trees).
+std::vector<double> MixedWeights(uint64_t seed, size_t n) {
+  util::Rng rng(seed ^ 0x9e3779b9ull);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.Uniform(-1.0, 1.0);
+  return w;
+}
+
+// Type II: arbitrary positive weights (eKAQ-capable).
+std::vector<double> PositiveWeights(uint64_t seed, size_t n) {
+  util::Rng rng(seed ^ 0x5bd1e995ull);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.Uniform(0.1, 1.0);
+  return w;
+}
+
+Engine BuildEngine(const data::Matrix& points,
+                   std::span<const double> weights,
+                   core::KernelParams kernel,
+                   index::IndexKind kind = index::IndexKind::kKdTree) {
+  EngineOptions options;
+  options.kernel = kernel;
+  options.index_kind = kind;
+  options.leaf_capacity = 24;
+  return Engine::Build(points, weights, options).ValueOrDie();
+}
+
+std::vector<double> RandomQuery(util::Rng& rng) {
+  std::vector<double> q(4);
+  for (auto& v : q) v = rng.Uniform(0.0, 1.0);
+  return q;
+}
+
+// Queries both engines at sampled points and requires identical answers
+// (same permuted data, same traversal order: bit-for-bit).
+void ExpectSameAnswers(const Engine& expected, const Engine& actual,
+                       uint64_t seed, bool check_ekaq) {
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> q = RandomQuery(rng);
+    const double exact = expected.Exact(q);
+    EXPECT_DOUBLE_EQ(actual.Exact(q), exact);
+    EXPECT_EQ(actual.Tkaq(q, exact + 0.01), expected.Tkaq(q, exact + 0.01));
+    EXPECT_EQ(actual.Tkaq(q, exact - 0.01), expected.Tkaq(q, exact - 0.01));
+    if (check_ekaq) {
+      EXPECT_DOUBLE_EQ(actual.Ekaq(q, 0.05), expected.Ekaq(q, 0.05));
+    }
+  }
+}
+
+// Scoped scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string File(const std::string& leaf) const {
+    return (path_ / leaf).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------
+// Snapshot format.
+// ---------------------------------------------------------------------
+
+TEST(SnapshotTest, KdTypeIIIRoundTripAnswersIdentically) {
+  TempDir dir("karl_snap_rt_kd");
+  const data::Matrix points = MakePoints(1);
+  const std::vector<double> weights = MixedWeights(1, points.rows());
+  const Engine original =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(3.0));
+  EXPECT_EQ(original.weighting_type(), WeightingType::kTypeIII);
+
+  const std::string path = dir.File("m.snap");
+  ASSERT_TRUE(WriteSnapshot(path, original).ok());
+
+  auto snapshot = MappedSnapshot::Map(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot.value().weighting(), WeightingType::kTypeIII);
+  EXPECT_EQ(snapshot.value().num_trees(), 2u);
+
+  auto attached = AttachEngine(snapshot.value(), nullptr, nullptr);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  EXPECT_EQ(attached.value().weighting_type(), WeightingType::kTypeIII);
+  ExpectSameAnswers(original, attached.value(), 7, /*check_ekaq=*/false);
+}
+
+TEST(SnapshotTest, BallTypeIIRoundTripAnswersIdentically) {
+  TempDir dir("karl_snap_rt_ball");
+  const data::Matrix points = MakePoints(2);
+  const std::vector<double> weights = PositiveWeights(2, points.rows());
+  const Engine original =
+      BuildEngine(points, weights, core::KernelParams::Laplacian(1.5),
+                  index::IndexKind::kBallTree);
+  EXPECT_EQ(original.weighting_type(), WeightingType::kTypeII);
+
+  const std::string path = dir.File("m.snap");
+  ASSERT_TRUE(WriteSnapshot(path, original).ok());
+
+  auto snapshot = MappedSnapshot::Map(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot.value().num_trees(), 1u);
+
+  auto attached = AttachEngine(snapshot.value(), nullptr, nullptr);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  ExpectSameAnswers(original, attached.value(), 8, /*check_ekaq=*/true);
+}
+
+TEST(SnapshotTest, AllKernelAndIndexVariantsRoundTrip) {
+  TempDir dir("karl_snap_variants");
+  for (const auto kernel :
+       {core::KernelParams::Gaussian(2.0), core::KernelParams::Cauchy(4.0),
+        core::KernelParams::Polynomial(0.3, 0.7, 5),
+        core::KernelParams::Sigmoid(0.9, -0.4)}) {
+    for (const auto kind :
+         {index::IndexKind::kKdTree, index::IndexKind::kBallTree}) {
+      const data::Matrix points = MakePoints(3, 200);
+      const std::vector<double> weights = MixedWeights(3, points.rows());
+      const Engine original = BuildEngine(points, weights, kernel, kind);
+      const std::string path = dir.File("v.snap");
+      ASSERT_TRUE(WriteSnapshot(path, original).ok());
+      auto snapshot = MappedSnapshot::Map(path);
+      ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+      EXPECT_EQ(snapshot.value().options().kernel.type, kernel.type);
+      EXPECT_EQ(snapshot.value().options().index_kind, kind);
+      auto attached = AttachEngine(snapshot.value(), nullptr, nullptr);
+      ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+      util::Rng rng(9);
+      const std::vector<double> q = RandomQuery(rng);
+      EXPECT_DOUBLE_EQ(attached.value().Exact(q), original.Exact(q));
+    }
+  }
+}
+
+TEST(SnapshotTest, WriteIsDeterministicAndResnapshotIsByteIdentical) {
+  TempDir dir("karl_snap_det");
+  const data::Matrix points = MakePoints(4);
+  const std::vector<double> weights = MixedWeights(4, points.rows());
+  const Engine engine =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(2.0));
+
+  const std::string a = dir.File("a.snap");
+  const std::string b = dir.File("b.snap");
+  ASSERT_TRUE(WriteSnapshot(a, engine).ok());
+  ASSERT_TRUE(WriteSnapshot(b, engine).ok());
+  EXPECT_EQ(ReadFileBytes(a), ReadFileBytes(b));
+
+  // Re-snapshotting an attached engine reproduces the original bytes:
+  // the attach path must not perturb any serialized state.
+  auto snapshot = MappedSnapshot::Map(a);
+  ASSERT_TRUE(snapshot.ok());
+  auto attached = AttachEngine(snapshot.value(), nullptr, nullptr);
+  ASSERT_TRUE(attached.ok());
+  const std::string c = dir.File("c.snap");
+  ASSERT_TRUE(WriteSnapshot(c, attached.value()).ok());
+  EXPECT_EQ(ReadFileBytes(a), ReadFileBytes(c));
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  TempDir dir("karl_snap_trunc");
+  const data::Matrix points = MakePoints(5, 200);
+  const std::vector<double> weights = MixedWeights(5, points.rows());
+  const Engine engine =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(1.0));
+  const std::string path = dir.File("m.snap");
+  ASSERT_TRUE(WriteSnapshot(path, engine).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), kSnapshotHeaderBytes);
+
+  const std::string cut_path = dir.File("cut.snap");
+  for (const size_t cut :
+       {size_t{2}, size_t{100}, kSnapshotHeaderBytes, bytes.size() / 2,
+        bytes.size() - 1}) {
+    WriteFileBytes(cut_path, bytes.substr(0, cut));
+    auto mapped = MappedSnapshot::Map(cut_path);
+    EXPECT_FALSE(mapped.ok()) << "cut=" << cut;
+    // Every failure names the offending file.
+    EXPECT_NE(mapped.status().message().find(cut_path), std::string::npos)
+        << mapped.status().ToString();
+  }
+}
+
+TEST(SnapshotTest, RejectsCorruptHeaderFields) {
+  TempDir dir("karl_snap_corrupt");
+  const data::Matrix points = MakePoints(6, 200);
+  const std::vector<double> weights = MixedWeights(6, points.rows());
+  const Engine engine =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(1.0));
+  const std::string path = dir.File("m.snap");
+  ASSERT_TRUE(WriteSnapshot(path, engine).ok());
+  const std::string bytes = ReadFileBytes(path);
+  const std::string bad_path = dir.File("bad.snap");
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = static_cast<char>(bad[0] ^ 0xFF);
+  WriteFileBytes(bad_path, bad);
+  EXPECT_FALSE(MappedSnapshot::Map(bad_path).ok());
+
+  // Wrong version.
+  bad = bytes;
+  bad[4] = static_cast<char>(0x7F);
+  WriteFileBytes(bad_path, bad);
+  auto wrong_version = MappedSnapshot::Map(bad_path);
+  ASSERT_FALSE(wrong_version.ok());
+  EXPECT_NE(wrong_version.status().message().find("version"),
+            std::string::npos)
+      << wrong_version.status().ToString();
+
+  // Flipped checksum byte.
+  bad = bytes;
+  bad[kSnapshotChecksumOffset] =
+      static_cast<char>(bad[kSnapshotChecksumOffset] ^ 0x01);
+  WriteFileBytes(bad_path, bad);
+  auto bad_checksum = MappedSnapshot::Map(bad_path);
+  ASSERT_FALSE(bad_checksum.ok());
+  EXPECT_NE(bad_checksum.status().message().find("checksum"),
+            std::string::npos)
+      << bad_checksum.status().ToString();
+
+  // Flipped payload byte (middle of the section area).
+  bad = bytes;
+  bad[bytes.size() / 2] = static_cast<char>(bad[bytes.size() / 2] ^ 0x01);
+  WriteFileBytes(bad_path, bad);
+  EXPECT_FALSE(MappedSnapshot::Map(bad_path).ok());
+}
+
+TEST(SnapshotTest, UnlinkedFileKeepsAnswering) {
+  TempDir dir("karl_snap_unlink");
+  const data::Matrix points = MakePoints(7);
+  const std::vector<double> weights = MixedWeights(7, points.rows());
+  const Engine original =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(2.0));
+  const std::string path = dir.File("m.snap");
+  ASSERT_TRUE(WriteSnapshot(path, original).ok());
+
+  auto snapshot = MappedSnapshot::Map(path);
+  ASSERT_TRUE(snapshot.ok());
+  auto attached = AttachEngine(snapshot.value(), nullptr, nullptr);
+  ASSERT_TRUE(attached.ok());
+
+  // POSIX: the mapping survives the unlink until munmap.
+  ASSERT_TRUE(fs::remove(path));
+  ExpectSameAnswers(original, attached.value(), 11, /*check_ekaq=*/false);
+}
+
+TEST(SnapshotTest, MissingFileErrorNamesPath) {
+  const std::string path = "/nonexistent/karl/model.snap";
+  auto mapped = MappedSnapshot::Map(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), util::StatusCode::kIOError);
+  EXPECT_NE(mapped.status().message().find(path), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+// Writes a snapshot built from (seed, rows) to `path`; returns the built
+// engine for answer comparison.
+Engine WriteModel(const std::string& path, uint64_t seed, size_t rows = 400) {
+  const data::Matrix points = MakePoints(seed, rows);
+  const std::vector<double> weights = MixedWeights(seed, points.rows());
+  Engine engine =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(2.0));
+  KARL_CHECK(WriteSnapshot(path, engine).ok());
+  return engine;
+}
+
+TEST(RegistryTest, ScansLazilyAndServesNamedModels) {
+  TempDir dir("karl_reg_scan");
+  const Engine a = WriteModel(dir.File("alpha.snap"), 21);
+  const Engine b = WriteModel(dir.File("beta.snap"), 22);
+
+  RegistryOptions options;
+  options.default_model = "alpha";
+  auto registry = ModelRegistry::Open(dir.File(""), options);
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+  ModelRegistry& reg = *registry.value();
+
+  // Nothing resident before the first Acquire.
+  for (const auto& info : reg.List()) {
+    EXPECT_FALSE(info.resident) << info.name;
+    EXPECT_GT(info.file_bytes, 0u) << info.name;
+  }
+  EXPECT_EQ(reg.resident_bytes(), 0u);
+  EXPECT_EQ(reg.default_model(), "alpha");
+
+  auto ha = reg.Acquire("");  // Default resolves to alpha.
+  ASSERT_TRUE(ha.ok()) << ha.status().ToString();
+  auto hb = reg.Acquire("beta");
+  ASSERT_TRUE(hb.ok()) << hb.status().ToString();
+  EXPECT_TRUE(ha.value()->mmap_backed());
+  EXPECT_TRUE(hb.value()->mmap_backed());
+
+  ExpectSameAnswers(a, ha.value()->engine(), 31, /*check_ekaq=*/false);
+  ExpectSameAnswers(b, hb.value()->engine(), 32, /*check_ekaq=*/false);
+
+  const auto listed = reg.List();
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_TRUE(listed[0].resident);
+  EXPECT_TRUE(listed[1].resident);
+  EXPECT_TRUE(listed[0].mmap_backed);
+  EXPECT_GT(reg.resident_bytes(), 0u);
+}
+
+TEST(RegistryTest, SingleModelIsImplicitDefault) {
+  TempDir dir("karl_reg_single");
+  WriteModel(dir.File("only.snap"), 23, 200);
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  EXPECT_EQ(registry.value()->default_model(), "only");
+  EXPECT_TRUE(registry.value()->Acquire("").ok());
+}
+
+TEST(RegistryTest, MultiModelWithoutDefaultRejectsUnnamedRequests) {
+  TempDir dir("karl_reg_nodefault");
+  WriteModel(dir.File("a.snap"), 24, 200);
+  WriteModel(dir.File("b.snap"), 25, 200);
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  auto handle = registry.value()->Acquire("");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, UnknownModelIsNotFoundAndListsKnownNames) {
+  TempDir dir("karl_reg_unknown");
+  WriteModel(dir.File("alpha.snap"), 26, 200);
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  auto handle = registry.value()->Acquire("nope");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), util::StatusCode::kNotFound);
+  EXPECT_NE(handle.status().message().find("alpha"), std::string::npos);
+}
+
+TEST(RegistryTest, LoadsLegacyModelFiles) {
+  TempDir dir("karl_reg_legacy");
+  const data::Matrix points = MakePoints(27, 200);
+  const std::vector<double> weights = MixedWeights(27, points.rows());
+  core::EngineModel model;
+  model.points = points;
+  model.weights = weights;
+  model.options.kernel = core::KernelParams::Gaussian(2.0);
+  model.options.leaf_capacity = 24;
+  ASSERT_TRUE(core::SaveEngineModel(dir.File("old.bin"), model).ok());
+  const Engine original = BuildEngine(points, weights, model.options.kernel);
+
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  auto handle = registry.value()->Acquire("old");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_FALSE(handle.value()->mmap_backed());
+  ExpectSameAnswers(original, handle.value()->engine(), 33,
+                    /*check_ekaq=*/false);
+}
+
+TEST(RegistryTest, SnapshotShadowsLegacyWithSameStem) {
+  TempDir dir("karl_reg_shadow");
+  const data::Matrix points = MakePoints(28, 200);
+  const std::vector<double> weights = MixedWeights(28, points.rows());
+  core::EngineModel model;
+  model.points = points;
+  model.weights = weights;
+  model.options.kernel = core::KernelParams::Gaussian(2.0);
+  model.options.leaf_capacity = 24;
+  ASSERT_TRUE(core::SaveEngineModel(dir.File("m.bin"), model).ok());
+  WriteModel(dir.File("m.snap"), 28, 200);
+
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  const auto listed = registry.value()->List();
+  ASSERT_EQ(listed.size(), 1u);
+  auto handle = registry.value()->Acquire("m");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle.value()->mmap_backed());  // The .snap won.
+}
+
+TEST(RegistryTest, CorruptFileErrorNamesPath) {
+  TempDir dir("karl_reg_corrupt");
+  WriteFileBytes(dir.File("bad.snap"), "KSNPgarbage");
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  auto handle = registry.value()->Acquire("bad");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_NE(handle.status().message().find(dir.File("bad.snap")),
+            std::string::npos)
+      << handle.status().ToString();
+}
+
+TEST(RegistryTest, EvictsLruUnderBudgetButNeverPinned) {
+  TempDir dir("karl_reg_evict");
+  WriteModel(dir.File("a.snap"), 41);
+  const Engine b_built = WriteModel(dir.File("b.snap"), 42);
+  WriteModel(dir.File("c.snap"), 43);
+
+  // Measure one model's footprint with an unlimited registry.
+  uint64_t one_model_bytes = 0;
+  {
+    auto probe = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+    ASSERT_TRUE(probe.ok());
+    ASSERT_TRUE(probe.value()->Acquire("a").ok());
+    one_model_bytes = probe.value()->resident_bytes();
+    ASSERT_GT(one_model_bytes, 0u);
+  }
+
+  telemetry::Registry metrics;
+  RegistryOptions options;
+  options.memory_budget_bytes = one_model_bytes + one_model_bytes / 2;
+  options.metrics = &metrics;
+  auto registry = ModelRegistry::Open(dir.File(""), options);
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+
+  // Load a, drop the handle, then load b: a is LRU and unpinned → gone.
+  { ASSERT_TRUE(reg.Acquire("a").ok()); }
+  auto hb = reg.Acquire("b");
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(reg.evictions(), 1u);
+  for (const auto& info : reg.List()) {
+    if (info.name == "a") {
+      EXPECT_FALSE(info.resident);
+    }
+    if (info.name == "b") {
+      EXPECT_TRUE(info.resident);
+    }
+  }
+  EXPECT_EQ(metrics.GetCounter("karl_model_evictions")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("karl_model_loads_total")->value(), 2u);
+  EXPECT_GT(metrics.GetGauge("karl_model_resident_bytes")->value(), 0.0);
+
+  // Re-load a while still holding b's handle: b is pinned, so both stay
+  // resident even though the budget is exceeded.
+  auto ha = reg.Acquire("a");
+  ASSERT_TRUE(ha.ok());
+  EXPECT_EQ(reg.evictions(), 1u);
+  EXPECT_GT(reg.resident_bytes(), options.memory_budget_bytes);
+
+  // Drop b's pin; the next *load* (c) sweeps b out. a survives: its
+  // handle is still held, and pinned models are never evicted.
+  hb = util::Result<ModelHandle>(ModelHandle());
+  auto hc = reg.Acquire("c");
+  ASSERT_TRUE(hc.ok());
+  EXPECT_EQ(reg.evictions(), 2u);
+  for (const auto& info : reg.List()) {
+    if (info.name == "a") {
+      EXPECT_TRUE(info.resident);
+    }
+    if (info.name == "b") {
+      EXPECT_FALSE(info.resident);
+    }
+    if (info.name == "c") {
+      EXPECT_TRUE(info.resident);
+    }
+  }
+
+  // The evicted model reloads on demand and answers identically.
+  auto hb2 = reg.Acquire("b");
+  ASSERT_TRUE(hb2.ok());
+  util::Rng rng(44);
+  const std::vector<double> q = RandomQuery(rng);
+  EXPECT_DOUBLE_EQ(hb2.value()->engine().Exact(q), b_built.Exact(q));
+}
+
+TEST(RegistryTest, HotReloadSwapsAtomicallyWhileOldHandlesKeepServing) {
+  TempDir dir("karl_reg_reload");
+  const Engine v1 = WriteModel(dir.File("m.snap"), 51, 400);
+
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+
+  auto h1 = reg.Acquire("m");
+  ASSERT_TRUE(h1.ok());
+  util::Rng rng(52);
+  const std::vector<double> q = RandomQuery(rng);
+  const double v1_answer = h1.value()->engine().Exact(q);
+  EXPECT_DOUBLE_EQ(v1_answer, v1.Exact(q));
+
+  // Replace-by-rename with a different model (different row count so
+  // the size alone flags the change), then reload.
+  const Engine v2 = WriteModel(dir.File("m.snap.tmp"), 53, 300);
+  fs::rename(dir.File("m.snap.tmp"), dir.File("m.snap"));
+  ASSERT_TRUE(reg.Reload().ok());
+  EXPECT_EQ(reg.reloads(), 1u);
+
+  // New acquires see v2; the old pinned handle still answers v1 values
+  // off the old (now-replaced) mapping.
+  auto h2 = reg.Acquire("m");
+  ASSERT_TRUE(h2.ok());
+  const double v2_answer = h2.value()->engine().Exact(q);
+  EXPECT_DOUBLE_EQ(v2_answer, v2.Exact(q));
+  EXPECT_NE(v1_answer, v2_answer);
+  EXPECT_DOUBLE_EQ(h1.value()->engine().Exact(q), v1_answer);
+}
+
+TEST(RegistryTest, ReloadAddsNewFilesAndDropsDeletedOnes) {
+  TempDir dir("karl_reg_rescan");
+  WriteModel(dir.File("a.snap"), 61, 200);
+  auto registry = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+  EXPECT_FALSE(reg.Acquire("c").ok());
+
+  WriteModel(dir.File("c.snap"), 62, 200);
+  ASSERT_TRUE(reg.Reload().ok());
+  EXPECT_TRUE(reg.Acquire("c").ok());
+
+  ASSERT_TRUE(fs::remove(dir.File("c.snap")));
+  ASSERT_TRUE(reg.Reload().ok());
+  auto gone = reg.Acquire("c");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, AdoptedEnginesServeAndResistEviction) {
+  const data::Matrix points = MakePoints(71, 200);
+  const std::vector<double> weights = MixedWeights(71, points.rows());
+  const Engine external =
+      BuildEngine(points, weights, core::KernelParams::Gaussian(2.0));
+
+  RegistryOptions options;
+  options.memory_budget_bytes = 1;  // Absurdly tight.
+  auto registry = ModelRegistry::Open("", options);
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+  reg.AdoptEngine("local", &external);
+
+  auto handle = reg.Acquire("");  // Sole model → implicit default.
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_FALSE(handle.value()->mmap_backed());
+  util::Rng rng(72);
+  const std::vector<double> q = RandomQuery(rng);
+  EXPECT_DOUBLE_EQ(handle.value()->engine().Exact(q), external.Exact(q));
+
+  // Adopted engines are never evicted, budget notwithstanding.
+  EXPECT_EQ(reg.evictions(), 0u);
+  const auto listed = reg.List();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_TRUE(listed[0].adopted);
+  EXPECT_TRUE(listed[0].resident);
+}
+
+TEST(RegistryTest, ExplicitModelFilesRegisterAndReload) {
+  TempDir dir("karl_reg_explicit");
+  const Engine v1 = WriteModel(dir.File("standalone"), 81, 300);
+
+  auto registry = ModelRegistry::Open("", RegistryOptions{});
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+  ASSERT_TRUE(reg.AddModelFile("solo", dir.File("standalone")).ok());
+  EXPECT_FALSE(
+      reg.AddModelFile("ghost", dir.File("does-not-exist")).ok());
+
+  auto h1 = reg.Acquire("solo");
+  ASSERT_TRUE(h1.ok()) << h1.status().ToString();
+  EXPECT_TRUE(h1.value()->mmap_backed());  // Sniffed by magic, not name.
+  util::Rng rng(82);
+  const std::vector<double> q = RandomQuery(rng);
+  EXPECT_DOUBLE_EQ(h1.value()->engine().Exact(q), v1.Exact(q));
+
+  // Swap the file in place; Reload must pick up the change.
+  const Engine v2 = WriteModel(dir.File("standalone.tmp"), 83, 200);
+  fs::rename(dir.File("standalone.tmp"), dir.File("standalone"));
+  ASSERT_TRUE(reg.Reload().ok());
+  auto h2 = reg.Acquire("solo");
+  ASSERT_TRUE(h2.ok());
+  EXPECT_DOUBLE_EQ(h2.value()->engine().Exact(q), v2.Exact(q));
+}
+
+TEST(RegistryTest, ConcurrentAcquireQueryReloadEvictStress) {
+  TempDir dir("karl_reg_stress");
+  WriteModel(dir.File("a.snap"), 91, 200);
+  WriteModel(dir.File("b.snap"), 92, 200);
+  WriteModel(dir.File("c.snap"), 93, 200);
+  // Alternate version of b, swapped in mid-stress by the reload thread.
+  WriteModel(dir.File("b_alt"), 94, 150);
+
+  // Budget fits roughly one model: constant eviction churn.
+  uint64_t one_model_bytes = 0;
+  {
+    auto probe = ModelRegistry::Open(dir.File(""), RegistryOptions{});
+    ASSERT_TRUE(probe.ok());
+    ASSERT_TRUE(probe.value()->Acquire("a").ok());
+    one_model_bytes = probe.value()->resident_bytes();
+  }
+  RegistryOptions options;
+  options.memory_budget_bytes = one_model_bytes + one_model_bytes / 4;
+  auto registry = ModelRegistry::Open(dir.File(""), options);
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+
+  std::atomic<int> failures{0};
+  const char* names[3] = {"a", "b", "c"};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(100 + static_cast<uint64_t>(t));
+      for (int iter = 0; iter < 40; ++iter) {
+        auto handle = reg.Acquire(names[(t + iter) % 3]);
+        if (!handle.ok()) {
+          ++failures;
+          continue;
+        }
+        const std::vector<double> q = RandomQuery(rng);
+        const double exact = handle.value()->engine().Exact(q);
+        if (!std::isfinite(exact)) ++failures;
+        handle.value()->engine().Tkaq(q, exact + 0.01);
+      }
+    });
+  }
+  std::thread reloader([&] {
+    for (int iter = 0; iter < 10; ++iter) {
+      if (iter == 5) {
+        std::error_code ec;
+        fs::rename(dir.File("b_alt"), dir.File("b.snap"), ec);
+      }
+      if (!reg.Reload().ok()) ++failures;
+    }
+  });
+  for (auto& w : workers) w.join();
+  reloader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(reg.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace karl::registry

@@ -12,17 +12,21 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/evaluator.h"
 #include "core/karl.h"
 #include "data/synthetic.h"
+#include "registry/registry.h"
+#include "registry/snapshot.h"
 #include "server/client.h"
 #include "server/json.h"
 #include "server/protocol.h"
@@ -1035,6 +1039,180 @@ TEST_F(ServerTest, AccessLogAttributesShedAndAdmittedDispositions) {
   }
   EXPECT_EQ(shed_records, shed);
   EXPECT_EQ(admitted_records, total - shed);
+}
+
+// ------------------------------------------------- registry serving
+
+// Builds a Type I engine over seeded clustered points (4 dims, so the
+// fixture's queries_ fit all registry models).
+Engine BuildRegistryModel(uint64_t seed, size_t rows, double gamma) {
+  util::Rng rng(seed);
+  const data::Matrix points = data::SampleClustered(rows, 4, 3, 0.08, rng);
+  EngineOptions options;
+  options.kernel = core::KernelParams::Gaussian(gamma);
+  options.leaf_capacity = 24;
+  auto built = Engine::BuildUniform(points, 1.0, options);
+  KARL_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).ValueOrDie();
+}
+
+// Fresh empty directory under the test temp root.
+std::string FreshModelDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Json ExactQueryRequest(std::span<const double> q,
+                       const std::string& model) {
+  Json row = Json::Array();
+  for (const double v : q) row.Append(Json::Number(v));
+  Json request = Json::Object()
+                     .Set("op", Json::Str("query"))
+                     .Set("kind", Json::Str("exact"))
+                     .Set("q", std::move(row));
+  if (!model.empty()) request.Set("model", Json::Str(model));
+  return request;
+}
+
+// Acceptance: a registry-backed server answers named queries with each
+// model's own engine, bit-identical to what a single-model server over
+// that engine would return; unnamed queries go to the default and
+// unknown names get the typed not_found error.
+TEST_F(ServerTest, RegistryServerAnswersNamedModelsBitIdentically) {
+  const Engine alpha = BuildRegistryModel(31, 400, 3.0);
+  const Engine beta = BuildRegistryModel(33, 300, 2.0);
+  const std::string dir = FreshModelDir("karl_server_registry_models");
+  ASSERT_TRUE(registry::WriteSnapshot(dir + "/alpha.snap", alpha).ok());
+  ASSERT_TRUE(registry::WriteSnapshot(dir + "/beta.snap", beta).ok());
+
+  registry::RegistryOptions registry_options;
+  registry_options.default_model = "alpha";
+  registry_options.metrics = &registry_;
+  auto models = registry::ModelRegistry::Open(dir, registry_options);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+
+  ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.metrics = &registry_;
+  auto server = Server::StartWithRegistry(models.value().get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server_ = std::move(server).ValueOrDie();
+
+  Client client = Dial();
+  for (size_t i = 0; i < 8; ++i) {
+    const auto q = queries_.Row(i);
+    for (const auto& [name, engine] :
+         {std::pair<std::string, const Engine*>{"alpha", &alpha},
+          {"beta", &beta},
+          {"", &alpha}}) {  // "" = default model.
+      auto response = client.RoundTrip(ExactQueryRequest(q, name));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const Json* value = response.value().Find("value");
+      ASSERT_NE(value, nullptr) << response.value().Dump();
+      EXPECT_EQ(value->number_value(), engine->Exact(q))
+          << "model '" << name << "' query " << i;
+    }
+  }
+
+  // Unknown model: typed not_found naming the known models.
+  auto missing =
+      client.RoundTrip(ExactQueryRequest(queries_.Row(0), "gamma"));
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  const Json* error = missing.value().Find("error");
+  ASSERT_NE(error, nullptr) << missing.value().Dump();
+  EXPECT_EQ(error->string_value(), "not_found");
+  const Json* detail = missing.value().Find("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_NE(detail->string_value().find("alpha"), std::string::npos)
+      << detail->string_value();
+}
+
+// Acceptance: a hot reload (replace-by-rename + op=reload) while
+// clients are mid-flight loses no requests — every answer arrives and
+// is bit-identical to either the old or the new model, never anything
+// else; afterwards new queries see the new model.
+TEST_F(ServerTest, HotReloadLosesNoInFlightRequests) {
+  const Engine v1 = BuildRegistryModel(41, 400, 3.0);
+  const Engine v2 = BuildRegistryModel(43, 300, 3.0);
+  const std::string dir = FreshModelDir("karl_server_reload_models");
+  ASSERT_TRUE(registry::WriteSnapshot(dir + "/m.snap", v1).ok());
+
+  registry::RegistryOptions registry_options;
+  registry_options.metrics = &registry_;
+  auto models = registry::ModelRegistry::Open(dir, registry_options);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+
+  ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.metrics = &registry_;
+  auto server = Server::StartWithRegistry(models.value().get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server_ = std::move(server).ValueOrDie();
+
+  // Per-query answers of both generations, computed up front so worker
+  // threads only compare.
+  const size_t num_queries = 16;
+  std::vector<double> expected_v1(num_queries);
+  std::vector<double> expected_v2(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    expected_v1[i] = v1.Exact(queries_.Row(i));
+    expected_v2[i] = v2.Exact(queries_.Row(i));
+  }
+
+  std::atomic<size_t> answered{0};
+  std::atomic<size_t> wrong{0};
+  std::atomic<bool> go_reload{false};
+  const size_t kThreads = 4;
+  const size_t kItersPerThread = 60;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Client client = Dial();
+      for (size_t iter = 0; iter < kItersPerThread; ++iter) {
+        if (t == 0 && iter == kItersPerThread / 4) go_reload = true;
+        const size_t qi = (t + iter) % num_queries;
+        auto value = client.Exact(queries_.Row(qi));
+        if (!value.ok()) continue;  // A drop; stays visible in `answered`.
+        answered.fetch_add(1);
+        if (value.value() != expected_v1[qi] &&
+            value.value() != expected_v2[qi]) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Mid-storm: write the new generation next to the old and swap it in
+  // atomically (rename), then reload through the protocol op.
+  while (!go_reload.load()) std::this_thread::yield();
+  ASSERT_TRUE(registry::WriteSnapshot(dir + "/m.snap.tmp", v2).ok());
+  std::filesystem::rename(dir + "/m.snap.tmp", dir + "/m.snap");
+  Client admin = Dial();
+  auto reloaded =
+      admin.RoundTrip(Json::Object().Set("op", Json::Str("reload")));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  const Json* status = reloaded.value().Find("status");
+  ASSERT_NE(status, nullptr) << reloaded.value().Dump();
+  EXPECT_EQ(status->string_value(), "reloaded");
+
+  for (std::thread& worker : workers) worker.join();
+  // Zero dropped, zero foreign answers.
+  EXPECT_EQ(answered.load(), kThreads * kItersPerThread);
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(models.value()->reloads(), 1u);
+
+  // The storm has passed; fresh queries serve the new generation.
+  Client after = Dial();
+  for (size_t i = 0; i < 4; ++i) {
+    auto value = after.Exact(queries_.Row(i));
+    ASSERT_TRUE(value.ok()) << value.status().ToString();
+    EXPECT_EQ(value.value(), expected_v2[i]);
+  }
 }
 
 }  // namespace

@@ -25,6 +25,14 @@
 //       telemetry registry (JSON when the path ends in .json,
 //       Prometheus text otherwise); --trace-out writes a Chrome
 //       trace-event JSON loadable in Perfetto.
+//   compile-snapshot  <model.bin> <model.snap> [--verify]
+//       Compiles a legacy engine-model file into the mmap snapshot
+//       format (src/registry/snapshot.h): the engine is built once,
+//       serialized flat, and thereafter servers attach it with mmap in
+//       microseconds instead of rebuilding the index. --verify maps the
+//       written snapshot back, attaches an engine over it, and checks
+//       that exact aggregates on sampled queries are bit-identical to
+//       the built engine's.
 //   tune      --model <model.bin> --queries <file.csv> (--tau T | --eps E)
 //       Offline-tunes the index configuration and reports the grid.
 //   remote-query  --port P [--host 127.0.0.1] --queries <file.csv>
@@ -51,12 +59,14 @@
 #include "data/synthetic.h"
 #include "core/traversal_profile.h"
 #include "ml/kde.h"
+#include "registry/snapshot.h"
 #include "server/client.h"
 #include "server/json.h"
 #include "server/protocol.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -72,7 +82,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: karl <generate|build|query|tune|remote-query> "
+               "usage: karl "
+               "<generate|build|query|tune|compile-snapshot|remote-query> "
                "[--flags]\n"
                "run with a subcommand to see its required flags\n");
   return 1;
@@ -447,6 +458,67 @@ int RunRemoteQuery(const ParsedArgs& args) {
   return 0;
 }
 
+int RunCompileSnapshot(const ParsedArgs& args) {
+  if (args.positional().size() != 2) {
+    return Fail(
+        "compile-snapshot requires <model.bin> <model.snap> [--verify]");
+  }
+  const std::string& in_path = args.positional()[0];
+  const std::string& out_path = args.positional()[1];
+
+  auto model = karl::core::LoadEngineModel(in_path);
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto engine = karl::Engine::Build(model.value().points,
+                                    model.value().weights,
+                                    model.value().options);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+  if (auto st = karl::registry::WriteSnapshot(out_path, engine.value());
+      !st.ok()) {
+    return Fail(st.ToString());
+  }
+
+  auto mapped = karl::registry::MappedSnapshot::Map(out_path);
+  if (!mapped.ok()) return Fail(mapped.status().ToString());
+  std::printf(
+      "snapshot compiled: %zu points, %zu dims, %s weighting, "
+      "%zu bytes -> %s\n",
+      model.value().points.rows(), model.value().points.cols(),
+      std::string(WeightingTypeToString(engine.value().weighting_type()))
+          .c_str(),
+      mapped.value().file_bytes(), out_path.c_str());
+
+  if (!args.Has("verify")) return 0;
+
+  // Attach an engine over the freshly written snapshot and require
+  // exact aggregates on sampled queries to be bit-identical to the
+  // built engine's — the snapshot stores the same doubles the builder
+  // computed, so any difference is corruption, not rounding.
+  auto attached = karl::registry::AttachEngine(mapped.value(),
+                                               nullptr, nullptr);
+  if (!attached.ok()) return Fail(attached.status().ToString());
+  const karl::data::Matrix& points = model.value().points;
+  const size_t dims = points.cols();
+  const size_t samples = std::min<size_t>(64, points.rows());
+  karl::util::Rng rng(0x6b61726cu);
+  std::vector<double> q(dims);
+  for (size_t i = 0; i < samples; ++i) {
+    const auto base = points.Row((i * 7919) % points.rows());
+    for (size_t d = 0; d < dims; ++d) {
+      q[d] = base[d] + rng.Uniform(-0.05, 0.05);
+    }
+    const double expected = engine.value().Exact(q);
+    const double actual = attached.value().Exact(q);
+    if (expected != actual) {
+      return Fail("verify FAILED: exact aggregate mismatch on sample " +
+                  std::to_string(i) + " (built " +
+                  std::to_string(expected) + ", snapshot " +
+                  std::to_string(actual) + ")");
+    }
+  }
+  std::printf("verify: %zu exact aggregates bit-identical\n", samples);
+  return 0;
+}
+
 int RunTune(const ParsedArgs& args) {
   const std::string model_path = args.GetString("model");
   const std::string query_path = args.GetString("queries");
@@ -506,6 +578,8 @@ int main(int argc, char** argv) {
     rc = RunQuery(args);
   } else if (args.command() == "tune") {
     rc = RunTune(args);
+  } else if (args.command() == "compile-snapshot") {
+    rc = RunCompileSnapshot(args);
   } else if (args.command() == "remote-query") {
     rc = RunRemoteQuery(args);
   } else {

@@ -1,14 +1,27 @@
-// karl_server — network front end for a saved KARL engine model.
+// karl_server — network front end for saved KARL models.
 //
-//   karl_server --model <model.bin> [--host 127.0.0.1] [--port 7070]
+//   karl_server --model <model.bin|model.snap>
+//               | --model-dir <dir> [--default-model <name>]
+//               [--model-memory-budget <bytes>]
+//               [--host 127.0.0.1] [--port 7070]
 //               [--threads N] [--max-pending R] [--metrics-out <file>]
 //               [--log-level debug|info|warn|error] [--access-log <file>]
 //               [--slow-query-us N] [--trace-out <file>]
 //               [--statusz-out <file>] [--admin-port P]
 //               [--admin-host 127.0.0.1]
 //
-// Loads the model, builds the engine (with the global telemetry
-// registry attached), and serves the newline-delimited JSON protocol
+// Models are served through a registry (src/registry/registry.h):
+// `--model` registers one file (legacy .bin or mmap .snap, sniffed by
+// magic) as the default model; `--model-dir` scans a directory of
+// *.snap / *.bin files, each served under its file stem, picked per
+// request with the protocol's "model" field. `--default-model` names
+// which of them answers unnamed requests (a single-model directory is
+// its own default). `--model-memory-budget` bounds resident model
+// bytes with LRU eviction (0 = unlimited; in-use models are never
+// evicted). Models load lazily on first use; SIGHUP (or the protocol's
+// op=reload) rescans the directory and atomically swaps changed files.
+//
+// The server answers the newline-delimited JSON protocol
 // (src/server/protocol.h) until SIGINT/SIGTERM, then drains in-flight
 // work, optionally dumps the metrics registry to --metrics-out (and the
 // request trace to --trace-out), and exits 0. `--port 0` binds an
@@ -26,16 +39,17 @@
 //   --statusz-out    where SIGUSR1 dumps the statusz JSON document
 //                    (stderr when unset). SIGUSR1 never stops serving.
 //   --admin-port     HTTP scrape plane (GET /metrics /healthz /statusz
-//                    /varz /flightz /explainz) on its own thread; -1
-//                    (default) disables, 0 binds an ephemeral port. The
-//                    chosen port is part of the "admin on" line printed
-//                    at startup.
+//                    /varz /flightz /modelz /explainz) on its own
+//                    thread; -1 (default) disables, 0 binds an
+//                    ephemeral port. The chosen port is part of the
+//                    "admin on" line printed at startup.
 
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
-#include "core/engine_io.h"
+#include "registry/registry.h"
 #include "server/server.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -77,9 +91,14 @@ int main(int argc, char** argv) {
   const karl::util::ParsedArgs& args = parsed.value();
 
   const std::string model_path = args.GetString("model");
-  if (model_path.empty()) {
+  const std::string model_dir = args.GetString("model-dir");
+  const std::string default_model_flag = args.GetString("default-model");
+  const auto model_memory_budget = args.GetInt("model-memory-budget", 0);
+  if (model_path.empty() && model_dir.empty()) {
     return Fail(
-        "usage: karl_server --model <model.bin> [--host H] [--port P] "
+        "usage: karl_server --model <model.bin|model.snap> | "
+        "--model-dir <dir> [--default-model <name>] "
+        "[--model-memory-budget <bytes>] [--host H] [--port P] "
         "[--threads N] [--max-pending R] [--metrics-out <file>] "
         "[--log-level L] [--access-log <file>] [--slow-query-us N] "
         "[--trace-out <file>] [--statusz-out <file>]");
@@ -106,6 +125,12 @@ int main(int argc, char** argv) {
   if (threads.value() < 0) return Fail("--threads must be >= 0");
   if (max_pending.value() <= 0) return Fail("--max-pending must be > 0");
   if (slow_query_us.value() < 0) return Fail("--slow-query-us must be >= 0");
+  if (!model_memory_budget.ok()) {
+    return Fail(model_memory_budget.status().ToString());
+  }
+  if (model_memory_budget.value() < 0) {
+    return Fail("--model-memory-budget must be >= 0 bytes (0 = unlimited)");
+  }
   if (!admin_port.ok()) return Fail(admin_port.status().ToString());
   if (admin_port.value() < -1 || admin_port.value() > 65535) {
     return Fail("--admin-port must be -1 (off) or in [0, 65535]");
@@ -131,13 +156,51 @@ int main(int argc, char** argv) {
     access_log = std::move(opened).ValueOrDie();
   }
 
-  auto model = karl::core::LoadEngineModel(model_path);
-  if (!model.ok()) return Fail(model.status().ToString());
-  model.value().options.metrics = &karl::telemetry::GlobalRegistry();
-  auto engine = karl::Engine::Build(model.value().points,
-                                    model.value().weights,
-                                    model.value().options);
-  if (!engine.ok()) return Fail(engine.status().ToString());
+  // Default-model resolution: --default-model wins; else --model's file
+  // stem; else empty (a single-model directory defaults to itself, a
+  // multi-model one requires requests to name their model).
+  std::string default_model = default_model_flag;
+  if (default_model.empty() && !model_path.empty()) {
+    default_model = std::filesystem::path(model_path).stem().string();
+  }
+
+  karl::registry::RegistryOptions registry_options;
+  registry_options.default_model = default_model;
+  registry_options.memory_budget_bytes =
+      static_cast<uint64_t>(model_memory_budget.value());
+  registry_options.metrics = &karl::telemetry::GlobalRegistry();
+  registry_options.logger = &logger;
+  auto opened = karl::registry::ModelRegistry::Open(model_dir,
+                                                    registry_options);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  std::unique_ptr<karl::registry::ModelRegistry> models =
+      std::move(opened).ValueOrDie();
+  if (!model_path.empty()) {
+    const std::string name =
+        std::filesystem::path(model_path).stem().string();
+    if (auto st = models->AddModelFile(name, model_path); !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
+  if (models->List().empty()) {
+    return Fail("no models: '" + model_dir +
+                "' holds no *.snap or *.bin files");
+  }
+
+  // Load the default model now (when one resolves) so a missing or
+  // corrupt file fails startup with the path in the error instead of
+  // surfacing on the first query. Other models stay lazy.
+  size_t boot_points = 0;
+  const bool have_default = !models->default_model().empty();
+  if (have_default) {
+    auto handle = models->Acquire("");
+    if (!handle.ok()) return Fail(handle.status().ToString());
+    const karl::Engine& engine = handle.value()->engine();
+    boot_points = engine.plus_tree().points().rows();
+    if (engine.minus_tree() != nullptr) {
+      boot_points += engine.minus_tree()->points().rows();
+    }
+  }
 
   std::unique_ptr<karl::telemetry::TraceRecorder> tracer;
   if (!trace_out.empty()) {
@@ -153,6 +216,7 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGINT);
   sigaddset(&sigs, SIGTERM);
   sigaddset(&sigs, SIGUSR1);
+  sigaddset(&sigs, SIGHUP);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   karl::server::ServerOptions options;
@@ -167,16 +231,20 @@ int main(int argc, char** argv) {
   options.slow_query_us = static_cast<uint64_t>(slow_query_us.value());
   options.admin_port = static_cast<int>(admin_port.value());
   options.admin_host = admin_host;
-  auto server = karl::server::Server::Start(engine.value(), options);
+  auto server =
+      karl::server::Server::StartWithRegistry(models.get(), options);
   if (!server.ok()) return Fail(server.status().ToString());
 
   const size_t pool_threads =
       options.threads != 0 ? options.threads
                            : karl::util::ThreadPool::DefaultThreadCount();
   logger.Log(karl::util::LogLevel::kInfo, "server.start",
-             {{"model", model_path},
-              {"points", static_cast<uint64_t>(model.value().points.rows())},
-              {"dims", static_cast<uint64_t>(model.value().points.cols())},
+             {{"model_dir", model_dir.empty() ? "<none>" : model_dir},
+              {"models", static_cast<uint64_t>(models->List().size())},
+              {"default_model",
+               have_default ? models->default_model() : "<none>"},
+              {"model_memory_budget",
+               static_cast<uint64_t>(model_memory_budget.value())},
               {"threads", static_cast<uint64_t>(pool_threads)},
               {"host", host},
               {"port", static_cast<int64_t>(server.value()->port())},
@@ -186,9 +254,20 @@ int main(int argc, char** argv) {
               {"tracing", tracer != nullptr},
               {"access_log",
                access_log_path.empty() ? "<off>" : access_log_path}});
-  std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
-              host.c_str(), server.value()->port(), model_path.c_str(),
-              model.value().points.rows());
+  if (!model_path.empty()) {
+    std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
+                host.c_str(), server.value()->port(), model_path.c_str(),
+                boot_points);
+  } else if (have_default) {
+    std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
+                host.c_str(), server.value()->port(),
+                models->default_model().c_str(), boot_points);
+  } else {
+    std::printf(
+        "karl_server listening on %s:%d (model-dir %s, %zu models)\n",
+        host.c_str(), server.value()->port(), model_dir.c_str(),
+        models->List().size());
+  }
   if (server.value()->admin_port() >= 0) {
     std::printf("karl_server admin on %s:%d\n", admin_host.c_str(),
                 server.value()->admin_port());
@@ -202,6 +281,19 @@ int main(int argc, char** argv) {
       logger.Log(karl::util::LogLevel::kInfo, "statusz.dump",
                  {{"path", statusz_out.empty() ? "<stderr>" : statusz_out}});
       DumpStatusz(*server.value(), statusz_out);
+      continue;
+    }
+    if (signum == SIGHUP) {
+      // Hot reload: rescan the model directory and refresh explicit
+      // files; in-flight queries finish on the old mappings. Serving
+      // never pauses.
+      const auto st = models->Reload();
+      logger.Log(st.ok() ? karl::util::LogLevel::kInfo
+                         : karl::util::LogLevel::kWarn,
+                 "models.reload",
+                 {{"ok", st.ok()},
+                  {"models", static_cast<uint64_t>(models->List().size())},
+                  {"error", st.ok() ? "" : st.ToString()}});
       continue;
     }
     logger.Log(karl::util::LogLevel::kInfo, "server.drain",
