@@ -200,9 +200,15 @@ util::Result<ModelHandle> ModelRegistry::LoadEntry(const std::string& name,
 
   ++entry->loads;
   entry->coldstart_us = model->coldstart_us_;
+  entry->generation = reloads_total_;
   if (options_.metrics != nullptr) {
+    const telemetry::LabelSet labels{{"model", name}};
     options_.metrics->GetCounter("karl_model_loads_total")->Increment();
+    options_.metrics->GetCounter("karl_model_loads_total", labels)
+        ->Increment();
     options_.metrics->GetHistogram("karl_model_coldstart_us")
+        ->Record(static_cast<double>(model->coldstart_us_));
+    options_.metrics->GetHistogram("karl_model_coldstart_us", labels)
         ->Record(static_cast<double>(model->coldstart_us_));
   }
   util::Log(options_.logger, util::LogLevel::kInfo, "model_load",
@@ -238,7 +244,12 @@ void ModelRegistry::EnforceBudget() {
     ++entry.evictions;
     ++evictions_total_;
     if (options_.metrics != nullptr) {
-      options_.metrics->GetCounter("karl_model_evictions")->Increment();
+      options_.metrics->GetCounter("karl_model_evictions_total")
+          ->Increment();
+      options_.metrics
+          ->GetCounter("karl_model_evictions_total",
+                       telemetry::LabelSet{{"model", victim->first}})
+          ->Increment();
     }
     util::Log(options_.logger, util::LogLevel::kInfo, "model_evict",
               {{"model", victim->first},
@@ -352,6 +363,7 @@ std::vector<ModelInfo> ModelRegistry::List() const {
     info.queries = entry.queries;
     info.loads = entry.loads;
     info.evictions = entry.evictions;
+    info.generation = entry.generation;
     out.push_back(std::move(info));
   }
   return out;
@@ -391,6 +403,18 @@ void ModelRegistry::UpdateResidentGauge() {
   if (options_.metrics == nullptr) return;
   options_.metrics->GetGauge("karl_model_resident_bytes")
       ->Set(static_cast<double>(ResidentBytesLocked()));
+  // Per-model residency: evicted/unloaded models report 0 rather than
+  // disappearing, so scrapers see the release.
+  for (const auto& [name, entry] : models_) {
+    const double bytes =
+        entry.loaded != nullptr
+            ? static_cast<double>(entry.loaded->resident_bytes())
+            : 0.0;
+    options_.metrics
+        ->GetGauge("karl_model_resident_bytes",
+                   telemetry::LabelSet{{"model", name}})
+        ->Set(bytes);
+  }
 }
 
 }  // namespace karl::registry

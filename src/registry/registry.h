@@ -100,6 +100,9 @@ struct ModelInfo {
   uint64_t queries = 0;
   uint64_t loads = 0;
   uint64_t evictions = 0;
+  /// reloads() count when the resident artifact was (re)loaded: 0 for a
+  /// model loaded before any reload, bumped when a hot reload swaps it.
+  uint64_t generation = 0;
 };
 
 /// See file comment.
@@ -164,6 +167,7 @@ class ModelRegistry {
     uint64_t loads = 0;
     uint64_t evictions = 0;
     uint64_t coldstart_us = 0;
+    uint64_t generation = 0;   // reloads_total_ at last LoadEntry.
   };
 
   explicit ModelRegistry(std::string model_dir, RegistryOptions options)

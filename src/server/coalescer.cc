@@ -32,6 +32,7 @@ Coalescer::Coalescer(util::ThreadPool* pool, size_t max_pending_rows,
       max_pending_rows_(max_pending_rows),
       tracer_(tracer) {
   if (metrics != nullptr) {
+    metrics_ = metrics;
     groups_total_ = metrics->GetCounter("karl_server_batches_total");
     queries_total_ = metrics->GetCounter("karl_server_queries_total");
     group_rows_ = metrics->GetRollingHistogram("karl_server_coalesced_rows");
@@ -39,6 +40,25 @@ Coalescer::Coalescer(util::ThreadPool* pool, size_t max_pending_rows,
     pending_gauge_ = metrics->GetGauge("karl_server_pending_rows");
   }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+const Coalescer::ModelInstruments& Coalescer::InstrumentsForModel(
+    const std::string& model) {
+  const auto it = model_instruments_.find(model);
+  if (it != model_instruments_.end()) return it->second;
+  ModelInstruments instruments;
+  if (metrics_ != nullptr && !model.empty()) {
+    const telemetry::LabelSet labels{{"model", model}};
+    instruments.groups =
+        metrics_->GetCounter("karl_server_batches_total", labels);
+    instruments.queries =
+        metrics_->GetCounter("karl_server_queries_total", labels);
+    instruments.rows =
+        metrics_->GetRollingHistogram("karl_server_coalesced_rows", labels);
+    instruments.usec =
+        metrics_->GetRollingHistogram("karl_server_batch_usec", labels);
+  }
+  return model_instruments_.emplace(model, instruments).first->second;
 }
 
 Coalescer::~Coalescer() {
@@ -199,6 +219,13 @@ void Coalescer::RunExplain(WorkItem item) {
     queries_total_->Add(1);
     group_rows_->Record(1.0);
     group_usec_->Record(usec);
+    const ModelInstruments& labeled = InstrumentsForModel(item.model);
+    if (labeled.groups != nullptr) {
+      labeled.groups->Increment();
+      labeled.queries->Add(1);
+      labeled.rows->Record(1.0);
+      labeled.usec->Record(usec);
+    }
   }
   if (tracer_.enabled()) {
     tracer_.Span("grp/explain", eval_begin_us, eval_end_us,
@@ -227,6 +254,7 @@ void Coalescer::RunExplain(WorkItem item) {
   completion.kind = item.kind;
   completion.is_batch = false;
   completion.rows = 1;
+  completion.model = std::move(item.model);
   completion.request_id = std::move(item.request_id);
   completion.explain_json = explain.Dump();
 
@@ -299,9 +327,12 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
   // Per-group evaluator over the group's pinned engine — cheap to
   // construct (it only resolves telemetry handles), and the handle
   // keeps the engine's backing memory alive for the whole call even if
-  // the registry evicts or swaps the model meanwhile.
+  // the registry evicts or swaps the model meanwhile. The model name
+  // labels the evaluator's karl_batch_* metrics.
+  core::BatchOptions batch_options = ObservedOptions(pool_, this);
+  batch_options.metric_model = group.front().model;
   const core::BatchEvaluator evaluator(group.front().handle->engine(),
-                                       ObservedOptions(pool_, this));
+                                       batch_options);
   util::Stopwatch timer;
   std::vector<uint8_t> bools;
   std::vector<double> values;
@@ -323,6 +354,13 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
     queries_total_->Add(total_rows);
     group_rows_->Record(static_cast<double>(total_rows));
     group_usec_->Record(usec);
+    const ModelInstruments& labeled = InstrumentsForModel(group.front().model);
+    if (labeled.groups != nullptr) {
+      labeled.groups->Increment();
+      labeled.queries->Add(total_rows);
+      labeled.rows->Record(static_cast<double>(total_rows));
+      labeled.usec->Record(usec);
+    }
   }
   tracer_.Span("grp/eval", eval_begin_us, eval_end_us,
                {{"requests", static_cast<double>(group.size())},
@@ -379,6 +417,7 @@ void Coalescer::RunGroup(std::vector<WorkItem> group) {
     completion.kind = kind;
     completion.is_batch = item.is_batch;
     completion.rows = rows;
+    completion.model = item.model;
     completion.request_id = std::move(item.request_id);
     completions.push_back(std::move(completion));
     offset += rows;

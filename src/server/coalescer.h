@@ -35,6 +35,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/batch.h"
@@ -84,6 +85,10 @@ struct Completion {
   QueryKind kind = QueryKind::kTkaq;
   bool is_batch = false;
   uint64_t rows = 0;
+  /// Resolved model name the item evaluated against — what the server's
+  /// per-model stage metrics, SLO engine, access log, and flight record
+  /// attribute to.
+  std::string model;
   /// Client correlation token ("" = none), for access/slow-query logs.
   std::string request_id;
   /// The rendered "explain" object for op=explain completions (empty
@@ -185,11 +190,25 @@ class Coalescer {
   // rows per group, evaluation latency, queue level. The histograms are
   // rolling so /metrics can report last-60s group shape next to the
   // cumulative one.
+  telemetry::Registry* metrics_ = nullptr;
   telemetry::Counter* groups_total_ = nullptr;
   telemetry::Counter* queries_total_ = nullptr;
   telemetry::RollingHistogram* group_rows_ = nullptr;
   telemetry::RollingHistogram* group_usec_ = nullptr;
   telemetry::Gauge* pending_gauge_ = nullptr;
+
+  // {model=...} twins of the group metrics. A group is single-model by
+  // construction (items are grouped by engine identity), so each group
+  // records into exactly one labeled set. Interned lazily; accessed only
+  // on the dispatcher thread, so no lock.
+  struct ModelInstruments {
+    telemetry::Counter* groups = nullptr;
+    telemetry::Counter* queries = nullptr;
+    telemetry::RollingHistogram* rows = nullptr;
+    telemetry::RollingHistogram* usec = nullptr;
+  };
+  const ModelInstruments& InstrumentsForModel(const std::string& model);
+  std::unordered_map<std::string, ModelInstruments> model_instruments_;
 
   std::thread dispatcher_;
 };

@@ -54,6 +54,7 @@ Json RequestRecordJson(const telemetry::RequestRecord& r) {
   entry.Set("kind", Json::Str(r.kind));
   entry.Set("batch", Json::Bool(r.batch));
   entry.Set("rows", Json::Number(static_cast<double>(r.rows)));
+  if (!r.model.empty()) entry.Set("model", Json::Str(r.model));
   if (!r.peer.empty()) entry.Set("peer", Json::Str(r.peer));
   entry.Set("ok", Json::Bool(r.ok));
   entry.Set("read_us", Json::Number(static_cast<double>(r.ctx.read_us())));
@@ -197,7 +198,11 @@ Router::Outcome Router::Handle(uint64_t conn_id, std::string_view line,
   item.param = request.param;
   item.is_batch = request.op == Request::Op::kBatch;
   item.explain = request.op == Request::Op::kExplain;
-  item.model = std::move(request.model);
+  // Carry the *resolved* model name: per-model metrics, SLO budgets,
+  // and logs must attribute default-model traffic to the concrete
+  // model it ran on, not to "".
+  item.model = request.model.empty() ? models_->default_model()
+                                     : std::move(request.model);
   item.handle = std::move(handle);
   item.queries = std::move(request.queries);
   const std::string id = item.request_id;  // Enqueue consumes the item.
@@ -278,6 +283,8 @@ util::Result<std::unique_ptr<Server>> Server::StartWithRegistry(
   server->tracer_ = telemetry::RequestTracer(server->options_.tracer);
   server->flight_recorder_ = std::make_unique<telemetry::FlightRecorder>(
       server->options_.flight_recorder_capacity);
+  server->slo_ = std::make_unique<telemetry::SloEngine>(
+      server->options_.slo, server->registry_, server->options_.logger);
 
   Server* raw = server.get();
   server->coalescer_ = std::make_unique<Coalescer>(
@@ -338,7 +345,12 @@ util::Result<std::unique_ptr<Server>> Server::StartWithRegistry(
         });
     server->admin_->Register(
         "/metrics", "text/plain; version=0.0.4; charset=utf-8",
-        [reg](std::string_view) { return telemetry::DumpText(*reg); });
+        [raw, reg](std::string_view) {
+          // Burn rates are re-evaluated lazily; refresh so the scrape
+          // exports current values even for an idle model.
+          raw->slo_->RefreshGauges();
+          return telemetry::DumpText(*reg);
+        });
     server->admin_->Register(
         "/statusz", "application/json",
         [raw](std::string_view) { return raw->StatuszJson(); });
@@ -354,6 +366,9 @@ util::Result<std::unique_ptr<Server>> Server::StartWithRegistry(
     server->admin_->Register(
         "/explainz", "application/json",
         [raw](std::string_view query) { return raw->ExplainzJson(query); });
+    server->admin_->Register(
+        "/sloz", "application/json",
+        [raw](std::string_view) { return raw->SlozJson(); });
     if (auto st = server->admin_->Start(); !st.ok()) return st;
   }
 
@@ -751,11 +766,24 @@ void Server::FinishRequest(const Completion& c, bool ok,
   stage_write_us_->Record(static_cast<double>(ctx.write_us()));
   stage_total_us_->Record(static_cast<double>(ctx.total_us()));
 
+  // Per-model twins, recorded from the same context values as the
+  // globals above so the labeled series sum exactly to the unlabeled
+  // family, then the SLO observation for this model's error budgets.
+  const ModelServingMetrics& serving = ServingMetricsForModel(c.model);
+  if (serving.eval_us != nullptr) {
+    serving.eval_us->Record(static_cast<double>(ctx.eval_us()));
+    serving.total_us->Record(static_cast<double>(ctx.total_us()));
+    serving.requests->Increment();
+    if (!ok) serving.errors->Increment();
+  }
+  slo_->Observe(c.model, static_cast<double>(ctx.total_us()), ok);
+
   telemetry::RequestRecord record;
   record.ctx = ctx;
   record.kind = std::string(QueryKindToString(c.kind));
   record.batch = c.is_batch;
   record.rows = c.rows;
+  record.model = c.model;
   record.peer = peer;
   record.client_id = c.request_id;
   record.ok = ok;
@@ -778,6 +806,7 @@ void Server::FinishRequest(const Completion& c, bool ok,
     if (!peer.empty()) fields->emplace_back("peer", peer);
     fields->emplace_back("disposition", "admitted");
     fields->emplace_back("kind", QueryKindToString(c.kind));
+    if (!c.model.empty()) fields->emplace_back("model", c.model);
     fields->emplace_back("batch", c.is_batch);
     fields->emplace_back("rows", c.rows);
     fields->emplace_back("ok", ok);
@@ -809,6 +838,26 @@ void Server::FinishRequest(const Completion& c, bool ok,
                          std::move(fields));
   }
 }
+
+const Server::ModelServingMetrics& Server::ServingMetricsForModel(
+    const std::string& model) {
+  auto it = model_serving_.find(model);
+  if (it != model_serving_.end()) return it->second;
+  ModelServingMetrics m;
+  if (!model.empty()) {
+    const telemetry::LabelSet labels{{"model", model}};
+    m.eval_us =
+        registry_->GetRollingHistogram("karl_serving_eval_us", labels);
+    m.total_us =
+        registry_->GetRollingHistogram("karl_serving_total_us", labels);
+    m.requests =
+        registry_->GetCounter("karl_serving_requests_total", labels);
+    m.errors = registry_->GetCounter("karl_serving_errors_total", labels);
+  }
+  return model_serving_.emplace(model, m).first->second;
+}
+
+std::string Server::SlozJson() { return slo_->SlozJson(); }
 
 std::string Server::StatuszJson() const {
   Json root = Json::Object();
@@ -858,6 +907,23 @@ std::string Server::StatuszJson() const {
     stage_obj.Set(name, std::move(entry));
   }
   root.Set("stages", std::move(stage_obj));
+
+  // Per-model registry state, so one statusz snapshot answers "which
+  // model is resident at what size, and which reload produced it".
+  Json model_entries = Json::Array();
+  for (const registry::ModelInfo& info : models_->List()) {
+    model_entries.Append(
+        Json::Object()
+            .Set("name", Json::Str(info.name))
+            .Set("resident", Json::Bool(info.resident))
+            .Set("resident_bytes",
+                 Json::Number(static_cast<double>(info.resident_bytes)))
+            .Set("generation",
+                 Json::Number(static_cast<double>(info.generation)))
+            .Set("queries",
+                 Json::Number(static_cast<double>(info.queries))));
+  }
+  root.Set("models", std::move(model_entries));
 
   if (options_.tracer != nullptr) {
     root.Set("trace_dropped_events",
@@ -928,6 +994,17 @@ std::string Server::VarzJson() const {
             Json::Number(static_cast<double>(models_->evictions())));
   model.Set("reloads",
             Json::Number(static_cast<double>(models_->reloads())));
+  Json per_model = Json::Array();
+  for (const registry::ModelInfo& info : infos) {
+    per_model.Append(
+        Json::Object()
+            .Set("name", Json::Str(info.name))
+            .Set("resident_bytes",
+                 Json::Number(static_cast<double>(info.resident_bytes)))
+            .Set("generation",
+                 Json::Number(static_cast<double>(info.generation))));
+  }
+  model.Set("per_model", std::move(per_model));
   if (auto handle = ResidentDefaultModel(); handle != nullptr) {
     const Engine& engine = handle->engine();
     model.Set("weighting_type",
@@ -996,7 +1073,9 @@ std::string Server::ModelzJson() const {
             .Set("queries", Json::Number(static_cast<double>(info.queries)))
             .Set("loads", Json::Number(static_cast<double>(info.loads)))
             .Set("evictions",
-                 Json::Number(static_cast<double>(info.evictions))));
+                 Json::Number(static_cast<double>(info.evictions)))
+            .Set("generation",
+                 Json::Number(static_cast<double>(info.generation))));
   }
   root.Set("models", std::move(entries));
   return root.Dump();

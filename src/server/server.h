@@ -34,10 +34,16 @@
 //
 // Admin plane: with admin_port >= 0 a fourth thread runs the HTTP
 // scrape listener (server/http_admin.h) serving /metrics, /healthz,
-// /statusz, /varz, /flightz, /modelz and /explainz. Its handlers only
-// snapshot thread-safe state (registry, model registry, flight
-// recorder, explain ring, an atomic draining flag), so a stuck scraper
-// never touches the query path.
+// /statusz, /varz, /flightz, /modelz, /explainz and /sloz. Its
+// handlers only snapshot thread-safe state (registry, model registry,
+// flight recorder, explain ring, SLO engine, an atomic draining flag),
+// so a stuck scraper never touches the query path.
+//
+// Per-model observability: the router resolves every admitted
+// request's model name up front, so completions carry it end to end —
+// {model=...} labeled twins of the serving histograms and counters,
+// the SLO engine's error budgets, the access log, the slow-query WARN,
+// and the flight record all attribute to the concrete model served.
 
 #ifndef KARL_SERVER_SERVER_H_
 #define KARL_SERVER_SERVER_H_
@@ -57,6 +63,7 @@
 #include "server/coalescer.h"
 #include "server/http_admin.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/slo.h"
 #include "util/log.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -109,6 +116,11 @@ struct ServerOptions {
   std::string admin_host = "127.0.0.1";
   /// How many recent explain profiles /explainz retains.
   size_t explain_ring_capacity = 32;
+  /// Per-model SLO objectives (latency + availability error budgets
+  /// with burn-rate alerting; see telemetry/slo.h). Always on: the
+  /// default objective applies to every served model unless overridden
+  /// (karl_server --slo-config, server/slo_config.h).
+  telemetry::SloConfig slo;
 };
 
 /// Maps one parsed request to its action: answer health/metrics/reload
@@ -220,6 +232,11 @@ class Server {
   /// result (newest first). Thread-safe.
   std::string ExplainzJson(std::string_view query) const;
 
+  /// Per-model SLO state (error budgets, burn rates) as a JSON object
+  /// (the /sloz admin page). Refreshes the burn-rate gauges as a side
+  /// effect. Thread-safe.
+  std::string SlozJson();
+
   /// The always-on ring of recently completed requests.
   const telemetry::FlightRecorder& flight_recorder() const {
     return *flight_recorder_;
@@ -266,8 +283,9 @@ class Server {
   // pending are closed.
   void MaybeFinish(Connection* conn);
   // Observability tail of one completion: req/write span + flow end,
-  // stage histograms, flight record, access-log line, slow-query WARN.
-  // Runs exactly once per admitted request, on the event-loop thread.
+  // stage histograms (global and {model=...} labeled), SLO observation,
+  // flight record, access-log line, slow-query WARN. Runs exactly once
+  // per admitted request, on the event-loop thread.
   void FinishRequest(const Completion& completion, bool ok,
                      const std::string& peer);
   // A pin on the default model iff it is already resident (never
@@ -332,6 +350,24 @@ class Server {
   telemetry::RollingHistogram* stage_serialize_us_ = nullptr;
   telemetry::RollingHistogram* stage_write_us_ = nullptr;
   telemetry::RollingHistogram* stage_total_us_ = nullptr;
+
+  // {model=...} twins of the serving metrics, interned lazily per model
+  // on the event-loop thread (FinishRequest's sole caller) — no lock.
+  // Recorded from the same context values as the globals, so per-model
+  // series sum exactly to the unlabeled family.
+  struct ModelServingMetrics {
+    telemetry::RollingHistogram* eval_us = nullptr;
+    telemetry::RollingHistogram* total_us = nullptr;
+    telemetry::Counter* requests = nullptr;
+    telemetry::Counter* errors = nullptr;
+  };
+  const ModelServingMetrics& ServingMetricsForModel(
+      const std::string& model);
+  std::unordered_map<std::string, ModelServingMetrics> model_serving_;
+
+  // Per-model latency/availability error budgets; Observe()d by
+  // FinishRequest, scraped by /sloz and the burn-rate gauges.
+  std::unique_ptr<telemetry::SloEngine> slo_;
 
   // loop_thread_ is only joined under wait_mu_ (Wait may be called
   // concurrently from the signal-watcher path and the main path).

@@ -26,6 +26,7 @@ struct RequestRecord {
   std::string kind;       ///< "tkaq" / "ekaq" / "exact".
   bool batch = false;     ///< op=batch (vs a coalesced single).
   uint64_t rows = 0;      ///< Query rows in the request.
+  std::string model;      ///< Resolved model served ("" pre-registry).
   std::string peer;       ///< Client address ("" when already gone).
   std::string client_id;  ///< Echoed request "id" token ("" = none).
   bool ok = true;         ///< False when the answer was never written.

@@ -1,0 +1,120 @@
+#include "telemetry/labels.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace karl::telemetry {
+
+bool IsValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char ch = name[i];
+    const bool alpha =
+        (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch == '_';
+    const bool digit = ch >= '0' && ch <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+LabelSet::LabelSet(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        pairs) {
+  for (const auto& [key, value] : pairs) {
+    const size_t before = entries_.size();
+    Set(key, value);
+    KARL_CHECK(entries_.size() == before + 1)
+        << ": duplicate label key '" << std::string(key)
+        << "' in LabelSet literal";
+  }
+}
+
+LabelSet& LabelSet::Set(std::string_view key, std::string_view value) {
+  KARL_CHECK(IsValidLabelName(key))
+      << ": invalid label name '" << std::string(key) << "'";
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::string(value);
+    return *this;
+  }
+  KARL_CHECK(entries_.size() < kMaxLabelsPerSet)
+      << ": LabelSet exceeds " << kMaxLabelsPerSet << " keys adding '"
+      << std::string(key) << "'";
+  entries_.emplace(it, std::string(key), std::string(value));
+  return *this;
+}
+
+std::string LabelSet::Render() const {
+  if (entries_.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += entries_[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(entries_[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+LabelSet LabelSet::Overflow() const {
+  LabelSet sink;
+  for (const auto& [key, value] : entries_) {
+    (void)value;
+    sink.Set(key, kOverflowLabelValue);
+  }
+  return sink;
+}
+
+SeriesNameParts SplitSeriesName(const std::string& series) {
+  const size_t brace = series.find('{');
+  if (brace == std::string::npos) return {series, ""};
+  return {series.substr(0, brace), series.substr(brace)};
+}
+
+std::string SeriesWithSuffix(const std::string& series,
+                             std::string_view suffix) {
+  const SeriesNameParts parts = SplitSeriesName(series);
+  return parts.base + std::string(suffix) + parts.labels;
+}
+
+std::string SeriesWithLabel(const std::string& series, std::string_view key,
+                            std::string_view value) {
+  const SeriesNameParts parts = SplitSeriesName(series);
+  std::string labels;
+  if (parts.labels.empty()) {
+    labels = "{";
+  } else {
+    // Drop the closing brace and continue the list.
+    labels = parts.labels.substr(0, parts.labels.size() - 1) + ",";
+  }
+  labels += std::string(key) + "=\"" + EscapeLabelValue(value) + "\"}";
+  return parts.base + labels;
+}
+
+}  // namespace karl::telemetry

@@ -162,17 +162,51 @@ Registry::Registry() = default;
 Registry::~Registry() = default;
 
 void Registry::RegisterKind(const std::string& name, Kind kind) {
-  const auto [it, inserted] = kinds_.emplace(name, kind);
+  // Kinds bind to the *family*, so `f` and `f{model="a"}` must agree.
+  const std::string base = MetricBaseName(name);
+  const auto [it, inserted] = kinds_.emplace(base, kind);
   KARL_CHECK(it->second == kind)
-      << ": telemetry metric '" << name << "' reused with a different kind";
+      << ": telemetry metric '" << base << "' reused with a different kind";
+}
+
+Counter* Registry::GetCounterSeries(const std::string& series, Kind kind) {
+  RegisterKind(series, kind);
+  auto& slot = counters_[series];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+std::string Registry::AdmitSeries(const std::string& name,
+                                  const LabelSet& labels) {
+  KARL_CHECK(name.find('{') == std::string::npos)
+      << ": labeled lookup of '" << name
+      << "' must pass a bare family name";
+  if (labels.empty()) return name;
+  const std::string rendered = labels.Render();
+  auto& known = family_labels_[name];
+  if (std::find(known.begin(), known.end(), rendered) != known.end()) {
+    return name + rendered;
+  }
+  if (known.size() < max_series_per_metric_) {
+    known.push_back(rendered);
+    return name + rendered;
+  }
+  // Past the cap: collapse into the family's sink series. The sink does
+  // not consume cap budget (it must stay reachable), and every redirected
+  // lookup counts — callers intern handles, so a steady-state series
+  // costs one increment, not one per record. Asking for the sink by its
+  // own labels is not a drop.
+  const std::string overflow = labels.Overflow().Render();
+  if (rendered != overflow) {
+    GetCounterSeries("karl_metric_series_dropped_total", Kind::kCounter)
+        ->Increment();
+  }
+  return name + overflow;
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
   const util::MutexLock lock(&mu_);
-  RegisterKind(name, Kind::kCounter);
-  auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
-  return slot.get();
+  return GetCounterSeries(name, Kind::kCounter);
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
@@ -197,6 +231,46 @@ RollingHistogram* Registry::GetRollingHistogram(const std::string& name) {
   auto& slot = rolling_[name];
   if (slot == nullptr) slot = std::make_unique<RollingHistogram>();
   return slot.get();
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const LabelSet& labels) {
+  const util::MutexLock lock(&mu_);
+  return GetCounterSeries(AdmitSeries(name, labels), Kind::kCounter);
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const LabelSet& labels) {
+  const util::MutexLock lock(&mu_);
+  const std::string series = AdmitSeries(name, labels);
+  RegisterKind(series, Kind::kGauge);
+  auto& slot = gauges_[series];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const LabelSet& labels) {
+  const util::MutexLock lock(&mu_);
+  const std::string series = AdmitSeries(name, labels);
+  RegisterKind(series, Kind::kHistogram);
+  auto& slot = histograms_[series];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+RollingHistogram* Registry::GetRollingHistogram(const std::string& name,
+                                                const LabelSet& labels) {
+  const util::MutexLock lock(&mu_);
+  const std::string series = AdmitSeries(name, labels);
+  RegisterKind(series, Kind::kRollingHistogram);
+  auto& slot = rolling_[series];
+  if (slot == nullptr) slot = std::make_unique<RollingHistogram>();
+  return slot.get();
+}
+
+void Registry::SetMaxSeriesPerMetric(size_t cap) {
+  const util::MutexLock lock(&mu_);
+  max_series_per_metric_ = cap;
 }
 
 RegistrySnapshot Registry::Snapshot() const {
@@ -237,27 +311,47 @@ std::string MetricBaseName(const std::string& name) {
 
 namespace {
 
-// One Prometheus summary block: TYPE line, the five quantile samples,
-// _sum and _count.
-void AppendSummaryText(std::string* out, const std::string& name,
-                       const HistogramSnapshot& h) {
-  *out += "# TYPE " + name + " summary\n";
+// Orders a snapshot section so all series of one family are adjacent
+// (the text format requires one contiguous group per metric), labeled
+// series in deterministic label order.
+template <typename T>
+std::vector<std::pair<std::string, T>> SortedByFamily(
+    std::vector<std::pair<std::string, T>> section) {
+  std::sort(section.begin(), section.end(),
+            [](const auto& a, const auto& b) {
+              const SeriesNameParts pa = SplitSeriesName(a.first);
+              const SeriesNameParts pb = SplitSeriesName(b.first);
+              if (pa.base != pb.base) return pa.base < pb.base;
+              return pa.labels < pb.labels;
+            });
+  return section;
+}
+
+// One Prometheus summary block for one series (TYPE line only on the
+// family's first series): quantile samples with the quantile label merged
+// into the series' label block, then _sum and _count with the suffix
+// bound to the name.
+void AppendSummaryText(std::string* out, const std::string& series,
+                       const HistogramSnapshot& h, bool emit_type) {
+  if (emit_type) {
+    *out += "# TYPE " + MetricBaseName(series) + " summary\n";
+  }
   const std::pair<const char*, double> quantiles[] = {
       {"0", h.min},          {"0.5", h.Quantile(0.5)},
       {"0.95", h.Quantile(0.95)}, {"0.99", h.Quantile(0.99)},
       {"1", h.max}};
   for (const auto& [q, value] : quantiles) {
-    *out += name + "{quantile=\"" + q + "\"} ";
+    *out += SeriesWithLabel(series, "quantile", q) + " ";
     AppendNumber(out, value);
     *out += "\n";
   }
-  *out += name + "_sum ";
+  *out += SeriesWithSuffix(series, "_sum") + " ";
   AppendNumber(out, h.sum);
   *out += "\n";
-  char line[160];
-  std::snprintf(line, sizeof(line), "%s_count %llu\n", name.c_str(),
+  char line[32];
+  std::snprintf(line, sizeof(line), " %llu\n",
                 static_cast<unsigned long long>(h.count));
-  *out += line;
+  *out += SeriesWithSuffix(series, "_count") + line;
 }
 
 }  // namespace
@@ -266,25 +360,58 @@ std::string DumpText(const Registry& registry) {
   const RegistrySnapshot snap = registry.Snapshot();
   std::string out;
   char line[160];
-  for (const auto& [name, value] : snap.counters) {
-    out += "# TYPE " + MetricBaseName(name) + " counter\n";
+  // `# TYPE` belongs to the family, once, before its first sample; a
+  // family's labeled series share one line.
+  std::string last_family;
+  const auto family_changed = [&last_family](const std::string& series) {
+    std::string base = MetricBaseName(series);
+    if (base == last_family) return false;
+    last_family = std::move(base);
+    return true;
+  };
+  for (const auto& [name, value] : SortedByFamily(snap.counters)) {
+    if (family_changed(name)) {
+      out += "# TYPE " + MetricBaseName(name) + " counter\n";
+    }
     std::snprintf(line, sizeof(line), " %llu\n",
                   static_cast<unsigned long long>(value));
     out += name + line;
   }
-  for (const auto& [name, value] : snap.gauges) {
-    out += "# TYPE " + MetricBaseName(name) + " gauge\n" + name + " ";
+  last_family.clear();
+  for (const auto& [name, value] : SortedByFamily(snap.gauges)) {
+    if (family_changed(name)) {
+      out += "# TYPE " + MetricBaseName(name) + " gauge\n";
+    }
+    out += name + " ";
     AppendNumber(&out, value);
     out += "\n";
   }
-  for (const auto& [name, h] : snap.histograms) {
-    AppendSummaryText(&out, name, h);
+  last_family.clear();
+  for (const auto& [name, h] : SortedByFamily(snap.histograms)) {
+    AppendSummaryText(&out, name, h, family_changed(name));
   }
-  for (const auto& [name, r] : snap.rolling) {
-    AppendSummaryText(&out, name, r.cumulative);
-    AppendSummaryText(
-        &out, name + "_window" + std::to_string(r.window_span_s) + "s",
-        r.window);
+  // Rolling histograms expose two families: the cumulative summaries
+  // under the family name, then every series' last window under
+  // `base_window60s`. Emit per family group so samples stay contiguous.
+  const auto rolling = SortedByFamily(snap.rolling);
+  for (size_t i = 0; i < rolling.size();) {
+    const std::string base = MetricBaseName(rolling[i].first);
+    size_t end = i;
+    while (end < rolling.size() &&
+           MetricBaseName(rolling[end].first) == base) {
+      ++end;
+    }
+    for (size_t j = i; j < end; ++j) {
+      AppendSummaryText(&out, rolling[j].first, rolling[j].second.cumulative,
+                        j == i);
+    }
+    for (size_t j = i; j < end; ++j) {
+      const std::string window_suffix =
+          "_window" + std::to_string(rolling[j].second.window_span_s) + "s";
+      AppendSummaryText(&out, SeriesWithSuffix(rolling[j].first, window_suffix),
+                        rolling[j].second.window, j == i);
+    }
+    i = end;
   }
   return out;
 }

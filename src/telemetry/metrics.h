@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/labels.h"
 #include "util/mutex.h"
 #include "util/status.h"
 
@@ -136,11 +137,24 @@ struct RegistrySnapshot {
 };
 
 /// Named metric store. Get* returns the existing metric or creates it;
-/// the returned pointer stays valid for the registry's lifetime. A name
-/// identifies exactly one metric kind — reusing it with a different kind
+/// the returned pointer stays valid for the registry's lifetime. A
+/// *family* (the name with any label block stripped) identifies exactly
+/// one metric kind — reusing it with a different kind, labeled or not,
 /// is a programming error and aborts.
+///
+/// Labeled lookup: Get*(name, labels) resolves the series
+/// `name{k="v",...}`. Distinct label sets per family are capped at
+/// kDefaultMaxSeriesPerMetric; a set past the cap is redirected to the
+/// family's sink series (every value `__other__`) and counted in
+/// `karl_metric_series_dropped_total` — unbounded label values (client
+/// ids, paths) degrade gracefully instead of exhausting memory. Lookup
+/// takes the registry mutex either way; intern the handle, then record
+/// lock-free exactly as with unlabeled metrics.
 class Registry {
  public:
+  /// Default per-family cap on distinct labeled series.
+  static constexpr size_t kDefaultMaxSeriesPerMetric = 64;
+
   // Both out of line: RollingHistogram is incomplete here, and the
   // member maps' unique_ptrs need the complete type to destroy.
   Registry();
@@ -156,12 +170,32 @@ class Registry {
   /// `name_window60s` (windowed). See telemetry/rolling.h.
   RollingHistogram* GetRollingHistogram(const std::string& name);
 
+  /// Labeled variants: resolve the series `name + labels.Render()`,
+  /// subject to the per-family cardinality cap. An empty LabelSet is the
+  /// unlabeled series. `name` must be the bare family name (no '{').
+  Counter* GetCounter(const std::string& name, const LabelSet& labels);
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels);
+  Histogram* GetHistogram(const std::string& name, const LabelSet& labels);
+  RollingHistogram* GetRollingHistogram(const std::string& name,
+                                        const LabelSet& labels);
+
+  /// Lowers (or raises) the per-family series cap. Affects only series
+  /// admitted after the call; meant for tests and startup configuration,
+  /// not concurrent use with traffic.
+  void SetMaxSeriesPerMetric(size_t cap);
+
   RegistrySnapshot Snapshot() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kRollingHistogram };
-  // Records the name→kind binding; aborts on a kind clash.
+  // Records the family→kind binding; aborts on a kind clash.
   void RegisterKind(const std::string& name, Kind kind)
+      KARL_REQUIRES(mu_);
+  // Maps (family, labels) to the series name to store under, applying
+  // the cardinality cap and counting redirected lookups.
+  std::string AdmitSeries(const std::string& name, const LabelSet& labels)
+      KARL_REQUIRES(mu_);
+  Counter* GetCounterSeries(const std::string& series, Kind kind)
       KARL_REQUIRES(mu_);
 
   mutable util::Mutex mu_;
@@ -174,6 +208,11 @@ class Registry {
       KARL_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<RollingHistogram>> rolling_
       KARL_GUARDED_BY(mu_);
+  // Rendered label blocks admitted per family (sink block included).
+  std::map<std::string, std::vector<std::string>> family_labels_
+      KARL_GUARDED_BY(mu_);
+  size_t max_series_per_metric_ KARL_GUARDED_BY(mu_) =
+      kDefaultMaxSeriesPerMetric;
 };
 
 /// The process-wide default registry (what the CLI flags and the bench
@@ -189,6 +228,11 @@ std::string MetricBaseName(const std::string& name);
 /// samples, histograms as summaries with {quantile="0|0.5|0.95|0.99|1"}
 /// plus _sum and _count. Rolling histograms emit the cumulative summary
 /// under their name plus a `name_window60s` summary for the last window.
+/// Labeled series render with exact label syntax — the quantile label
+/// merges into the series' label block (`f{model="a",quantile="0.5"}`),
+/// suffixes bind to the name (`f_sum{model="a"}`,
+/// `f_window60s{model="a"}`), samples of one family are grouped, and
+/// `# TYPE` is emitted once per family.
 std::string DumpText(const Registry& registry);
 
 /// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{name:

@@ -480,7 +480,7 @@ TEST(RegistryTest, EvictsLruUnderBudgetButNeverPinned) {
       EXPECT_TRUE(info.resident);
     }
   }
-  EXPECT_EQ(metrics.GetCounter("karl_model_evictions")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("karl_model_evictions_total")->value(), 1u);
   EXPECT_EQ(metrics.GetCounter("karl_model_loads_total")->value(), 2u);
   EXPECT_GT(metrics.GetGauge("karl_model_resident_bytes")->value(), 0.0);
 
@@ -547,6 +547,57 @@ TEST(RegistryTest, HotReloadSwapsAtomicallyWhileOldHandlesKeepServing) {
   EXPECT_DOUBLE_EQ(v2_answer, v2.Exact(q));
   EXPECT_NE(v1_answer, v2_answer);
   EXPECT_DOUBLE_EQ(h1.value()->engine().Exact(q), v1_answer);
+}
+
+TEST(RegistryTest, GenerationTracksTheReloadThatLoadedEachModel) {
+  TempDir dir("karl_reg_generation");
+  WriteModel(dir.File("m.snap"), 71, 300);
+  WriteModel(dir.File("n.snap"), 72, 300);
+
+  telemetry::Registry metrics;
+  RegistryOptions options;
+  options.metrics = &metrics;
+  auto registry = ModelRegistry::Open(dir.File(""), options);
+  ASSERT_TRUE(registry.ok());
+  ModelRegistry& reg = *registry.value();
+
+  ASSERT_TRUE(reg.Acquire("m").ok());
+  for (const auto& info : reg.List()) {
+    EXPECT_EQ(info.generation, 0u) << info.name;  // Pre-reload epoch.
+  }
+
+  // Swap m's file and reload: m's generation moves to the reload count,
+  // n (never resident, untouched) stays at its load-time epoch.
+  WriteModel(dir.File("m.snap.tmp"), 73, 200);
+  fs::rename(dir.File("m.snap.tmp"), dir.File("m.snap"));
+  ASSERT_TRUE(reg.Reload().ok());
+  ASSERT_TRUE(reg.Acquire("n").ok());
+  for (const auto& info : reg.List()) {
+    if (info.name == "m") {
+      EXPECT_EQ(info.generation, 1u);
+    }
+    if (info.name == "n") {
+      EXPECT_EQ(info.generation, 1u);
+    }
+  }
+
+  // Labeled per-model twins recorded alongside the global families.
+  EXPECT_EQ(metrics
+                .GetCounter("karl_model_loads_total",
+                            telemetry::LabelSet{{"model", "m"}})
+                ->value(),
+            2u);
+  EXPECT_EQ(metrics
+                .GetCounter("karl_model_loads_total",
+                            telemetry::LabelSet{{"model", "n"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(metrics.GetCounter("karl_model_loads_total")->value(), 3u);
+  EXPECT_GT(metrics
+                .GetGauge("karl_model_resident_bytes",
+                          telemetry::LabelSet{{"model", "m"}})
+                ->value(),
+            0.0);
 }
 
 TEST(RegistryTest, ReloadAddsNewFilesAndDropsDeletedOnes) {

@@ -1215,5 +1215,144 @@ TEST_F(ServerTest, HotReloadLosesNoInFlightRequests) {
   }
 }
 
+// First value of the exact exposition series `series` (label block and
+// suffix included) in a /metrics body; -1 when absent.
+double MetricValue(const std::string& body, const std::string& series) {
+  const std::string needle = "\n" + series + " ";
+  const size_t pos = body.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+}
+
+// Acceptance (per-model observability): with two models under load,
+// /metrics exposes karl_serving_eval_us{model=...} per model (cumulative
+// and _window60s) whose counts reconcile exactly against the global
+// stage histogram, and /sloz shows the model violating its latency
+// objective burning error budget while the healthy model keeps a full
+// budget — with the burn WARN edge in the structured log.
+TEST_F(ServerTest, PerModelMetricsReconcileAndSloBudgetBurnsForSlowModel) {
+  const Engine alpha = BuildRegistryModel(51, 400, 3.0);
+  const Engine beta = BuildRegistryModel(53, 300, 2.0);
+  const std::string dir = FreshModelDir("karl_server_per_model_slo");
+  ASSERT_TRUE(registry::WriteSnapshot(dir + "/alpha.snap", alpha).ok());
+  ASSERT_TRUE(registry::WriteSnapshot(dir + "/beta.snap", beta).ok());
+
+  registry::RegistryOptions registry_options;
+  registry_options.default_model = "alpha";
+  registry_options.metrics = &registry_;
+  auto models = registry::ModelRegistry::Open(dir, registry_options);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+
+  const std::string log_path = TempPath("karl_server_slo_burn.log");
+  util::Logger::Options log_options;
+  log_options.ndjson = true;
+  auto logger = util::Logger::Open(log_path, log_options);
+  ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+
+  ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.metrics = &registry_;
+  options.admin_port = 0;
+  options.logger = logger.value().get();
+  // Alpha's objective is unmissable; beta's latency threshold is below
+  // any real request, so every beta query burns its error budget.
+  options.slo.default_objective.latency_threshold_us = 1e9;
+  telemetry::SloObjective tight;
+  tight.latency_threshold_us = 0.001;
+  options.slo.per_model["beta"] = tight;
+  auto server = Server::StartWithRegistry(models.value().get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server_ = std::move(server).ValueOrDie();
+  const int admin_port = server_->admin_port();
+  ASSERT_GT(admin_port, 0);
+
+  constexpr size_t kPerModel = 20;
+  Client client = Dial();
+  for (size_t i = 0; i < kPerModel; ++i) {
+    for (const char* name : {"alpha", "beta"}) {
+      auto response =
+          client.RoundTrip(ExactQueryRequest(queries_.Row(i), name));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_NE(response.value().Find("value"), nullptr)
+          << response.value().Dump();
+    }
+  }
+
+  // The labeled serving series reconcile against the global histogram:
+  // per-model counts are exact and sum to the unlabeled family.
+  const std::string metrics = HttpGet(admin_port, "/metrics");
+  const size_t metrics_body_at = metrics.find("\r\n\r\n");
+  ASSERT_NE(metrics_body_at, std::string::npos);
+  const std::string body = metrics.substr(metrics_body_at + 4);
+  const double alpha_count =
+      MetricValue(body, "karl_serving_eval_us_count{model=\"alpha\"}");
+  const double beta_count =
+      MetricValue(body, "karl_serving_eval_us_count{model=\"beta\"}");
+  const double global_count = MetricValue(body, "karl_server_eval_us_count");
+  EXPECT_EQ(alpha_count, static_cast<double>(kPerModel)) << body;
+  EXPECT_EQ(beta_count, static_cast<double>(kPerModel)) << body;
+  EXPECT_EQ(alpha_count + beta_count, global_count);
+  EXPECT_NE(body.find("karl_serving_eval_us{model=\"alpha\",quantile="),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("karl_serving_eval_us_window60s{model=\"beta\",quantile="),
+      std::string::npos);
+  EXPECT_NE(body.find("karl_serving_requests_total{model=\"beta\"} 20"),
+            std::string::npos);
+  // Burn gauges exported with the full {model,slo,window} label set.
+  EXPECT_NE(body.find("karl_slo_burn_rate{model=\"beta\",slo=\"latency\","
+                      "window=\"fast\"}"),
+            std::string::npos);
+
+  // /sloz: beta's latency budget is visibly burning, alpha's is intact.
+  const std::string sloz = HttpGet(admin_port, "/sloz");
+  EXPECT_NE(sloz.find("HTTP/1.1 200"), std::string::npos);
+  const size_t sloz_body_at = sloz.find("\r\n\r\n");
+  ASSERT_NE(sloz_body_at, std::string::npos);
+  auto sloz_json = Json::Parse(sloz.substr(sloz_body_at + 4));
+  ASSERT_TRUE(sloz_json.ok()) << sloz.substr(sloz_body_at + 4);
+  const Json* sloz_models = sloz_json.value().Find("models");
+  ASSERT_NE(sloz_models, nullptr);
+  const Json* beta_slo = sloz_models->Find("beta");
+  ASSERT_NE(beta_slo, nullptr) << sloz.substr(sloz_body_at + 4);
+  const Json* beta_latency = beta_slo->Find("latency");
+  ASSERT_NE(beta_latency, nullptr);
+  EXPECT_TRUE(beta_latency->Find("burning")->bool_value());
+  EXPECT_LT(beta_latency->Find("budget_remaining")->number_value(), 1.0);
+  EXPECT_GE(beta_latency->Find("burn_rate_fast")->number_value(),
+            tight.fast_burn_threshold);
+  const Json* alpha_latency = sloz_models->Find("alpha")->Find("latency");
+  ASSERT_NE(alpha_latency, nullptr);
+  EXPECT_FALSE(alpha_latency->Find("burning")->bool_value());
+  EXPECT_EQ(alpha_latency->Find("budget_remaining")->number_value(), 1.0);
+
+  // The flight recorder attributes every request to its model.
+  const std::string flightz = HttpGet(admin_port, "/flightz");
+  EXPECT_NE(flightz.find("\"model\":\"alpha\""), std::string::npos);
+  EXPECT_NE(flightz.find("\"model\":\"beta\""), std::string::npos);
+
+  // Admin pages carry the per-model resident/generation view.
+  const std::string varz = HttpGet(admin_port, "/varz");
+  EXPECT_NE(varz.find("\"per_model\""), std::string::npos) << varz;
+  EXPECT_NE(varz.find("\"generation\""), std::string::npos);
+  const std::string statusz = HttpGet(admin_port, "/statusz");
+  EXPECT_NE(statusz.find("\"models\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"resident_bytes\""), std::string::npos);
+
+  // Crossing the burn threshold logged exactly one WARN edge for beta.
+  server_->Shutdown();
+  server_->Wait();
+  server_.reset();  // Options reference the local logger.
+  size_t burn_lines = 0;
+  for (const std::string& line : ReadLines(log_path)) {
+    if (line.find("\"event\":\"slo.burn\"") != std::string::npos) {
+      ++burn_lines;
+      EXPECT_NE(line.find("\"model\":\"beta\""), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(burn_lines, 1u);
+}
+
 }  // namespace
 }  // namespace karl::server

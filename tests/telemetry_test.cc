@@ -749,5 +749,175 @@ TEST(GlobalRegistryTest, IsASingleton) {
   EXPECT_EQ(&GlobalRegistry(), &GlobalRegistry());
 }
 
+// ------------------------------------------------------------ labels
+
+TEST(LabelSetTest, RendersSortedAndEscaped) {
+  LabelSet labels{{"op", "query"}, {"model", "home\"1\""}};
+  EXPECT_EQ(labels.Render(), "{model=\"home\\\"1\\\"\",op=\"query\"}");
+  EXPECT_EQ(LabelSet{}.Render(), "");
+  LabelSet tricky{{"path", "a\\b"}, {"note", "line\nbreak"}};
+  EXPECT_EQ(tricky.Render(),
+            "{note=\"line\\nbreak\",path=\"a\\\\b\"}");
+}
+
+TEST(LabelSetTest, SetInsertsInSortedOrder) {
+  LabelSet labels{{"model", "m"}};
+  labels.Set("window", "fast").Set("slo", "latency");
+  EXPECT_EQ(labels.Render(),
+            "{model=\"m\",slo=\"latency\",window=\"fast\"}");
+}
+
+TEST(LabelSetTest, OverflowReplacesEveryValue) {
+  const LabelSet labels{{"model", "m"}, {"op", "query"}};
+  EXPECT_EQ(labels.Overflow().Render(),
+            "{model=\"__other__\",op=\"__other__\"}");
+}
+
+TEST(LabelSetTest, SeriesNameSurgeryBindsSuffixesBeforeTheLabelBlock) {
+  const SeriesNameParts parts =
+      SplitSeriesName("karl_x_us{model=\"a\"}");
+  EXPECT_EQ(parts.base, "karl_x_us");
+  EXPECT_EQ(parts.labels, "{model=\"a\"}");
+  EXPECT_EQ(SeriesWithSuffix("karl_x_us{model=\"a\"}", "_sum"),
+            "karl_x_us_sum{model=\"a\"}");
+  EXPECT_EQ(SeriesWithSuffix("karl_x_us", "_sum"), "karl_x_us_sum");
+  EXPECT_EQ(SeriesWithLabel("karl_x_us{model=\"a\"}", "quantile", "0.5"),
+            "karl_x_us{model=\"a\",quantile=\"0.5\"}");
+  EXPECT_EQ(SeriesWithLabel("karl_x_us", "quantile", "0.5"),
+            "karl_x_us{quantile=\"0.5\"}");
+}
+
+TEST(RegistryLabelsTest, LabeledSeriesAreDistinctAndInterned) {
+  Registry registry;
+  Counter* plain = registry.GetCounter("karl_l_total");
+  Counter* alpha =
+      registry.GetCounter("karl_l_total", LabelSet{{"model", "alpha"}});
+  Counter* beta =
+      registry.GetCounter("karl_l_total", LabelSet{{"model", "beta"}});
+  EXPECT_NE(plain, alpha);
+  EXPECT_NE(alpha, beta);
+  EXPECT_EQ(alpha,
+            registry.GetCounter("karl_l_total", LabelSet{{"model", "alpha"}}));
+  alpha->Add(2);
+  beta->Increment();
+  plain->Add(3);
+  const std::string text = DumpText(registry);
+  EXPECT_NE(text.find("karl_l_total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("karl_l_total{model=\"alpha\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("karl_l_total{model=\"beta\"} 1"), std::string::npos)
+      << text;
+  // One family, one TYPE declaration.
+  size_t type_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("# TYPE karl_l_total counter", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(RegistryLabelsTest, CardinalityCapRedirectsToOtherAndCounts) {
+  Registry registry;
+  registry.SetMaxSeriesPerMetric(2);
+  Counter* a = registry.GetCounter("karl_cap_total", LabelSet{{"m", "a"}});
+  Counter* b = registry.GetCounter("karl_cap_total", LabelSet{{"m", "b"}});
+  // Third and fourth distinct label sets collapse into the sink series.
+  Counter* c = registry.GetCounter("karl_cap_total", LabelSet{{"m", "c"}});
+  Counter* d = registry.GetCounter("karl_cap_total", LabelSet{{"m", "d"}});
+  Counter* other = registry.GetCounter("karl_cap_total",
+                                       LabelSet{{"m", "__other__"}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c, other);
+  EXPECT_EQ(d, other);
+  // Established series stay reachable after the cap is hit.
+  EXPECT_EQ(a, registry.GetCounter("karl_cap_total", LabelSet{{"m", "a"}}));
+  EXPECT_EQ(
+      registry.GetCounter("karl_metric_series_dropped_total")->value(), 2u);
+  c->Increment();
+  d->Increment();
+  const std::string text = DumpText(registry);
+  EXPECT_NE(text.find("karl_cap_total{m=\"__other__\"} 2"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RegistryLabelsTest, LabeledRollingHistogramExposition) {
+  Registry registry;
+  RollingHistogram* h = registry.GetRollingHistogram(
+      "karl_lab_us", LabelSet{{"model", "alpha"}});
+  h->Record(42.0);
+  registry.GetRollingHistogram("karl_lab_us")->Record(7.0);
+
+  const std::string text = DumpText(registry);
+  // Quantile merges into the existing label block; _sum/_count and the
+  // window suffix bind to the name before it.
+  EXPECT_NE(text.find("karl_lab_us{model=\"alpha\",quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("karl_lab_us_count{model=\"alpha\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("karl_lab_us_window60s{model=\"alpha\",quantile=\"0.95\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("karl_lab_us_window60s_count{model=\"alpha\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("karl_lab_us_count 1"), std::string::npos) << text;
+  // One TYPE line for the whole family, before any of its samples.
+  size_t type_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("# TYPE karl_lab_us summary", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  const std::string json = DumpJson(registry);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(RegistryLabelsTest, ConcurrentLabeledRecordsSurviveSeriesChurn) {
+  // The hot-reload shape: worker threads hammer established labeled
+  // handles while another thread keeps interning fresh labeled series
+  // (what a reload's per-model re-resolution does) and scraping. The
+  // established series' cumulative counts must stay exact.
+  Registry registry;
+  constexpr int kWriters = 4;
+  constexpr int kRecords = 2000;
+  RollingHistogram* histograms[kWriters];
+  for (int t = 0; t < kWriters; ++t) {
+    histograms[t] = registry.GetRollingHistogram(
+        "karl_churn_us", LabelSet{{"model", "model" + std::to_string(t)}});
+  }
+  std::atomic<bool> stop{false};
+  std::thread churn([&registry, &stop] {
+    int generation = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      registry.GetRollingHistogram(
+          "karl_churn_us",
+          LabelSet{{"model", "gen" + std::to_string(generation++ % 50)}});
+      registry.GetCounter("karl_churn_reloads_total")->Increment();
+      const std::string text = DumpText(registry);
+      ASSERT_FALSE(text.empty());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([h = histograms[t]] {
+      for (int i = 0; i < kRecords; ++i) h->Record(1.0 + i);
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  churn.join();
+  for (int t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(histograms[t]->count(), static_cast<uint64_t>(kRecords));
+  }
+}
+
 }  // namespace
 }  // namespace karl::telemetry

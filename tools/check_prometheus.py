@@ -3,6 +3,7 @@
 
 Usage:
     check_prometheus.py [FILE] [--require NAME ...]
+    check_prometheus.py --self-test
 
 Reads the exposition from FILE (or stdin when omitted or "-"), checks
 every line against the format grammar, and exits non-zero with a
@@ -15,11 +16,18 @@ Checked invariants:
   * lines are comments (# HELP / # TYPE ...), blank, or samples
   * metric and label names match the Prometheus grammar
   * label values are well-formed quoted strings (escapes: \\ \" \n)
+  * a label set never repeats a label key
   * sample values parse as floats (inf/nan/scientific accepted),
     optional timestamps as integers
-  * # TYPE declares a known type, at most once per metric, before any
+  * # TYPE declares a known type, at most once per metric — labeled
+    series of one family share a single declaration — and before any
     of that metric's samples
   * counters end in _total and gauge/counter samples are single-valued
+
+--self-test exercises the checker against built-in labeled fixtures
+(valid dimensional series must pass; duplicate label keys, bad
+escapes, duplicated TYPE lines, and misnamed counters must each be
+rejected) and exits non-zero on any miss.
 
 The CI server-smoke job pipes `curl /metrics` through this script, so a
 malformed exposition fails the build rather than a scrape at 3am.
@@ -90,9 +98,14 @@ def parse_labels(lineno, text):
                 break
             value.append(ch)
             i += 1
+        if name in labels:
+            raise FormatError(lineno, f"duplicate label key {name!r}")
         labels[name] = "".join(value)
         if i < len(text) and text[i] == ",":
             i += 1
+        elif i >= len(text) or text[i] != "}":
+            raise FormatError(
+                lineno, f"expected ',' or '}}' after label {name!r}")
 
 
 def check(stream):
@@ -162,6 +175,82 @@ def check(stream):
     return seen_names
 
 
+# (name, lines, expected-error substring or None for "must pass").
+SELF_TEST_FIXTURES = [
+    ("labeled series", [
+        '# TYPE karl_serving_requests_total counter',
+        'karl_serving_requests_total{model="alpha"} 10',
+        'karl_serving_requests_total{model="beta"} 3',
+        '# TYPE karl_serving_eval_us summary',
+        'karl_serving_eval_us{model="alpha",quantile="0.99"} 120.5',
+        'karl_serving_eval_us_sum{model="alpha"} 4021',
+        'karl_serving_eval_us_count{model="alpha"} 10',
+        'karl_serving_eval_us_window60s{model="alpha"} 9',
+        '# TYPE karl_slo_burn_rate gauge',
+        'karl_slo_burn_rate{model="alpha",slo="latency",window="fast"} 0.2',
+    ], None),
+    ("escaped values", [
+        'weird_label{path="C:\\\\tmp",note="line\\nbreak",q="say \\"hi\\""} 1',
+    ], None),
+    ("overflow sink", [
+        '# TYPE karl_x_total counter',
+        'karl_x_total{model="__other__"} 7',
+    ], None),
+    ("duplicate label key", [
+        'm{model="a",model="b"} 1',
+    ], "duplicate label key"),
+    ("bad escape", [
+        'm{model="a\\q"} 1',
+    ], "bad escape"),
+    ("bad label name", [
+        'm{9model="a"} 1',
+    ], "bad label name"),
+    ("unterminated label set", [
+        'm{model="a" 1',
+    ], "expected ',' or '}'"),
+    ("duplicate TYPE across labeled series", [
+        '# TYPE karl_y_total counter',
+        'karl_y_total{model="a"} 1',
+        '# TYPE karl_y_total counter',
+        'karl_y_total{model="b"} 1',
+    ], "duplicate TYPE"),
+    ("TYPE after samples", [
+        'karl_z_total{model="a"} 1',
+        '# TYPE karl_z_total counter',
+    ], "after its samples"),
+    ("counter missing _total", [
+        '# TYPE karl_model_evictions counter',
+        'karl_model_evictions{model="a"} 1',
+    ], "does not end in _total"),
+    ("bad sample value", [
+        'm{model="a"} fast',
+    ], "bad sample value"),
+]
+
+
+def self_test():
+    failures = []
+    for name, lines, expect in SELF_TEST_FIXTURES:
+        try:
+            check(iter(lines))
+            error = None
+        except FormatError as caught:
+            error = str(caught)
+        if expect is None and error is not None:
+            failures.append(f"{name}: expected pass, got: {error}")
+        elif expect is not None and error is None:
+            failures.append(f"{name}: expected error {expect!r}, passed")
+        elif expect is not None and expect not in error:
+            failures.append(f"{name}: expected {expect!r} in: {error}")
+    for failure in failures:
+        print(f"check_prometheus: self-test FAIL: {failure}",
+              file=sys.stderr)
+    if not failures:
+        print(f"check_prometheus: self-test OK "
+              f"({len(SELF_TEST_FIXTURES)} fixtures)")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Validate Prometheus text exposition format.")
@@ -171,7 +260,12 @@ def main():
                         metavar="NAME",
                         help="fail unless NAME appears as a sample "
                              "(prefix match on series names)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture suite and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     stream = sys.stdin if args.file == "-" else open(args.file)
     try:

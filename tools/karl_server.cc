@@ -8,7 +8,7 @@
 //               [--log-level debug|info|warn|error] [--access-log <file>]
 //               [--slow-query-us N] [--trace-out <file>]
 //               [--statusz-out <file>] [--admin-port P]
-//               [--admin-host 127.0.0.1]
+//               [--admin-host 127.0.0.1] [--slo-config <file>]
 //
 // Models are served through a registry (src/registry/registry.h):
 // `--model` registers one file (legacy .bin or mmap .snap, sniffed by
@@ -39,10 +39,15 @@
 //   --statusz-out    where SIGUSR1 dumps the statusz JSON document
 //                    (stderr when unset). SIGUSR1 never stops serving.
 //   --admin-port     HTTP scrape plane (GET /metrics /healthz /statusz
-//                    /varz /flightz /modelz /explainz) on its own
-//                    thread; -1 (default) disables, 0 binds an
+//                    /varz /flightz /modelz /explainz /sloz) on its
+//                    own thread; -1 (default) disables, 0 binds an
 //                    ephemeral port. The chosen port is part of the
 //                    "admin on" line printed at startup.
+//   --slo-config     JSON file of per-model SLO objectives (see
+//                    src/server/slo_config.h for the schema). Unset
+//                    serves the built-in defaults: p99-style 100ms
+//                    latency / 99.9% availability budgets per model
+//                    with SRE-workbook burn-rate alert thresholds.
 
 #include <csignal>
 #include <cstdio>
@@ -51,6 +56,7 @@
 
 #include "registry/registry.h"
 #include "server/server.h"
+#include "server/slo_config.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/flags.h"
@@ -115,6 +121,7 @@ int main(int argc, char** argv) {
   const std::string statusz_out = args.GetString("statusz-out");
   const auto admin_port = args.GetInt("admin-port", -1);
   const std::string admin_host = args.GetString("admin-host", "127.0.0.1");
+  const std::string slo_config_path = args.GetString("slo-config");
   if (!port.ok()) return Fail(port.status().ToString());
   if (!threads.ok()) return Fail(threads.status().ToString());
   if (!max_pending.ok()) return Fail(max_pending.status().ToString());
@@ -231,6 +238,11 @@ int main(int argc, char** argv) {
   options.slow_query_us = static_cast<uint64_t>(slow_query_us.value());
   options.admin_port = static_cast<int>(admin_port.value());
   options.admin_host = admin_host;
+  if (!slo_config_path.empty()) {
+    auto slo = karl::server::LoadSloConfigFile(slo_config_path);
+    if (!slo.ok()) return Fail(slo.status().ToString());
+    options.slo = std::move(slo).ValueOrDie();
+  }
   auto server =
       karl::server::Server::StartWithRegistry(models.get(), options);
   if (!server.ok()) return Fail(server.status().ToString());
@@ -253,7 +265,9 @@ int main(int argc, char** argv) {
                static_cast<uint64_t>(slow_query_us.value())},
               {"tracing", tracer != nullptr},
               {"access_log",
-               access_log_path.empty() ? "<off>" : access_log_path}});
+               access_log_path.empty() ? "<off>" : access_log_path},
+              {"slo_config",
+               slo_config_path.empty() ? "<defaults>" : slo_config_path}});
   if (!model_path.empty()) {
     std::printf("karl_server listening on %s:%d (model %s, %zu points)\n",
                 host.c_str(), server.value()->port(), model_path.c_str(),
